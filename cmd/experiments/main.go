@@ -1,0 +1,77 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run fig8,fig11 [-scale 0.5] [-apps crc32,sha]
+//	experiments -run all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"edbp/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		run    = flag.String("run", "all", "comma-separated experiment ids (or 'all'); ids: "+ids())
+		apps   = flag.String("apps", "", "comma-separated app subset (default: all 20)")
+		scale  = flag.Float64("scale", 1.0, "workload scale factor")
+		seed   = flag.Uint64("seed", 1, "energy trace seed")
+		seeds  = flag.Int("seeds", 0, "energy trace seeds to average (default 3)")
+		format = flag.String("format", "text", "output format: text|csv")
+	)
+	flag.Parse()
+
+	o := experiments.Options{Scale: *scale, Seed: *seed, Seeds: *seeds}
+	if *apps != "" {
+		o.Apps = strings.Split(*apps, ",")
+	}
+
+	want := map[string]bool{}
+	if *run != "all" {
+		for _, id := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	ran := 0
+	for _, e := range experiments.All {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		start := time.Now()
+		t, err := e.Run(o)
+		if err != nil {
+			log.Fatalf("%s: %v", e.ID, err)
+		}
+		if *format == "csv" {
+			fmt.Printf("# %s: %s\n", t.ID, t.Title)
+			t.CSV(os.Stdout)
+			fmt.Println()
+		} else {
+			t.Print(os.Stdout)
+		}
+		fmt.Printf("(%s took %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		ran++
+	}
+	if ran == 0 {
+		log.Fatalf("no experiments matched -run=%q; ids: %s", *run, ids())
+	}
+}
+
+func ids() string {
+	var out []string
+	for _, e := range experiments.All {
+		out = append(out, e.ID)
+	}
+	return strings.Join(out, ",")
+}

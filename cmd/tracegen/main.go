@@ -1,0 +1,63 @@
+// Command tracegen records workload traces and synthetic energy traces and
+// prints their statistics — the raw inputs every experiment consumes.
+//
+// Usage:
+//
+//	tracegen                       # stats for all 20 workloads
+//	tracegen -app crc32 -dump 50   # first 50 trace events of one workload
+//	tracegen -energy RFHome        # sample the harvesting power series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"edbp/internal/energy"
+	"edbp/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	var (
+		app    = flag.String("app", "", "single workload to record (default: all)")
+		scale  = flag.Float64("scale", 1.0, "workload scale factor")
+		dump   = flag.Int("dump", 0, "print the first N trace events")
+		etrace = flag.String("energy", "", "sample an energy trace (RFHome|RFOffice|Thermal|Solar) instead")
+		seed   = flag.Uint64("seed", 1, "energy trace seed")
+	)
+	flag.Parse()
+
+	if *etrace != "" {
+		kind, err := energy.ParseTraceKind(*etrace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr := energy.NewTrace(kind, *seed)
+		fmt.Printf("# %s seed=%d mean=%.2f mW\n", tr.Name(), *seed, tr.MeanPower()*1e3)
+		for t := 0.0; t < 50e-3; t += 1e-3 {
+			fmt.Printf("%.3f ms  %6.2f mW\n", t*1e3, tr.Power(t)*1e3)
+		}
+		return
+	}
+
+	apps := workload.Apps()
+	if *app != "" {
+		a, err := workload.ByName(*app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		apps = []workload.App{a}
+	}
+	for _, a := range apps {
+		tr := a.Record(*scale)
+		fmt.Printf("%-14s %-10s instr=%8d ld/st=%5.1f%% loads=%8d stores=%7d data=%7dB events=%8d regions=%2d checksum=%08x\n",
+			tr.Name, a.Suite, tr.Instructions, 100*tr.LoadStoreRatio(), tr.Loads, tr.Stores,
+			tr.DataBytes, len(tr.Events), len(tr.Regions), tr.Checksum)
+		for i := 0; i < *dump && i < len(tr.Events); i++ {
+			ev := tr.Events[i]
+			fmt.Printf("  %4d op=%d arg=%#x\n", i, ev.Op, ev.Arg)
+		}
+	}
+}

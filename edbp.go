@@ -1,0 +1,346 @@
+// Package edbp is the public API of the EDBP reproduction: a full-system
+// simulator for cache-equipped energy harvesting (intermittent computing)
+// systems, together with the power-failure-aware dead block predictor the
+// paper "Rethinking Dead Block Prediction for Intermittent Computing"
+// (HPCA 2025) proposes.
+//
+// A minimal session:
+//
+//	base, _ := edbp.Run(edbp.Config{App: "crc32", Scheme: edbp.Baseline})
+//	with, _ := edbp.Run(edbp.Config{App: "crc32", Scheme: edbp.EDBP})
+//	fmt.Printf("speedup %.3f, energy ×%.3f\n",
+//		with.SpeedupOver(base), with.EnergyRatioOver(base))
+//
+// Everything below delegates to the internal packages; see DESIGN.md for
+// the system inventory and cmd/experiments for the full evaluation
+// harness.
+package edbp
+
+import (
+	"fmt"
+
+	"edbp/internal/cache"
+	"edbp/internal/energy"
+	"edbp/internal/nvm"
+	"edbp/internal/sim"
+	"edbp/internal/workload"
+)
+
+// Scheme selects the predictor configuration, mirroring the paper's
+// evaluation (Section VI-A1).
+type Scheme int
+
+const (
+	// Baseline is NVSRAMCache with no dead block prediction.
+	Baseline Scheme = iota
+	// SDBP filters the JIT checkpoint with dead block prediction [44].
+	SDBP
+	// CacheDecay is Cache Decay [32] on the data cache.
+	CacheDecay
+	// AMC is Adaptive Mode Control [74] on the data cache.
+	AMC
+	// EDBP is the paper's zombie block predictor alone.
+	EDBP
+	// CacheDecayEDBP combines Cache Decay with EDBP — the paper's
+	// headline configuration.
+	CacheDecayEDBP
+	// AMCEDBP combines AMC with EDBP (Section VII-A).
+	AMCEDBP
+	// Counting is the counting-based dead block predictor [34].
+	Counting
+	// RefTrace is the trace-based dead block predictor [38].
+	RefTrace
+	// CountingEDBP combines the counting-based predictor with EDBP.
+	CountingEDBP
+	// RefTraceEDBP combines RefTrace with EDBP.
+	RefTraceEDBP
+	// Ideal is the oracle bound of Figure 8 (two-pass replay).
+	Ideal
+)
+
+// Schemes lists every scheme in presentation order.
+var Schemes = []Scheme{Baseline, SDBP, CacheDecay, AMC, Counting, RefTrace, EDBP, CacheDecayEDBP, AMCEDBP, CountingEDBP, RefTraceEDBP, Ideal}
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string { return s.internal().String() }
+
+func (s Scheme) internal() sim.Scheme {
+	switch s {
+	case Baseline:
+		return sim.Baseline
+	case SDBP:
+		return sim.SDBP
+	case CacheDecay:
+		return sim.Decay
+	case AMC:
+		return sim.AMC
+	case EDBP:
+		return sim.EDBP
+	case CacheDecayEDBP:
+		return sim.DecayEDBP
+	case AMCEDBP:
+		return sim.AMCEDBP
+	case Counting:
+		return sim.Counting
+	case RefTrace:
+		return sim.RefTrace
+	case CountingEDBP:
+		return sim.CountingEDBP
+	case RefTraceEDBP:
+		return sim.RefTraceEDBP
+	case Ideal:
+		return sim.Ideal
+	default:
+		return sim.Baseline
+	}
+}
+
+// Config describes one simulation. The zero value of every field selects
+// the paper's Table II default.
+type Config struct {
+	// App is the workload name; see Apps(). Required.
+	App string
+	// Scheme is the predictor configuration under test.
+	Scheme Scheme
+	// Scale shrinks the workload for quick runs (1.0 = evaluation size).
+	Scale float64
+	// EnergyTrace is RFHome (default), RFOffice, Thermal or Solar.
+	EnergyTrace string
+	// Seed selects the synthetic energy trace instance (default 1).
+	Seed uint64
+
+	// CacheBytes / CacheWays / Policy configure the SRAM data cache
+	// (defaults: 4096, 4, "LRU"; policies: LRU, PLRU, FIFO, Random,
+	// DRRIP).
+	CacheBytes int
+	CacheWays  int
+	Policy     string
+
+	// NVM is the main-memory technology: ReRAM (default), FeRAM, STTRAM.
+	NVM string
+	// MemoryBytes sizes the main memory (default 16 MiB).
+	MemoryBytes int64
+	// CapacitorFarads sizes the energy buffer (default 0.47 µF).
+	CapacitorFarads float64
+
+	// SRAMICache switches to the Section VI-I baseline (volatile SRAM
+	// instruction cache); PredictICache additionally applies the scheme's
+	// predictors to it (Figure 18 "both caches").
+	SRAMICache    bool
+	PredictICache bool
+
+	// LeakFactor scales data-cache leakage (0.2 = the paper's "80%
+	// Leakage Off" magic runs; 0 means 1.0).
+	LeakFactor float64
+	// ZombieProfile collects the Figure 4 zombie-vs-voltage profile.
+	ZombieProfile bool
+}
+
+// Prediction is the zombie-aware outcome classification (Section IV).
+type Prediction struct {
+	TP, FP, TN, FN uint64
+	// MissedFN counts "missed prediction" false negatives: blocks kept
+	// powered but lost to a power outage without reuse (zombies).
+	MissedFN uint64
+	Coverage float64 // Equation 1
+	Accuracy float64 // Equation 2
+}
+
+// Energy is the consumed-energy breakdown in joules (Figure 7 buckets).
+type Energy struct {
+	DataCache        float64
+	DataCacheLeak    float64 // included in DataCache
+	InstructionCache float64
+	Memory           float64
+	Checkpoint       float64
+	Others           float64 // MCU computation + capacitor leakage
+	Total            float64
+}
+
+// ZombiePoint is one Figure 4 data point.
+type ZombiePoint struct {
+	Voltage     float64
+	ZombieRatio float64
+}
+
+// Result reports one run.
+type Result struct {
+	App    string
+	Scheme Scheme
+
+	// WallSeconds includes recharge hibernation; ActiveSeconds does not.
+	WallSeconds   float64
+	ActiveSeconds float64
+	Instructions  uint64
+
+	Energy     Energy
+	Prediction Prediction
+
+	CacheMissRate float64
+	PowerCycles   int
+	// GatedBlockSeconds integrates block-time spent powered off.
+	GatedBlockSeconds float64
+
+	// ZombieProfile is populated when Config.ZombieProfile was set.
+	ZombieProfile []ZombiePoint
+	// OutageTimes lists when power failures struck (capped).
+	OutageTimes []float64
+
+	// Truncated flags a run aborted for energy starvation.
+	Truncated bool
+}
+
+// SpeedupOver returns base.WallSeconds / r.WallSeconds, the paper's
+// performance metric.
+func (r *Result) SpeedupOver(base *Result) float64 {
+	if r.WallSeconds == 0 {
+		return 0
+	}
+	return base.WallSeconds / r.WallSeconds
+}
+
+// EnergyRatioOver returns r's total energy normalized to base's (lower is
+// better).
+func (r *Result) EnergyRatioOver(base *Result) float64 {
+	if base.Energy.Total == 0 {
+		return 0
+	}
+	return r.Energy.Total / base.Energy.Total
+}
+
+// Apps lists the 20 available benchmark applications.
+func Apps() []string { return workload.Names() }
+
+// Run executes one simulation.
+func Run(c Config) (*Result, error) {
+	cfg, err := c.internal()
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(c, res), nil
+}
+
+// RunAll executes one app under several schemes against the identical
+// recorded trace, returning results in scheme order.
+func RunAll(c Config, schemes ...Scheme) ([]*Result, error) {
+	if len(schemes) == 0 {
+		return nil, fmt.Errorf("edbp: RunAll needs at least one scheme")
+	}
+	cfg, err := c.internal()
+	if err != nil {
+		return nil, err
+	}
+	app, err := workload.ByName(cfg.App)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Trace = app.Record(cfg.Scale)
+	out := make([]*Result, len(schemes))
+	for i, s := range schemes {
+		run := cfg
+		run.Scheme = s.internal()
+		res, err := sim.Run(run)
+		if err != nil {
+			return nil, err
+		}
+		cc := c
+		cc.Scheme = s
+		out[i] = wrap(cc, res)
+	}
+	return out, nil
+}
+
+func (c Config) internal() (sim.Config, error) {
+	if c.App == "" {
+		return sim.Config{}, fmt.Errorf("edbp: Config.App is required (see edbp.Apps())")
+	}
+	cfg := sim.Default(c.App, c.Scheme.internal())
+	if c.Scale != 0 {
+		cfg.Scale = c.Scale
+	}
+	if c.EnergyTrace != "" {
+		kind, err := energy.ParseTraceKind(c.EnergyTrace)
+		if err != nil {
+			return sim.Config{}, err
+		}
+		cfg.TraceKind = kind
+	}
+	if c.Seed != 0 {
+		cfg.SourceSeed = c.Seed
+	}
+	if c.CacheBytes != 0 {
+		cfg.DCacheBytes = c.CacheBytes
+	}
+	if c.CacheWays != 0 {
+		cfg.DCacheWays = c.CacheWays
+	}
+	if c.Policy != "" {
+		pol, err := cache.ParsePolicy(c.Policy)
+		if err != nil {
+			return sim.Config{}, err
+		}
+		cfg.DCachePolicy = pol
+	}
+	if c.NVM != "" {
+		tech, err := nvm.ParseTech(c.NVM)
+		if err != nil {
+			return sim.Config{}, err
+		}
+		cfg.MemTech = tech
+	}
+	if c.MemoryBytes != 0 {
+		cfg.MemBytes = c.MemoryBytes
+	}
+	if c.CapacitorFarads != 0 {
+		cfg.Capacitor.Capacitance = c.CapacitorFarads
+	}
+	cfg.ICacheSRAM = c.SRAMICache
+	cfg.PredictICache = c.PredictICache
+	if c.LeakFactor != 0 {
+		cfg.DCacheLeakFactor = c.LeakFactor
+	}
+	cfg.CollectZombieProfile = c.ZombieProfile
+	return cfg, nil
+}
+
+func wrap(c Config, r *sim.Result) *Result {
+	e := r.Energy
+	out := &Result{
+		App:           c.App,
+		Scheme:        c.Scheme,
+		WallSeconds:   r.WallTime,
+		ActiveSeconds: r.ActiveTime,
+		Instructions:  r.Instructions,
+		Energy: Energy{
+			DataCache:        e.DCache(),
+			DataCacheLeak:    e.DCacheLeak,
+			InstructionCache: e.ICache(),
+			Memory:           e.Memory,
+			Checkpoint:       e.Checkpoint,
+			Others:           e.Others(),
+			Total:            e.Total(),
+		},
+		Prediction: Prediction{
+			TP: r.Prediction.TP, FP: r.Prediction.FP,
+			TN: r.Prediction.TN, FN: r.Prediction.FN,
+			MissedFN: r.Prediction.ZombieFN,
+			Coverage: r.Prediction.Coverage(),
+			Accuracy: r.Prediction.Accuracy(),
+		},
+		CacheMissRate:     r.DCacheStats.MissRate(),
+		PowerCycles:       r.PowerCycles,
+		GatedBlockSeconds: r.GatedBlockSeconds,
+		OutageTimes:       r.OutageTimes,
+		Truncated:         r.Truncated,
+	}
+	if r.ZombieProfile != nil {
+		for _, p := range r.ZombieProfile.Points() {
+			out.ZombieProfile = append(out.ZombieProfile, ZombiePoint{Voltage: p.Voltage, ZombieRatio: p.ZombieRatio})
+		}
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+// Policies: the paper's Figure 10 — EDBP piggybacks on whatever recency
+// information the replacement policy keeps, so a policy that predicts
+// imminent reuse better (DRRIP) also picks better zombies. This example
+// compares EDBP across all five implemented policies.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"edbp"
+)
+
+func main() {
+	apps := []string{"crc32", "susan", "sha", "dijkstra"}
+	policies := []string{"LRU", "DRRIP", "PLRU", "FIFO", "Random"}
+
+	fmt.Printf("%-8s %12s %14s %14s %12s\n",
+		"policy", "D$ miss", "EDBP speedup", "wrong kills", "combined")
+	for _, pol := range policies {
+		var speedE, speedC, miss float64
+		var kills uint64
+		for _, app := range apps {
+			cfg := edbp.Config{App: app, Policy: pol, Scale: 0.5}
+			rs, err := edbp.RunAll(cfg, edbp.Baseline, edbp.EDBP, edbp.CacheDecayEDBP)
+			if err != nil {
+				log.Fatal(err)
+			}
+			base, e, comb := rs[0], rs[1], rs[2]
+			speedE += e.SpeedupOver(base)
+			speedC += comb.SpeedupOver(base)
+			miss += e.CacheMissRate
+			kills += e.Prediction.FP
+		}
+		n := float64(len(apps))
+		fmt.Printf("%-8s %11.2f%% %14.3f %14d %12.3f\n",
+			pol, 100*miss/n, speedE/n, kills, speedC/n)
+	}
+	fmt.Println("\n(the paper contrasts LRU with DRRIP: better recency → fewer live blocks")
+	fmt.Println(" mistaken for zombies → fewer wrong-kill misses; the rest are extensions)")
+}

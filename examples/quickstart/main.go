@@ -1,0 +1,44 @@
+// Quickstart: simulate one benchmark on the RF-powered intermittent
+// system under the baseline (NVSRAMCache), EDBP, and the paper's headline
+// Cache Decay + EDBP combination, and print what EDBP buys.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"edbp"
+)
+
+func main() {
+	cfg := edbp.Config{
+		App:         "crc32",
+		Scale:       1.0,
+		EnergyTrace: "RFHome",
+	}
+
+	results, err := edbp.RunAll(cfg,
+		edbp.Baseline, edbp.CacheDecay, edbp.EDBP, edbp.CacheDecayEDBP, edbp.Ideal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := results[0]
+
+	fmt.Printf("app=%s on %s: %d instructions, %d power failures (baseline)\n\n",
+		cfg.App, cfg.EnergyTrace, base.Instructions, base.PowerCycles)
+	fmt.Printf("%-18s %10s %10s %10s %9s %9s\n",
+		"scheme", "wall (ms)", "energy(µJ)", "D$ miss", "speedup", "energy ×")
+	for _, r := range results {
+		fmt.Printf("%-18v %10.2f %10.1f %9.2f%% %9.3f %9.3f\n",
+			r.Scheme, r.WallSeconds*1e3, r.Energy.Total*1e6,
+			100*r.CacheMissRate, r.SpeedupOver(base), r.EnergyRatioOver(base))
+	}
+
+	with := results[3] // CacheDecay+EDBP
+	fmt.Printf("\nCache Decay + EDBP: %.1f%% less energy, %.1f%% faster, ",
+		100*(1-with.EnergyRatioOver(base)), 100*(with.SpeedupOver(base)-1))
+	fmt.Printf("coverage %.1f%%, accuracy %.1f%%\n",
+		100*with.Prediction.Coverage, 100*with.Prediction.Accuracy)
+	fmt.Printf("data cache leakage: %.1f µJ → %.1f µJ\n",
+		base.Energy.DataCacheLeak*1e6, with.Energy.DataCacheLeak*1e6)
+}

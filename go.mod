@@ -1,0 +1,3 @@
+module edbp
+
+go 1.22

@@ -1,0 +1,378 @@
+// Package cache implements the set-associative, write-back SRAM cache used
+// by the paper's energy harvesting system, including the per-block power
+// gating (gate-Vdd [52]) that dead block predictors and EDBP drive.
+//
+// A gated block keeps its tag (so the hardware can recognise a re-demand of
+// a block it killed — a wrong kill / false positive) but loses its data and
+// stops leaking. The cache tracks the number of powered blocks so the
+// simulator can integrate leakage energy exactly.
+package cache
+
+import "fmt"
+
+// PowerMode selects which blocks leak.
+type PowerMode int
+
+const (
+	// AlwaysOn: every block leaks whenever the system is powered. This is
+	// the baseline NVSRAMCache and SDBP, which have no gating hardware.
+	AlwaysOn PowerMode = iota
+	// GateInvalid: only valid, non-gated blocks leak. Schemes with
+	// gate-Vdd hardware (Cache Decay, EDBP, Ideal) power a way only while
+	// it holds live data.
+	GateInvalid
+)
+
+// Config describes a cache instance.
+type Config struct {
+	SizeBytes  int        // total capacity (power of two)
+	BlockBytes int        // block size (paper default: 16)
+	Ways       int        // associativity (1 = direct mapped)
+	Policy     PolicyKind // replacement policy
+	Power      PowerMode  // gating hardware model
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.SizeBytes&(c.SizeBytes-1) != 0:
+		return fmt.Errorf("cache: size must be a positive power of two, got %d", c.SizeBytes)
+	case c.BlockBytes <= 0 || c.BlockBytes&(c.BlockBytes-1) != 0:
+		return fmt.Errorf("cache: block size must be a positive power of two, got %d", c.BlockBytes)
+	case c.Ways <= 0:
+		return fmt.Errorf("cache: associativity must be positive, got %d", c.Ways)
+	case c.SizeBytes%(c.BlockBytes*c.Ways) != 0:
+		return fmt.Errorf("cache: size %d not divisible by block size %d × ways %d", c.SizeBytes, c.BlockBytes, c.Ways)
+	}
+	sets := c.SizeBytes / (c.BlockBytes * c.Ways)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d must be a power of two", sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int { return c.SizeBytes / (c.BlockBytes * c.Ways) }
+
+// Blocks returns the total number of blocks.
+func (c Config) Blocks() int { return c.SizeBytes / c.BlockBytes }
+
+// Block is the metadata of one cache block (the simulator never models
+// data contents; the workload layer carries real values).
+type Block struct {
+	Tag   uint64
+	Valid bool
+	Dirty bool
+	// Gated means the block's supply is cut: no leakage, data lost, tag
+	// retained for wrong-kill detection.
+	Gated bool
+	// Uses counts accesses in the current generation (fill to eviction);
+	// predictors such as SDBP consume it.
+	Uses uint32
+}
+
+// Live reports whether the block holds usable data.
+func (b *Block) Live() bool { return b.Valid && !b.Gated }
+
+// Stats accumulates access statistics.
+type Stats struct {
+	Hits        uint64
+	Misses      uint64
+	GatedMisses uint64 // misses whose tag matched a gated block (wrong kills)
+	Evictions   uint64
+	Writebacks  uint64 // dirty evictions (demand-driven; gating writebacks are counted by the caller)
+	Fills       uint64
+	StoreHits   uint64
+	StoreMisses uint64
+}
+
+// Accesses returns total demand accesses.
+func (s *Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// MissRate returns the demand miss rate in [0,1].
+func (s *Stats) MissRate() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(a)
+}
+
+// AccessResult describes everything one demand access did, so the
+// simulator can charge costs and update prediction bookkeeping.
+type AccessResult struct {
+	Hit bool
+	// WrongKill is set on a miss whose tag matched a gated block: the
+	// block was deactivated and then demanded again — a false positive of
+	// whichever predictor gated it.
+	WrongKill bool
+	Set, Way  int
+	// Filled is set when the miss allocated the block into (Set, Way).
+	Filled bool
+	// Evicted describes the victim replaced by the fill, if any.
+	Evicted      bool
+	EvictedTag   uint64
+	EvictedDirty bool
+	EvictedGated bool
+	// EvictedUses is the victim generation's final access count (fills
+	// count as the first use); predictors train on it.
+	EvictedUses uint32
+}
+
+// Cache is a set-associative write-back cache with power gating.
+type Cache struct {
+	cfg    Config
+	sets   int
+	blocks []Block // sets × ways, row-major
+	policy Policy
+	stats  Stats
+
+	powered int // number of leaking blocks under the configured PowerMode
+}
+
+// New constructs a cache. All blocks start invalid; under GateInvalid they
+// therefore start powered off.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pol, err := newPolicy(cfg.Policy, cfg.Sets(), cfg.Ways)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cache{
+		cfg:    cfg,
+		sets:   cfg.Sets(),
+		blocks: make([]Block, cfg.Blocks()),
+		policy: pol,
+	}
+	c.recountPowered()
+	return c, nil
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Policy exposes the replacement policy (EDBP reads recency ranks off it).
+func (c *Cache) Policy() Policy { return c.policy }
+
+// Stats returns a pointer to the live statistics.
+func (c *Cache) Stats() *Stats { return &c.stats }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.cfg.Ways }
+
+// Block returns the block at (set, way) for inspection. The returned
+// pointer stays valid for the cache's lifetime; callers must not mutate
+// state through it (use Gate / access methods).
+func (c *Cache) Block(set, way int) *Block {
+	return &c.blocks[set*c.cfg.Ways+way]
+}
+
+// PoweredBlocks returns how many blocks currently leak.
+func (c *Cache) PoweredBlocks() int { return c.powered }
+
+// LiveBlocks returns how many blocks hold usable data.
+func (c *Cache) LiveBlocks() int {
+	n := 0
+	for i := range c.blocks {
+		if c.blocks[i].Live() {
+			n++
+		}
+	}
+	return n
+}
+
+// Index maps a byte address to (set, tag).
+func (c *Cache) Index(addr uint64) (set int, tag uint64) {
+	blockAddr := addr / uint64(c.cfg.BlockBytes)
+	return int(blockAddr % uint64(c.sets)), blockAddr / uint64(c.sets)
+}
+
+// BlockAddr reconstructs the block-aligned byte address of (set, tag).
+func (c *Cache) BlockAddr(set int, tag uint64) uint64 {
+	return (tag*uint64(c.sets) + uint64(set)) * uint64(c.cfg.BlockBytes)
+}
+
+// leakDelta updates the powered-block count when a block transitions.
+func (c *Cache) leakDelta(before, after Block) {
+	c.powered += c.leakUnit(after) - c.leakUnit(before)
+}
+
+func (c *Cache) leakUnit(b Block) int {
+	switch c.cfg.Power {
+	case AlwaysOn:
+		return 1
+	default: // GateInvalid
+		if b.Valid && !b.Gated {
+			return 1
+		}
+		return 0
+	}
+}
+
+func (c *Cache) recountPowered() {
+	c.powered = 0
+	for i := range c.blocks {
+		c.powered += c.leakUnit(c.blocks[i])
+	}
+}
+
+// Lookup probes the cache without side effects. It returns the way holding
+// a live copy of addr, or -1; gatedWay is the way holding a gated copy of
+// the tag (or -1).
+func (c *Cache) Lookup(addr uint64) (way, gatedWay int) {
+	set, tag := c.Index(addr)
+	way, gatedWay = -1, -1
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		b := &c.blocks[base+w]
+		if b.Valid && b.Tag == tag {
+			if b.Gated {
+				gatedWay = w
+			} else {
+				way = w
+			}
+		}
+	}
+	return way, gatedWay
+}
+
+// Access performs one demand load (write=false) or store (write=true),
+// allocating on miss (write-allocate). The caller charges memory costs
+// based on the result.
+func (c *Cache) Access(addr uint64, write bool) AccessResult {
+	set, tag := c.Index(addr)
+	base := set * c.cfg.Ways
+
+	// Probe.
+	hitWay, gatedWay := -1, -1
+	for w := 0; w < c.cfg.Ways; w++ {
+		b := &c.blocks[base+w]
+		if b.Valid && b.Tag == tag {
+			if b.Gated {
+				gatedWay = w
+			} else {
+				hitWay = w
+			}
+			break
+		}
+	}
+
+	if hitWay >= 0 {
+		b := &c.blocks[base+hitWay]
+		b.Uses++
+		if write {
+			b.Dirty = true
+			c.stats.StoreHits++
+		}
+		c.stats.Hits++
+		c.policy.OnHit(set, hitWay)
+		return AccessResult{Hit: true, Set: set, Way: hitWay}
+	}
+
+	// Miss path.
+	c.stats.Misses++
+	if write {
+		c.stats.StoreMisses++
+	}
+	c.policy.OnMiss(set)
+	res := AccessResult{Set: set}
+	if gatedWay >= 0 {
+		c.stats.GatedMisses++
+		res.WrongKill = true
+	}
+
+	// Victim selection: reuse the gated copy's way first (it holds no live
+	// data), then any non-live way, then ask the policy.
+	victim := gatedWay
+	if victim < 0 {
+		for w := 0; w < c.cfg.Ways; w++ {
+			if !c.blocks[base+w].Live() {
+				victim = w
+				break
+			}
+		}
+	}
+	if victim < 0 {
+		victim = c.policy.Victim(set)
+	}
+
+	vb := &c.blocks[base+victim]
+	before := *vb
+	if vb.Live() {
+		res.Evicted = true
+		res.EvictedTag = vb.Tag
+		res.EvictedDirty = vb.Dirty
+		res.EvictedUses = vb.Uses
+		c.stats.Evictions++
+		if vb.Dirty {
+			c.stats.Writebacks++
+		}
+	} else if vb.Valid && vb.Gated && vb.Tag != tag {
+		// A gated block holding a different tag is silently dropped (its
+		// data was already lost or written back when gated).
+		res.Evicted = true
+		res.EvictedTag = vb.Tag
+		res.EvictedGated = true
+	}
+
+	*vb = Block{Tag: tag, Valid: true, Dirty: write, Uses: 1}
+	c.leakDelta(before, *vb)
+	c.stats.Fills++
+	res.Filled = true
+	res.Way = victim
+	c.policy.OnFill(set, victim)
+	return res
+}
+
+// Gate powers off the block at (set, way). It returns whether the block
+// held dirty data (the caller must then charge a writeback) and whether
+// anything was actually gated (false if the block was already off or
+// invalid). Gating never touches the MRU metadata: a gated block simply
+// stops leaking and loses its data.
+func (c *Cache) Gate(set, way int) (wasDirty, gated bool) {
+	b := &c.blocks[set*c.cfg.Ways+way]
+	if !b.Live() {
+		return false, false
+	}
+	before := *b
+	wasDirty = b.Dirty
+	b.Gated = true
+	b.Dirty = false
+	c.leakDelta(before, *b)
+	return wasDirty, true
+}
+
+// InvalidateAll clears every block (cold boot).
+func (c *Cache) InvalidateAll() {
+	for i := range c.blocks {
+		c.blocks[i] = Block{}
+	}
+	c.recountPowered()
+}
+
+// Outage applies a power failure to the cache: every block loses its data.
+// keep selects the blocks that were checkpointed and will be restored after
+// reboot (NVSRAMCache restores dirty blocks; SDBP restores predicted-live
+// blocks); those survive with their metadata intact. All other blocks
+// become invalid. Gating state does not survive the reboot: restored
+// blocks come back powered, everything else is powered per PowerMode.
+func (c *Cache) Outage(keep func(set, way int, b *Block) bool) {
+	for s := 0; s < c.sets; s++ {
+		for w := 0; w < c.cfg.Ways; w++ {
+			b := &c.blocks[s*c.cfg.Ways+w]
+			if b.Live() && keep != nil && keep(s, w, b) {
+				continue
+			}
+			*b = Block{}
+		}
+	}
+	c.recountPowered()
+}
+
+// ResetStats zeroes the access statistics.
+func (c *Cache) ResetStats() { c.stats = Stats{} }

@@ -1,0 +1,145 @@
+package cache
+
+// drripPolicy implements Dynamic Re-Reference Interval Prediction (DRRIP,
+// Jaleel et al.) with 2-bit RRPVs, hit-priority promotion and set dueling
+// between SRRIP and BRRIP insertion. The paper's Figure 10 uses it as the
+// "sophisticated" policy that lowers EDBP's wrong-kill rate: RRPV order is
+// a better imminent-reuse predictor than raw recency, so the near-LRU
+// blocks EDBP gates are more reliably zombies.
+type drripPolicy struct {
+	ways int
+	sets int
+	rrpv []uint8  // sets × ways
+	seq  []uint32 // sets × ways: touch sequence for tie-breaking ranks
+	next uint32
+
+	psel   int // policy selector; ≥ pselMid means BRRIP wins
+	leader []int8
+	brctr  uint32 // BRRIP's 1-in-32 high-priority insertion counter
+}
+
+const (
+	rrpvMax     = 3 // 2-bit
+	rrpvLong    = 2 // SRRIP insertion
+	pselBits    = 10
+	pselMax     = 1<<pselBits - 1
+	pselMid     = 1 << (pselBits - 1)
+	duelStride  = 32 // one leader pair per 32 sets (min 2 leaders each)
+	leaderNone  = 0
+	leaderSRRIP = 1
+	leaderBRRIP = 2
+)
+
+func newDRRIP(sets, ways int) *drripPolicy {
+	p := &drripPolicy{
+		ways:   ways,
+		sets:   sets,
+		rrpv:   make([]uint8, sets*ways),
+		seq:    make([]uint32, sets*ways),
+		leader: make([]int8, sets),
+		psel:   pselMid,
+	}
+	for i := range p.rrpv {
+		p.rrpv[i] = rrpvMax
+	}
+	// Constituency-based leader selection: within every duelStride-set
+	// window, the first set leads for SRRIP and the middle one for BRRIP.
+	for s := 0; s < sets; s++ {
+		switch s % duelStride {
+		case 0:
+			p.leader[s] = leaderSRRIP
+		case duelStride / 2:
+			p.leader[s] = leaderBRRIP
+		}
+	}
+	// Tiny caches may not cover both leader classes; force one of each.
+	if sets >= 2 {
+		p.leader[0] = leaderSRRIP
+		p.leader[sets/2] = leaderBRRIP
+	}
+	return p
+}
+
+func (p *drripPolicy) Kind() PolicyKind { return DRRIP }
+
+func (p *drripPolicy) useBRRIP(set int) bool {
+	switch p.leader[set] {
+	case leaderSRRIP:
+		return false
+	case leaderBRRIP:
+		return true
+	default:
+		return p.psel >= pselMid
+	}
+}
+
+func (p *drripPolicy) OnFill(set, way int) {
+	i := set*p.ways + way
+	if p.useBRRIP(set) {
+		// BRRIP: distant re-reference, with a 1/32 chance of long.
+		p.brctr++
+		if p.brctr%32 == 0 {
+			p.rrpv[i] = rrpvLong
+		} else {
+			p.rrpv[i] = rrpvMax
+		}
+	} else {
+		p.rrpv[i] = rrpvLong
+	}
+	p.next++
+	p.seq[i] = p.next
+}
+
+func (p *drripPolicy) OnHit(set, way int) {
+	i := set*p.ways + way
+	p.rrpv[i] = 0 // hit priority promotion
+	p.next++
+	p.seq[i] = p.next
+}
+
+func (p *drripPolicy) OnMiss(set int) {
+	// A miss in a leader set is evidence against that leader's policy.
+	switch p.leader[set] {
+	case leaderSRRIP:
+		if p.psel < pselMax {
+			p.psel++
+		}
+	case leaderBRRIP:
+		if p.psel > 0 {
+			p.psel--
+		}
+	}
+}
+
+func (p *drripPolicy) Victim(set int) int {
+	base := set * p.ways
+	for {
+		for w := 0; w < p.ways; w++ {
+			if p.rrpv[base+w] == rrpvMax {
+				return w
+			}
+		}
+		for w := 0; w < p.ways; w++ {
+			p.rrpv[base+w]++
+		}
+	}
+}
+
+// Rank orders ways by predicted re-reference: RRPV ascending, newest touch
+// first within equal RRPVs.
+func (p *drripPolicy) Rank(set int, buf []int) []int {
+	base := set * p.ways
+	start := len(buf)
+	for w := 0; w < p.ways; w++ {
+		buf = append(buf, w)
+	}
+	sub := buf[start:]
+	insertionSortBy(sub, func(a, b int) bool {
+		ra, rb := p.rrpv[base+a], p.rrpv[base+b]
+		if ra != rb {
+			return ra < rb
+		}
+		return p.seq[base+a] > p.seq[base+b]
+	})
+	return buf
+}

@@ -1,0 +1,103 @@
+// Package checkpoint models just-in-time (JIT) checkpointing with
+// NVSRAMCache [23], [43]: when the voltage monitor signals imminent power
+// failure, the register file and the selected cache blocks are written to
+// their nonvolatile twin cells; after the outage they are restored.
+//
+// NVSRAMCache's twin cells sit next to each SRAM cell, so a block
+// checkpoint is a short, parallel, on-array operation — far cheaper than a
+// writeback to main NVM. The per-block costs below reflect that (they are
+// a small fraction of the Table II ReRAM write cost), and the energy
+// reserved between Vckpt (3.2 V) and VMin (2.8 V) of the default 0.47 µF
+// capacitor — about 0.56 µJ — comfortably covers a worst-case all-dirty
+// checkpoint.
+package checkpoint
+
+import "edbp/internal/cache"
+
+// Cost is one operation's latency/energy pair.
+type Cost struct {
+	Latency float64 // seconds
+	Energy  float64 // joules
+}
+
+// Costs is the complete checkpoint/restore cost model.
+type Costs struct {
+	// FixedSave/FixedRestore cover the monitor interrupt, control logic
+	// and the register file transfer.
+	FixedSave    Cost
+	FixedRestore Cost
+	// PerBlockSave/PerBlockRestore are charged for every cache block
+	// written to / read from its NV twin.
+	PerBlockSave    Cost
+	PerBlockRestore Cost
+}
+
+// Default returns the NVSRAMCache cost model used throughout the
+// evaluation.
+func Default() Costs {
+	return Costs{
+		FixedSave:       Cost{Latency: 2.0e-6, Energy: 12e-9},
+		FixedRestore:    Cost{Latency: 2.0e-6, Energy: 10e-9},
+		PerBlockSave:    Cost{Latency: 18e-9, Energy: 0.90e-9},
+		PerBlockRestore: Cost{Latency: 14e-9, Energy: 0.45e-9},
+	}
+}
+
+// Filter selects which live cache blocks are checkpointed (and therefore
+// restored after the outage). Blocks not kept are lost.
+type Filter interface {
+	Keep(set, way int, b *cache.Block) bool
+}
+
+// DirtyOnly is the baseline NVSRAMCache policy: checkpoint exactly the
+// dirty blocks (clean data can be re-fetched from NVM, so saving it would
+// waste reserve energy).
+type DirtyOnly struct{}
+
+// Keep implements Filter.
+func (DirtyOnly) Keep(_, _ int, b *cache.Block) bool { return b.Dirty }
+
+// Nothing keeps no blocks at all: the cacheless/cold-boot policy, useful
+// for ablations.
+type Nothing struct{}
+
+// Keep implements Filter.
+func (Nothing) Keep(_, _ int, _ *cache.Block) bool { return false }
+
+// Plan is the outcome of planning one checkpoint: which blocks to save and
+// the totals the simulator should charge.
+type Plan struct {
+	Blocks  int // blocks written to NV twins
+	Latency float64
+	Energy  float64
+}
+
+// PlanSave walks the cache and plans a checkpoint under the given filter.
+// keep is invoked for every live block; the returned slice of kept
+// (set, way) pairs aliases nothing in the cache.
+func PlanSave(c *cache.Cache, f Filter, costs Costs) (Plan, [][2]int) {
+	var kept [][2]int
+	for s := 0; s < c.Sets(); s++ {
+		for w := 0; w < c.Ways(); w++ {
+			b := c.Block(s, w)
+			if b.Live() && f.Keep(s, w, b) {
+				kept = append(kept, [2]int{s, w})
+			}
+		}
+	}
+	p := Plan{
+		Blocks:  len(kept),
+		Latency: costs.FixedSave.Latency + float64(len(kept))*costs.PerBlockSave.Latency,
+		Energy:  costs.FixedSave.Energy + float64(len(kept))*costs.PerBlockSave.Energy,
+	}
+	return p, kept
+}
+
+// PlanRestore prices restoring n blocks after reboot.
+func PlanRestore(n int, costs Costs) Plan {
+	return Plan{
+		Blocks:  n,
+		Latency: costs.FixedRestore.Latency + float64(n)*costs.PerBlockRestore.Latency,
+		Energy:  costs.FixedRestore.Energy + float64(n)*costs.PerBlockRestore.Energy,
+	}
+}

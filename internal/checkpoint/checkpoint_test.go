@@ -1,0 +1,99 @@
+package checkpoint
+
+import (
+	"math"
+	"testing"
+
+	"edbp/internal/cache"
+)
+
+func testCache(t *testing.T) *cache.Cache {
+	t.Helper()
+	c, err := cache.New(cache.Config{SizeBytes: 512, BlockBytes: 16, Ways: 4, Policy: cache.LRU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDirtyOnlyFilter(t *testing.T) {
+	c := testCache(t)
+	c.Access(0x00, true)  // dirty
+	c.Access(0x10, false) // clean
+	c.Access(0x20, true)  // dirty
+
+	plan, kept := PlanSave(c, DirtyOnly{}, Default())
+	if plan.Blocks != 2 || len(kept) != 2 {
+		t.Fatalf("planned %d blocks, want 2 dirty", plan.Blocks)
+	}
+	for _, sw := range kept {
+		if !c.Block(sw[0], sw[1]).Dirty {
+			t.Fatal("kept a clean block under DirtyOnly")
+		}
+	}
+}
+
+func TestNothingFilter(t *testing.T) {
+	c := testCache(t)
+	c.Access(0x00, true)
+	plan, kept := PlanSave(c, Nothing{}, Default())
+	if plan.Blocks != 0 || len(kept) != 0 {
+		t.Fatal("Nothing filter kept blocks")
+	}
+	if plan.Energy != Default().FixedSave.Energy {
+		t.Fatal("empty checkpoint must still pay the fixed cost")
+	}
+}
+
+func TestGatedBlocksNotCheckpointed(t *testing.T) {
+	c := testCache(t)
+	r := c.Access(0x00, true)
+	c.Gate(r.Set, r.Way)
+	plan, _ := PlanSave(c, DirtyOnly{}, Default())
+	if plan.Blocks != 0 {
+		t.Fatal("gated blocks hold no data and must not be checkpointed")
+	}
+}
+
+func TestPlanCostsLinear(t *testing.T) {
+	costs := Default()
+	c := testCache(t)
+	for i := 0; i < 5; i++ {
+		c.Access(uint64(i)*16, true) // 5 dirty blocks in distinct sets
+	}
+	plan, _ := PlanSave(c, DirtyOnly{}, costs)
+	wantE := costs.FixedSave.Energy + 5*costs.PerBlockSave.Energy
+	if math.Abs(plan.Energy-wantE) > 1e-18 {
+		t.Fatalf("plan energy = %g, want %g", plan.Energy, wantE)
+	}
+	wantL := costs.FixedSave.Latency + 5*costs.PerBlockSave.Latency
+	if math.Abs(plan.Latency-wantL) > 1e-18 {
+		t.Fatalf("plan latency = %g, want %g", plan.Latency, wantL)
+	}
+}
+
+func TestPlanRestore(t *testing.T) {
+	costs := Default()
+	p := PlanRestore(10, costs)
+	if p.Blocks != 10 {
+		t.Fatalf("blocks = %d", p.Blocks)
+	}
+	want := costs.FixedRestore.Energy + 10*costs.PerBlockRestore.Energy
+	if math.Abs(p.Energy-want) > 1e-18 {
+		t.Fatalf("restore energy = %g, want %g", p.Energy, want)
+	}
+}
+
+// TestReserveCoversWorstCase: the energy reserved between Vckpt and VMin
+// must cover a worst-case all-dirty checkpoint — the JIT guarantee the
+// whole recovery model rests on.
+func TestReserveCoversWorstCase(t *testing.T) {
+	costs := Default()
+	const blocks = 256 // default 4 kB cache
+	worst := costs.FixedSave.Energy + blocks*costs.PerBlockSave.Energy
+	// ½·0.47µF·(3.2²−2.8²)
+	reserve := 0.5 * 0.47e-6 * (3.2*3.2 - 2.8*2.8)
+	if worst > reserve {
+		t.Fatalf("worst-case checkpoint %g J exceeds the reserve %g J", worst, reserve)
+	}
+}

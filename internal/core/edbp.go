@@ -1,0 +1,334 @@
+// Package core implements EDBP, the paper's contribution: an Extension to
+// existing Dead Block Predictors for intermittent (energy harvesting)
+// systems.
+//
+// EDBP watches the capacitor voltage. While power is steady it does
+// nothing — the conventional predictor (if any) operates normally. As the
+// voltage sinks through a ladder of n−1 thresholds (for an n-way cache),
+// EDBP concludes a power outage is approaching, at which point blocks that
+// will not be reused before the outage ("zombies") merely leak energy. It
+// then deactivates near-LRU blocks with rising aggressiveness:
+//
+//   - below threshold i (counting from the highest), the i least-recently
+//     used *clean* blocks of every set are power-gated;
+//   - below the lowest threshold, every non-MRU block — clean or dirty
+//     (with writeback) — is gated;
+//   - the MRU block always stays on (Section V-B: MRU data is highly
+//     likely to be reused shortly [42]).
+//
+// Because fixed thresholds misfire under fluctuating harvest, EDBP adapts
+// them online: a single sample set and a small FIFO deactivation buffer
+// measure the false positive rate each power cycle (registers R_WrongKill,
+// R_Total, R_FPR); at reboot, a rate above the reference lowers every
+// threshold by 50 mV (more conservative — acting closer to the outage),
+// and a rate below it restores the initial thresholds.
+package core
+
+import (
+	"fmt"
+
+	"edbp/internal/cache"
+	"edbp/internal/predictor"
+)
+
+// Config tunes EDBP.
+type Config struct {
+	// Thresholds is the voltage ladder in volts, strictly descending. Its
+	// length must be ways−1 (or 1 for a direct-mapped cache, which gates
+	// everything at its single threshold, per Section VI-H3).
+	Thresholds []float64
+	// StepDown is the per-adaptation threshold reduction (paper: 50 mV).
+	StepDown float64
+	// FPRRef is the reference false positive rate; measured FPR above it
+	// triggers the conservative step.
+	FPRRef float64
+	// BufferSize is the FIFO deactivation buffer depth (paper default: 8).
+	BufferSize int
+	// SampleSet is the set index whose statistics stand in for the whole
+	// cache (paper Section V-B1's sampling mechanism).
+	SampleSet int
+	// MinThreshold clamps adaptation from below; thresholds at or below
+	// the checkpoint voltage can never fire, so Vckpt is the natural
+	// floor.
+	MinThreshold float64
+}
+
+// DefaultThresholds builds the evaluation ladder for an n-way cache
+// operating between vCkpt and vRst: the highest threshold sits near the
+// top of the operating band (any dip below Vrst already means harvest is
+// losing to the load), the lowest at 15% above vCkpt, with the rest
+// spread evenly between. A direct-mapped cache gets the single lowest
+// threshold.
+func DefaultThresholds(ways int, vCkpt, vRst float64) []float64 {
+	span := vRst - vCkpt
+	n := ways - 1
+	if n < 1 {
+		n = 1
+	}
+	const hi, lo = 0.85, 0.15
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		frac := hi
+		if n > 1 {
+			frac = hi - (hi-lo)*float64(i)/float64(n-1)
+		} else {
+			frac = lo
+		}
+		out[i] = vCkpt + frac*span
+	}
+	return out
+}
+
+// DefaultConfig returns the paper's Table II EDBP configuration for the
+// given cache associativity and monitor thresholds.
+func DefaultConfig(ways int, vCkpt, vRst float64) Config {
+	return Config{
+		Thresholds:   DefaultThresholds(ways, vCkpt, vRst),
+		StepDown:     0.050,
+		FPRRef:       0.05,
+		BufferSize:   8,
+		SampleSet:    0,
+		MinThreshold: vCkpt,
+	}
+}
+
+// Validate reports configuration errors for a cache with the given
+// associativity.
+func (c Config) Validate(ways int) error {
+	want := ways - 1
+	if ways == 1 {
+		want = 1
+	}
+	if len(c.Thresholds) != want {
+		return fmt.Errorf("core: %d-way cache needs %d thresholds, got %d", ways, want, len(c.Thresholds))
+	}
+	for i := 1; i < len(c.Thresholds); i++ {
+		if c.Thresholds[i] >= c.Thresholds[i-1] {
+			return fmt.Errorf("core: thresholds must strictly descend, got %v", c.Thresholds)
+		}
+	}
+	if c.StepDown < 0 {
+		return fmt.Errorf("core: step down must be non-negative, got %g", c.StepDown)
+	}
+	if c.FPRRef < 0 || c.FPRRef > 1 {
+		return fmt.Errorf("core: FPR reference must be in [0,1], got %g", c.FPRRef)
+	}
+	if c.BufferSize <= 0 {
+		return fmt.Errorf("core: deactivation buffer must hold at least one entry, got %d", c.BufferSize)
+	}
+	return nil
+}
+
+// EDBP is the zombie block predictor. It implements predictor.Predictor.
+type EDBP struct {
+	cfg     Config
+	initial []float64 // pristine thresholds for adaptation resets
+	env     predictor.Env
+
+	level int // current aggressiveness: # thresholds crossed (0 = off)
+
+	// The three architectural registers of Section V-B1 and the FIFO
+	// deactivation buffer.
+	rWrongKill uint64
+	rTotal     uint64
+	rFPR       float64
+	buffer     []uint64
+
+	rankBuf []int
+
+	// Lifetime statistics for reporting.
+	totalGated     uint64
+	totalWrongKill uint64
+	adaptationsDn  uint64
+	adaptationsRst uint64
+}
+
+// New constructs EDBP for a cache of the given associativity.
+func New(cfg Config, ways int) (*EDBP, error) {
+	if err := cfg.Validate(ways); err != nil {
+		return nil, err
+	}
+	initial := append([]float64(nil), cfg.Thresholds...)
+	cfg.Thresholds = append([]float64(nil), cfg.Thresholds...)
+	return &EDBP{cfg: cfg, initial: initial}, nil
+}
+
+// Name implements predictor.Predictor.
+func (e *EDBP) Name() string { return "edbp" }
+
+// Attach implements predictor.Predictor.
+func (e *EDBP) Attach(env predictor.Env) {
+	e.env = env
+	e.rankBuf = make([]int, 0, env.Cache.Ways())
+}
+
+// Level returns the current aggressiveness level (0 = inactive).
+func (e *EDBP) Level() int { return e.level }
+
+// Thresholds returns the current (possibly adapted) voltage ladder.
+func (e *EDBP) Thresholds() []float64 { return append([]float64(nil), e.cfg.Thresholds...) }
+
+// FPR returns the last computed false positive rate (register R_FPR).
+func (e *EDBP) FPR() float64 { return e.rFPR }
+
+// Stats reports lifetime deactivations, wrong kills observed in the
+// sample set, and adaptation actions (downward steps, resets).
+func (e *EDBP) Stats() (gated, wrongKills, stepsDown, resets uint64) {
+	return e.totalGated, e.totalWrongKill, e.adaptationsDn, e.adaptationsRst
+}
+
+// OnVoltage implements predictor.Predictor: recompute the aggressiveness
+// level and enforce it cache-wide whenever it rises.
+func (e *EDBP) OnVoltage(v float64) {
+	level := 0
+	for _, th := range e.cfg.Thresholds {
+		if v < th {
+			level++
+		}
+	}
+	if level == e.level {
+		return
+	}
+	rising := level > e.level
+	e.level = level
+	if rising && level > 0 {
+		c := e.env.Cache
+		for s := 0; s < c.Sets(); s++ {
+			e.enforce(s)
+		}
+	}
+}
+
+// AfterAccess implements predictor.Predictor: re-demand of a gated block
+// in the sample set updates R_WrongKill.
+func (e *EDBP) AfterAccess(res cache.AccessResult) {
+	if res.WrongKill && res.Set == e.cfg.SampleSet {
+		addr := e.env.Cache.BlockAddr(res.Set, e.env.Cache.Block(res.Set, res.Way).Tag)
+		if e.removeFromBuffer(addr) {
+			e.rWrongKill++
+			e.totalWrongKill++
+		}
+	}
+}
+
+// enforce applies the current level's gating rule to one set. Enforcement
+// is one-shot per threshold crossing ("whenever capacitor voltage dips
+// below a threshold V_i, the corresponding i-th LRU clean blocks are
+// turned off", Section V-B): blocks refilled after the crossing stay
+// powered until the next crossing.
+func (e *EDBP) enforce(set int) {
+	c := e.env.Cache
+	ways := c.Ways()
+	if ways == 1 {
+		// Direct-mapped: the single threshold gates the lone block
+		// (Section VI-H3), dirty or clean.
+		e.gate(set, 0)
+		return
+	}
+	rank := c.Policy().Rank(set, e.rankBuf[:0])
+	maxLevel := len(e.cfg.Thresholds)
+	if e.level >= maxLevel {
+		// Lowest threshold crossed: outage imminent — gate every non-MRU
+		// block, dirty ones included (they are written back).
+		for _, w := range rank[1:] {
+			e.gate(set, w)
+		}
+		return
+	}
+	// Intermediate level i: gate the i LRU-most clean blocks, never MRU.
+	remaining := e.level
+	for j := len(rank) - 1; j >= 1 && remaining > 0; j-- {
+		b := c.Block(set, rank[j])
+		if !b.Live() {
+			remaining-- // an already-off way counts toward the quota
+			continue
+		}
+		if b.Dirty {
+			continue // clean-first principle (Section V-A)
+		}
+		e.gate(set, rank[j])
+		remaining--
+	}
+}
+
+func (e *EDBP) gate(set, way int) {
+	b := e.env.Cache.Block(set, way)
+	if !b.Live() {
+		return
+	}
+	addr := e.env.Cache.BlockAddr(set, b.Tag)
+	e.env.GateBlock(set, way)
+	e.totalGated++
+	if set == e.cfg.SampleSet {
+		e.rTotal++
+		e.pushBuffer(addr)
+	}
+}
+
+func (e *EDBP) pushBuffer(addr uint64) {
+	if len(e.buffer) == e.cfg.BufferSize {
+		copy(e.buffer, e.buffer[1:]) // evict the oldest entry
+		e.buffer = e.buffer[:len(e.buffer)-1]
+	}
+	e.buffer = append(e.buffer, addr)
+}
+
+func (e *EDBP) removeFromBuffer(addr uint64) bool {
+	for i, a := range e.buffer {
+		if a == addr {
+			e.buffer = append(e.buffer[:i], e.buffer[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Tick implements predictor.Predictor (EDBP is voltage-, not time-driven).
+func (e *EDBP) Tick(uint64) {}
+
+// OnCheckpoint implements predictor.Predictor. The per-cycle statistics
+// are part of the JIT checkpoint; nothing else to do — the registers live
+// in this struct across the simulated outage exactly as they live in the
+// NV twin cells in hardware.
+func (e *EDBP) OnCheckpoint() {}
+
+// OnReboot implements predictor.Predictor: compute the false positive
+// rate of the finished cycle and adapt the thresholds (Section V-B1).
+func (e *EDBP) OnReboot() {
+	if e.rTotal > 0 {
+		e.rFPR = float64(e.rWrongKill) / float64(e.rTotal)
+		if e.rFPR > e.cfg.FPRRef {
+			// Too many live blocks killed: act later (closer to the
+			// outage) by lowering every threshold 50 mV.
+			stepped := false
+			for i := range e.cfg.Thresholds {
+				lowered := e.cfg.Thresholds[i] - e.cfg.StepDown
+				if lowered < e.cfg.MinThreshold {
+					lowered = e.cfg.MinThreshold
+				}
+				if lowered != e.cfg.Thresholds[i] {
+					e.cfg.Thresholds[i] = lowered
+					stepped = true
+				}
+			}
+			if stepped {
+				e.adaptationsDn++
+			}
+		} else {
+			// Healthy rate: reset to the initial ladder if it was lowered.
+			reset := false
+			for i := range e.cfg.Thresholds {
+				if e.cfg.Thresholds[i] != e.initial[i] {
+					e.cfg.Thresholds[i] = e.initial[i]
+					reset = true
+				}
+			}
+			if reset {
+				e.adaptationsRst++
+			}
+		}
+	}
+	e.rWrongKill, e.rTotal = 0, 0
+	e.buffer = e.buffer[:0]
+	e.level = 0
+}

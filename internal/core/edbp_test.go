@@ -1,0 +1,348 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"edbp/internal/cache"
+	"edbp/internal/predictor"
+)
+
+const (
+	vCkpt = 3.2
+	vRst  = 3.4
+)
+
+func testEDBP(t *testing.T, ways int, cfg *Config) (*EDBP, *cache.Cache) {
+	t.Helper()
+	c, err := cache.New(cache.Config{
+		SizeBytes: 16 * ways * 8, BlockBytes: 16, Ways: ways,
+		Policy: cache.LRU, Power: cache.GateInvalid,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := DefaultConfig(ways, vCkpt, vRst)
+	if cfg != nil {
+		conf = *cfg
+	}
+	e, err := New(conf, ways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Attach(predictor.Env{
+		Cache:     c,
+		GateBlock: func(set, way int) { c.Gate(set, way) },
+		ClockHz:   25e6,
+	})
+	return e, c
+}
+
+func TestDefaultThresholds(t *testing.T) {
+	th := DefaultThresholds(4, vCkpt, vRst)
+	if len(th) != 3 {
+		t.Fatalf("4-way cache needs 3 thresholds, got %d", len(th))
+	}
+	for i := 1; i < len(th); i++ {
+		if th[i] >= th[i-1] {
+			t.Fatalf("thresholds not descending: %v", th)
+		}
+	}
+	for _, v := range th {
+		if v <= vCkpt || v >= vRst {
+			t.Fatalf("threshold %g outside the operating band (%g, %g)", v, vCkpt, vRst)
+		}
+	}
+	// Direct-mapped: exactly one threshold (Section VI-H3).
+	if got := DefaultThresholds(1, vCkpt, vRst); len(got) != 1 {
+		t.Fatalf("direct-mapped thresholds = %v, want one", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig(4, vCkpt, vRst)
+	if err := good.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Thresholds = []float64{3.3, 3.25} // wrong count for 4-way
+	if err := bad.Validate(4); err == nil {
+		t.Error("wrong threshold count accepted")
+	}
+	bad = good
+	bad.Thresholds = []float64{3.25, 3.3, 3.35} // ascending
+	if err := bad.Validate(4); err == nil {
+		t.Error("ascending thresholds accepted")
+	}
+	bad = good
+	bad.BufferSize = 0
+	if err := bad.Validate(4); err == nil {
+		t.Error("zero buffer accepted")
+	}
+	bad = good
+	bad.FPRRef = 2
+	if err := bad.Validate(4); err == nil {
+		t.Error("FPR reference > 1 accepted")
+	}
+	bad = good
+	bad.StepDown = -1
+	if err := bad.Validate(4); err == nil {
+		t.Error("negative step accepted")
+	}
+}
+
+func TestLevelTracksVoltage(t *testing.T) {
+	e, _ := testEDBP(t, 4, nil)
+	th := e.Thresholds()
+	e.OnVoltage(vRst) // well above all thresholds
+	if e.Level() != 0 {
+		t.Fatalf("level at Vrst = %d, want 0", e.Level())
+	}
+	e.OnVoltage(th[0] - 0.001)
+	if e.Level() != 1 {
+		t.Fatalf("level below first threshold = %d, want 1", e.Level())
+	}
+	e.OnVoltage(th[2] - 0.001)
+	if e.Level() != 3 {
+		t.Fatalf("level below last threshold = %d, want 3", e.Level())
+	}
+	// Voltage recovery lowers the level without un-gating.
+	e.OnVoltage(vRst)
+	if e.Level() != 0 {
+		t.Fatalf("level after recovery = %d, want 0", e.Level())
+	}
+}
+
+// fillSet loads 4 distinct tags into set 0, making tag 0 the LRU.
+func fillSet(c *cache.Cache, dirty [4]bool) {
+	sets := uint64(c.Sets())
+	for tag := 0; tag < 4; tag++ {
+		c.Access(uint64(tag)*sets*16, dirty[tag])
+	}
+}
+
+func TestLevel1GatesLRUCleanOnly(t *testing.T) {
+	e, c := testEDBP(t, 4, nil)
+	fillSet(c, [4]bool{false, false, false, false})
+	th := e.Thresholds()
+	e.OnVoltage(th[0] - 0.001) // level 1
+
+	live := 0
+	for w := 0; w < 4; w++ {
+		if c.Block(0, w).Live() {
+			live++
+		}
+	}
+	if live != 3 {
+		t.Fatalf("level 1 left %d live blocks, want 3 (only the LRU gated)", live)
+	}
+	// The MRU (tag 3) must be alive.
+	if way, _ := c.Lookup(3 * uint64(c.Sets()) * 16); way < 0 {
+		t.Fatal("MRU block was gated")
+	}
+	// The LRU (tag 0) must be gone.
+	if way, _ := c.Lookup(0); way >= 0 {
+		t.Fatal("LRU block survived level 1")
+	}
+}
+
+func TestIntermediateLevelSkipsDirty(t *testing.T) {
+	e, c := testEDBP(t, 4, nil)
+	// LRU block (tag 0) is dirty: at level 1 it must be skipped
+	// (clean-first principle), leaving everything live except... nothing.
+	fillSet(c, [4]bool{true, false, false, false})
+	th := e.Thresholds()
+	e.OnVoltage(th[0] - 0.001)
+	if !c.Block(0, 0).Live() {
+		t.Fatal("dirty LRU block gated at an intermediate level")
+	}
+}
+
+func TestMaxLevelGatesAllNonMRU(t *testing.T) {
+	e, c := testEDBP(t, 4, nil)
+	fillSet(c, [4]bool{true, true, false, false})
+	th := e.Thresholds()
+	e.OnVoltage(th[2] - 0.001) // lowest threshold: outage imminent
+
+	live := 0
+	for w := 0; w < 4; w++ {
+		if c.Block(0, w).Live() {
+			live++
+		}
+	}
+	if live != 1 {
+		t.Fatalf("max level left %d live blocks, want 1 (the MRU)", live)
+	}
+	if way, _ := c.Lookup(3 * uint64(c.Sets()) * 16); way < 0 {
+		t.Fatal("MRU block was gated at max level")
+	}
+}
+
+func TestDirectMappedGatesEverything(t *testing.T) {
+	e, c := testEDBP(t, 1, nil)
+	c.Access(0x0, true)
+	th := e.Thresholds()
+	e.OnVoltage(th[0] - 0.001)
+	if c.Block(0, 0).Live() {
+		t.Fatal("direct-mapped EDBP must gate its block at the threshold")
+	}
+}
+
+func TestFPRAdaptationStepsDown(t *testing.T) {
+	cfg := DefaultConfig(4, vCkpt, vRst)
+	cfg.FPRRef = 0.05
+	e, c := testEDBP(t, 4, &cfg)
+	initial := e.Thresholds()
+
+	// Sample set is 0. Gate blocks there, then re-demand them so every
+	// kill is wrong.
+	fillSet(c, [4]bool{false, false, false, false})
+	e.OnVoltage(initial[0] - 0.001) // gates the LRU of set 0
+	res := c.Access(0x0, false)     // re-demand: wrong kill
+	if !res.WrongKill {
+		t.Fatal("expected a wrong-kill miss")
+	}
+	e.AfterAccess(res)
+	e.OnCheckpoint()
+	e.OnReboot()
+	if e.FPR() != 1.0 {
+		t.Fatalf("FPR = %g, want 1.0 (every kill wrong)", e.FPR())
+	}
+	after := e.Thresholds()
+	for i := range after {
+		if math.Abs(after[i]-(initial[i]-cfg.StepDown)) > 1e-12 && after[i] != cfg.MinThreshold {
+			t.Fatalf("threshold %d = %g, want %g − 50 mV", i, after[i], initial[i])
+		}
+	}
+	_, _, down, _ := e.Stats()
+	if down != 1 {
+		t.Fatalf("steps down = %d, want 1", down)
+	}
+}
+
+func TestFPRAdaptationResets(t *testing.T) {
+	e, c := testEDBP(t, 4, nil)
+	initial := e.Thresholds()
+
+	// Cycle 1: force a step down.
+	fillSet(c, [4]bool{false, false, false, false})
+	e.OnVoltage(initial[0] - 0.001)
+	r := c.Access(0x0, false)
+	e.AfterAccess(r)
+	e.OnReboot()
+
+	// Cycle 2: gating with no wrong kills → reset to initial.
+	fillSet(c, [4]bool{false, false, false, false})
+	e.OnVoltage(initial[len(initial)-1] - 0.001)
+	e.OnReboot()
+	after := e.Thresholds()
+	for i := range after {
+		if after[i] != initial[i] {
+			t.Fatalf("thresholds not reset: %v vs %v", after, initial)
+		}
+	}
+	_, _, _, resets := e.Stats()
+	if resets != 1 {
+		t.Fatalf("resets = %d, want 1", resets)
+	}
+}
+
+func TestAdaptationClampsAtMinThreshold(t *testing.T) {
+	cfg := DefaultConfig(4, vCkpt, vRst)
+	e, c := testEDBP(t, 4, &cfg)
+	// Force many step-downs.
+	for cycle := 0; cycle < 20; cycle++ {
+		fillSet(c, [4]bool{false, false, false, false})
+		th := e.Thresholds()
+		e.OnVoltage(th[0] - 0.001)
+		r := c.Access(0x0, false)
+		e.AfterAccess(r)
+		e.OnReboot()
+		c.InvalidateAll()
+	}
+	for _, v := range e.Thresholds() {
+		if v < cfg.MinThreshold {
+			t.Fatalf("threshold %g fell below the floor %g", v, cfg.MinThreshold)
+		}
+	}
+}
+
+func TestDeactivationBufferFIFO(t *testing.T) {
+	cfg := DefaultConfig(4, vCkpt, vRst)
+	cfg.BufferSize = 2
+	e, c := testEDBP(t, 4, &cfg)
+	// Gate 3 blocks in the sample set at max level: the first address
+	// falls out of the 2-entry buffer.
+	fillSet(c, [4]bool{false, false, false, false})
+	th := e.Thresholds()
+	e.OnVoltage(th[2] - 0.001) // gates 3 non-MRU blocks
+
+	// Gating order at max level walks rank[1:] MRU-adjacent first, so the
+	// buffer (capacity 2) holds the two most recently gated addresses —
+	// tags 1 and 0 — and tag 2's entry was evicted. Re-demanding tag 2
+	// therefore goes uncounted: the sampling approximation the paper
+	// accepts.
+	r := c.Access(2*uint64(c.Sets())*16, false)
+	if !r.WrongKill {
+		t.Fatal("expected a wrong-kill miss on tag 2")
+	}
+	e.AfterAccess(r)
+	_, wrongKills, _, _ := e.Stats()
+	if wrongKills != 0 {
+		t.Fatalf("wrong kill counted despite buffer eviction: %d", wrongKills)
+	}
+	// Re-demand a block still in the buffer: counted.
+	r2 := c.Access(0x0, false)
+	e.AfterAccess(r2)
+	_, wrongKills, _, _ = e.Stats()
+	if wrongKills != 1 {
+		t.Fatalf("wrong kills = %d, want 1", wrongKills)
+	}
+}
+
+func TestRebootResetsCycleState(t *testing.T) {
+	e, c := testEDBP(t, 4, nil)
+	fillSet(c, [4]bool{false, false, false, false})
+	th := e.Thresholds()
+	e.OnVoltage(th[0] - 0.001)
+	if e.Level() == 0 {
+		t.Fatal("level should be raised before reboot")
+	}
+	e.OnReboot()
+	if e.Level() != 0 {
+		t.Fatal("reboot must clear the level")
+	}
+}
+
+func TestOneShotEnforcement(t *testing.T) {
+	e, c := testEDBP(t, 4, nil)
+	fillSet(c, [4]bool{false, false, false, false})
+	th := e.Thresholds()
+	e.OnVoltage(th[0] - 0.001)
+	gatedBefore, _, _, _ := e.Stats()
+
+	// Refill the gated block; at the same level no re-enforcement fires.
+	r := c.Access(0x0, false)
+	e.AfterAccess(r)
+	e.OnVoltage(th[0] - 0.002) // still level 1
+	gatedAfter, _, _, _ := e.Stats()
+	if gatedAfter != gatedBefore {
+		t.Fatalf("enforcement re-fired within a level: %d → %d", gatedBefore, gatedAfter)
+	}
+}
+
+func TestHardwareCost(t *testing.T) {
+	h := CostFor(256, 8)
+	if h.Comparators != 256 || h.Registers != 3 || h.BufferEntries != 8 {
+		t.Fatalf("inventory = %+v", h)
+	}
+	// The paper quotes ≈0.0098% of the 3.37 mm² core for the comparators;
+	// with buffer and registers the total stays well under 0.05%.
+	if h.AreaFraction <= 0 || h.AreaFraction > 0.0005 {
+		t.Fatalf("area fraction = %g, want a featherweight design", h.AreaFraction)
+	}
+	comparatorsOnly := h.ComparatorAreaMM2 / h.CoreAreaMM2
+	if math.Abs(comparatorsOnly-0.000098) > 1e-9 {
+		t.Fatalf("comparator fraction = %g, want 0.0098%%", comparatorsOnly)
+	}
+}

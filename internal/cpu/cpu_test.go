@@ -1,0 +1,124 @@
+package cpu
+
+import (
+	"testing"
+
+	"edbp/internal/workload"
+)
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := Default()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.CycleTime(); got != 40e-9 {
+		t.Fatalf("cycle time = %g, want 40ns at 25 MHz", got)
+	}
+	if got := cfg.ActivePower(); got != 4e-3 {
+		t.Fatalf("active power = %g, want 4 mW (160 µW/MHz × 25 MHz)", got)
+	}
+	if got := cfg.RegisterBytes(); got != 64 {
+		t.Fatalf("register file = %d B, want 64 (16 × 4)", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{ClockHz: 0, PowerPerMHz: 1, Registers: 16},
+		{ClockHz: 1e6, PowerPerMHz: -1, Registers: 16},
+		{ClockHz: 1e6, PowerPerMHz: 1, Registers: 0},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func regions() []workload.Region {
+	m := workload.NewMem()
+	r := m.NewRegion("hot", 64) // 4 blocks of 16 B
+	_ = r
+	m.Tick(1)
+	tr := m.Finish("x", 0)
+	return tr.Regions
+}
+
+func TestFetchPerBlockBoundary(t *testing.T) {
+	f := NewFetcher(regions(), 16)
+	var fetches []uint32
+	fetch := func(b uint32) { fetches = append(fetches, b) }
+
+	// 4 instructions fit in one 16 B block: exactly one fetch.
+	f.Step(4, fetch)
+	if len(fetches) != 1 {
+		t.Fatalf("4 instructions caused %d fetches, want 1", len(fetches))
+	}
+	// The 5th instruction crosses into the next block.
+	f.Step(1, fetch)
+	if len(fetches) != 2 {
+		t.Fatalf("5th instruction caused %d total fetches, want 2", len(fetches))
+	}
+	if fetches[1] != fetches[0]+16 {
+		t.Fatalf("second fetch at %#x, want %#x", fetches[1], fetches[0]+16)
+	}
+}
+
+func TestTopLevelWraps(t *testing.T) {
+	f := NewFetcher(regions(), 16)
+	blocks := map[uint32]bool{}
+	f.Step(4096, func(b uint32) { blocks[b] = true })
+	// Top-level code wraps within its implicit region: the set of
+	// distinct blocks is bounded by the region size, not the step count.
+	if len(blocks) > topLevelBytes/16 {
+		t.Fatalf("top-level execution touched %d blocks, want ≤ %d", len(blocks), topLevelBytes/16)
+	}
+}
+
+func TestEnterLeaveRestoresPC(t *testing.T) {
+	regs := regions()
+	f := NewFetcher(regs, 16)
+	fetch := func(uint32) {}
+	f.Step(2, fetch)
+	before := f.PC()
+	f.Enter(0, fetch)
+	if f.PC() != regs[0].Base {
+		t.Fatalf("PC after Enter = %#x, want region base %#x", f.PC(), regs[0].Base)
+	}
+	f.Step(3, fetch)
+	f.Leave(fetch)
+	// The Leave itself executed one instruction at the return site, so PC
+	// resumed from just after the call.
+	if got := f.PC(); got < before || got > before+16 {
+		t.Fatalf("PC after Leave = %#x, want near %#x", got, before)
+	}
+}
+
+func TestRegionWrap(t *testing.T) {
+	regs := regions() // 64-byte region
+	f := NewFetcher(regs, 16)
+	fetch := func(uint32) {}
+	f.Enter(0, fetch)
+	base := regs[0].Base
+	// Execute exactly the region's 16 instructions: the PC wraps to base.
+	f.Step(16, fetch)
+	if f.PC() != base {
+		t.Fatalf("PC after full region pass = %#x, want wrap to %#x", f.PC(), base)
+	}
+	// Fetches within the region stay within its blocks.
+	blocks := map[uint32]bool{}
+	f.Step(640, func(b uint32) { blocks[b] = true })
+	for b := range blocks {
+		if b < base || b >= base+regs[0].Size {
+			t.Fatalf("fetch at %#x outside region [%#x, %#x)", b, base, base+regs[0].Size)
+		}
+	}
+	if len(blocks) != 4 {
+		t.Fatalf("loop touched %d blocks, want all 4 of the region", len(blocks))
+	}
+}
+
+func TestLeaveOnEmptyStackIsSafe(t *testing.T) {
+	f := NewFetcher(regions(), 16)
+	f.Leave(func(uint32) {}) // must not panic
+}

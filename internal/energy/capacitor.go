@@ -1,0 +1,174 @@
+// Package energy models the power-supply side of an energy harvesting
+// system: the buffering capacitor, the ambient harvesting source, and the
+// voltage monitor that drives just-in-time (JIT) checkpointing.
+//
+// The capacitor stores E = ½·C·V² joules. Program execution drains it,
+// harvesting charges it, and the voltage monitor compares V against the
+// checkpoint/restore thresholds (Vckpt/Vrst) that delimit a power cycle.
+package energy
+
+import (
+	"fmt"
+	"math"
+)
+
+// CapacitorConfig describes the energy buffer of an intermittent system.
+type CapacitorConfig struct {
+	// Capacitance in farads (paper default: 0.47 µF).
+	Capacitance float64
+	// VMax is the maximum (fully charged) voltage; harvesting beyond this
+	// point is discarded by the regulator (paper default: 3.5 V).
+	VMax float64
+	// VMin is the brown-out voltage at which the hardware stops operating
+	// entirely (paper default: 2.8 V). The region between Vckpt and VMin is
+	// the energy reserved for failure-atomic checkpointing.
+	VMin float64
+	// LeakTau is the self-discharge time constant in seconds (R·C). Larger
+	// capacitors leak proportionally more power at the same voltage, which
+	// is why the paper notes that over-provisioned capacitors waste energy.
+	LeakTau float64
+}
+
+// DefaultCapacitor returns the paper's Table II capacitor configuration.
+func DefaultCapacitor() CapacitorConfig {
+	return CapacitorConfig{
+		Capacitance: 0.47e-6,
+		VMax:        3.5,
+		VMin:        2.8,
+		LeakTau:     50,
+	}
+}
+
+// Validate reports a descriptive error for physically meaningless configs.
+func (c CapacitorConfig) Validate() error {
+	switch {
+	case c.Capacitance <= 0:
+		return fmt.Errorf("energy: capacitance must be positive, got %g", c.Capacitance)
+	case c.VMax <= 0 || c.VMin < 0:
+		return fmt.Errorf("energy: voltages must be positive, got VMax=%g VMin=%g", c.VMax, c.VMin)
+	case c.VMin >= c.VMax:
+		return fmt.Errorf("energy: VMin (%g) must be below VMax (%g)", c.VMin, c.VMax)
+	case c.LeakTau < 0:
+		return fmt.Errorf("energy: leak time constant must be non-negative, got %g", c.LeakTau)
+	}
+	return nil
+}
+
+// Capacitor is the mutable state of the energy buffer during simulation.
+// The zero value is unusable; construct with NewCapacitor.
+type Capacitor struct {
+	cfg CapacitorConfig
+	v   float64 // current voltage
+
+	// Accumulated bookkeeping for the energy breakdown.
+	leaked    float64 // self-discharge losses (J)
+	harvested float64 // energy accepted from the source (J)
+	wasted    float64 // harvested energy discarded because the cap was full (J)
+	drained   float64 // energy delivered to the load (J)
+}
+
+// NewCapacitor returns a capacitor charged to VMax.
+func NewCapacitor(cfg CapacitorConfig) (*Capacitor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Capacitor{cfg: cfg, v: cfg.VMax}, nil
+}
+
+// Config returns the immutable configuration.
+func (c *Capacitor) Config() CapacitorConfig { return c.cfg }
+
+// Voltage returns the current capacitor voltage in volts.
+func (c *Capacitor) Voltage() float64 { return c.v }
+
+// SetVoltage forces the voltage, clamped to [0, VMax]. Used by tests and by
+// the simulator when modelling a cold boot.
+func (c *Capacitor) SetVoltage(v float64) {
+	c.v = math.Max(0, math.Min(v, c.cfg.VMax))
+}
+
+// Stored returns the total energy currently stored, ½CV².
+func (c *Capacitor) Stored() float64 {
+	return 0.5 * c.cfg.Capacitance * c.v * c.v
+}
+
+// Usable returns the energy available above the brown-out voltage VMin:
+// ½C(V²−VMin²), or 0 when already below VMin.
+func (c *Capacitor) Usable() float64 {
+	if c.v <= c.cfg.VMin {
+		return 0
+	}
+	return 0.5 * c.cfg.Capacitance * (c.v*c.v - c.cfg.VMin*c.cfg.VMin)
+}
+
+// energyToVoltage converts a stored energy back to a voltage.
+func (c *Capacitor) energyToVoltage(e float64) float64 {
+	if e <= 0 {
+		return 0
+	}
+	return math.Sqrt(2 * e / c.cfg.Capacitance)
+}
+
+// Drain removes up to e joules from the capacitor and returns the energy
+// actually delivered (less than e if the capacitor hit 0 V first).
+func (c *Capacitor) Drain(e float64) float64 {
+	if e <= 0 {
+		return 0
+	}
+	stored := c.Stored()
+	taken := math.Min(e, stored)
+	c.v = c.energyToVoltage(stored - taken)
+	c.drained += taken
+	return taken
+}
+
+// Charge adds e joules from the harvesting source, clamping at VMax.
+// Energy above the clamp is recorded as wasted (the regulator burns it).
+func (c *Capacitor) Charge(e float64) {
+	if e <= 0 {
+		return
+	}
+	c.harvested += e
+	max := 0.5 * c.cfg.Capacitance * c.cfg.VMax * c.cfg.VMax
+	stored := c.Stored() + e
+	if stored > max {
+		c.wasted += stored - max
+		stored = max
+	}
+	c.v = c.energyToVoltage(stored)
+}
+
+// Leak applies self-discharge over dt seconds: V decays with time constant
+// LeakTau (exponential RC discharge). A LeakTau of 0 disables leakage.
+func (c *Capacitor) Leak(dt float64) {
+	if c.cfg.LeakTau <= 0 || dt <= 0 || c.v <= 0 {
+		return
+	}
+	before := c.Stored()
+	// Energy decays twice as fast as voltage: E ∝ V².
+	c.v *= math.Exp(-dt / c.cfg.LeakTau)
+	c.leaked += before - c.Stored()
+}
+
+// Step advances the capacitor by dt seconds with the given harvested input
+// power and load power (both in watts). It returns the energy actually
+// delivered to the load; a shortfall means the capacitor bottomed out.
+func (c *Capacitor) Step(dt, harvestPower, loadPower float64) (delivered float64) {
+	if dt <= 0 {
+		return 0
+	}
+	c.Charge(harvestPower * dt)
+	c.Leak(dt)
+	return c.Drain(loadPower * dt)
+}
+
+// Totals reports the accumulated energy bookkeeping in joules.
+func (c *Capacitor) Totals() (harvested, drained, leaked, wasted float64) {
+	return c.harvested, c.drained, c.leaked, c.wasted
+}
+
+// ResetTotals clears the accumulated bookkeeping without touching the
+// electrical state.
+func (c *Capacitor) ResetTotals() {
+	c.harvested, c.drained, c.leaked, c.wasted = 0, 0, 0, 0
+}

@@ -1,0 +1,189 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustCap(t *testing.T, cfg CapacitorConfig) *Capacitor {
+	t.Helper()
+	c, err := NewCapacitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCapacitorStartsFull(t *testing.T) {
+	c := mustCap(t, DefaultCapacitor())
+	if got, want := c.Voltage(), 3.5; got != want {
+		t.Fatalf("initial voltage = %g, want %g", got, want)
+	}
+}
+
+func TestCapacitorEnergyVoltageRelation(t *testing.T) {
+	c := mustCap(t, DefaultCapacitor())
+	// E = ½CV²: at 3.5 V with 0.47 µF that is 2.87875 µJ.
+	want := 0.5 * 0.47e-6 * 3.5 * 3.5
+	if got := c.Stored(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("stored = %g J, want %g J", got, want)
+	}
+}
+
+func TestUsableReservesVMin(t *testing.T) {
+	c := mustCap(t, DefaultCapacitor())
+	want := 0.5 * 0.47e-6 * (3.5*3.5 - 2.8*2.8)
+	if got := c.Usable(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("usable = %g, want %g", got, want)
+	}
+	c.SetVoltage(2.0)
+	if got := c.Usable(); got != 0 {
+		t.Fatalf("usable below VMin = %g, want 0", got)
+	}
+}
+
+func TestDrainConservation(t *testing.T) {
+	c := mustCap(t, DefaultCapacitor())
+	before := c.Stored()
+	got := c.Drain(1e-6)
+	if math.Abs(got-1e-6) > 1e-15 {
+		t.Fatalf("drained %g, want 1e-6", got)
+	}
+	if math.Abs(before-c.Stored()-1e-6) > 1e-15 {
+		t.Fatalf("energy not conserved: before=%g after=%g", before, c.Stored())
+	}
+}
+
+func TestDrainClampsAtEmpty(t *testing.T) {
+	c := mustCap(t, DefaultCapacitor())
+	stored := c.Stored()
+	got := c.Drain(1) // far more than stored
+	if math.Abs(got-stored) > 1e-15 {
+		t.Fatalf("over-drain delivered %g, want %g", got, stored)
+	}
+	if c.Voltage() != 0 {
+		t.Fatalf("voltage after full drain = %g, want 0", c.Voltage())
+	}
+}
+
+func TestChargeClampsAtVMax(t *testing.T) {
+	c := mustCap(t, DefaultCapacitor())
+	c.SetVoltage(3.4)
+	c.Charge(1) // huge
+	if got := c.Voltage(); math.Abs(got-3.5) > 1e-12 {
+		t.Fatalf("voltage after over-charge = %g, want 3.5", got)
+	}
+	_, _, _, wasted := c.Totals()
+	if wasted <= 0 {
+		t.Fatal("over-charge recorded no wasted energy")
+	}
+}
+
+func TestLeakDecaysVoltage(t *testing.T) {
+	cfg := DefaultCapacitor()
+	cfg.LeakTau = 1.0
+	c := mustCap(t, cfg)
+	c.Leak(0.5)
+	want := 3.5 * math.Exp(-0.5)
+	if got := c.Voltage(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("voltage after leak = %g, want %g", got, want)
+	}
+	_, _, leaked, _ := c.Totals()
+	if leaked <= 0 {
+		t.Fatal("leak recorded no energy loss")
+	}
+}
+
+func TestLeakDisabled(t *testing.T) {
+	cfg := DefaultCapacitor()
+	cfg.LeakTau = 0
+	c := mustCap(t, cfg)
+	c.Leak(100)
+	if c.Voltage() != 3.5 {
+		t.Fatalf("voltage changed with leak disabled: %g", c.Voltage())
+	}
+}
+
+func TestStepBalancesHarvestAndLoad(t *testing.T) {
+	cfg := DefaultCapacitor()
+	cfg.LeakTau = 0
+	c := mustCap(t, cfg)
+	c.SetVoltage(3.0)
+	before := c.Stored()
+	// Harvest == load over a step small enough not to hit the VMax clamp.
+	delivered := c.Step(1e-4, 2e-3, 2e-3)
+	if math.Abs(delivered-2e-7) > 1e-13 {
+		t.Fatalf("delivered %g, want 2e-7", delivered)
+	}
+	if math.Abs(c.Stored()-before) > 1e-12 {
+		t.Fatalf("balanced step changed stored energy by %g", c.Stored()-before)
+	}
+}
+
+func TestCapacitorInvariants(t *testing.T) {
+	// Property: under arbitrary step sequences the voltage stays within
+	// [0, VMax] and stored energy is consistent with the voltage.
+	cfg := DefaultCapacitor()
+	f := func(ops []uint8) bool {
+		c, err := NewCapacitor(cfg)
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				c.Charge(float64(op) * 1e-8)
+			case 1:
+				c.Drain(float64(op) * 1e-8)
+			case 2:
+				c.Step(1e-4, float64(op)*1e-4, float64(op%7)*1e-4)
+			}
+			v := c.Voltage()
+			if v < 0 || v > cfg.VMax+1e-12 {
+				return false
+			}
+			if math.Abs(c.Stored()-0.5*cfg.Capacitance*v*v) > 1e-15 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapacitorConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*CapacitorConfig)
+	}{
+		{"zero capacitance", func(c *CapacitorConfig) { c.Capacitance = 0 }},
+		{"negative capacitance", func(c *CapacitorConfig) { c.Capacitance = -1 }},
+		{"vmin above vmax", func(c *CapacitorConfig) { c.VMin = 4 }},
+		{"negative leak tau", func(c *CapacitorConfig) { c.LeakTau = -1 }},
+		{"zero vmax", func(c *CapacitorConfig) { c.VMax = 0 }},
+	}
+	for _, tc := range cases {
+		cfg := DefaultCapacitor()
+		tc.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid config", tc.name)
+		}
+	}
+	if err := DefaultCapacitor().Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestResetTotals(t *testing.T) {
+	c := mustCap(t, DefaultCapacitor())
+	c.Drain(1e-6)
+	c.Charge(1e-6)
+	c.ResetTotals()
+	h, d, l, w := c.Totals()
+	if h != 0 || d != 0 || l != 0 || w != 0 {
+		t.Fatalf("totals not reset: %g %g %g %g", h, d, l, w)
+	}
+}

@@ -1,0 +1,99 @@
+package energy
+
+import "fmt"
+
+// MonitorConfig holds the JIT-checkpointing voltage thresholds.
+//
+// The monitor continuously compares the capacitor voltage against Vckpt:
+// dipping below it means power failure is imminent and volatile state must
+// be checkpointed using the energy reserved between Vckpt and VMin. After
+// the outage, execution resumes once harvesting lifts the voltage above
+// Vrst (> Vckpt, providing hysteresis so the system does not oscillate).
+type MonitorConfig struct {
+	VCkpt float64 // checkpoint trigger threshold (paper default: 3.2 V)
+	VRst  float64 // restore threshold (paper default: 3.4 V)
+}
+
+// DefaultMonitor returns the paper's Table II monitor thresholds.
+func DefaultMonitor() MonitorConfig {
+	return MonitorConfig{VCkpt: 3.2, VRst: 3.4}
+}
+
+// Validate checks the thresholds against the capacitor's operating range.
+func (m MonitorConfig) Validate(cap CapacitorConfig) error {
+	switch {
+	case m.VCkpt <= cap.VMin:
+		return fmt.Errorf("energy: Vckpt (%g) must be above VMin (%g) to reserve checkpoint energy", m.VCkpt, cap.VMin)
+	case m.VRst <= m.VCkpt:
+		return fmt.Errorf("energy: Vrst (%g) must be above Vckpt (%g) for hysteresis", m.VRst, m.VCkpt)
+	case m.VRst > cap.VMax:
+		return fmt.Errorf("energy: Vrst (%g) must not exceed VMax (%g)", m.VRst, cap.VMax)
+	}
+	return nil
+}
+
+// State is the coarse power state of the intermittent system.
+type State int
+
+const (
+	// On means the system is executing (V stayed above Vckpt).
+	On State = iota
+	// Off means the system is hibernating and recharging (V fell below
+	// Vckpt and has not yet recovered above Vrst).
+	Off
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	if s == On {
+		return "on"
+	}
+	return "off"
+}
+
+// Monitor is the voltage comparator with hysteresis. It mirrors the
+// dedicated low-power monitor circuit of JIT-checkpointing systems
+// (Hibernus, QuickRecall): the simulator polls it after every event.
+type Monitor struct {
+	cfg   MonitorConfig
+	state State
+}
+
+// NewMonitor returns a monitor in the On state.
+func NewMonitor(cfg MonitorConfig) *Monitor {
+	return &Monitor{cfg: cfg, state: On}
+}
+
+// Config returns the monitor thresholds.
+func (m *Monitor) Config() MonitorConfig { return m.cfg }
+
+// State returns the current power state.
+func (m *Monitor) State() State { return m.state }
+
+// Observe updates the monitor with the current capacitor voltage and
+// reports whether a transition happened:
+//
+//   - checkpoint == true: V just dipped below Vckpt; the caller must take a
+//     JIT checkpoint and power down.
+//   - restore == true: V just recovered above Vrst; the caller must restore
+//     state and resume execution.
+//
+// At most one of the two is true for a single observation.
+func (m *Monitor) Observe(v float64) (checkpoint, restore bool) {
+	switch m.state {
+	case On:
+		if v < m.cfg.VCkpt {
+			m.state = Off
+			return true, false
+		}
+	case Off:
+		if v >= m.cfg.VRst {
+			m.state = On
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// Reset forces the monitor back to the On state (used at simulation start).
+func (m *Monitor) Reset() { m.state = On }

@@ -1,0 +1,90 @@
+package energy
+
+import "testing"
+
+func TestMonitorHysteresis(t *testing.T) {
+	m := NewMonitor(DefaultMonitor())
+	if m.State() != On {
+		t.Fatal("monitor must start On")
+	}
+
+	// Above Vckpt: nothing happens.
+	if ck, rst := m.Observe(3.3); ck || rst {
+		t.Fatal("no transition expected at 3.3 V while On")
+	}
+
+	// Dip below Vckpt: exactly one checkpoint signal.
+	ck, rst := m.Observe(3.19)
+	if !ck || rst {
+		t.Fatalf("want checkpoint at 3.19 V, got ck=%v rst=%v", ck, rst)
+	}
+	if m.State() != Off {
+		t.Fatal("monitor must be Off after checkpoint")
+	}
+
+	// Still below Vrst: no restore, and no repeated checkpoint.
+	if ck, rst := m.Observe(3.3); ck || rst {
+		t.Fatal("no transition expected at 3.3 V while Off (hysteresis)")
+	}
+
+	// Recover above Vrst: exactly one restore signal.
+	ck, rst = m.Observe(3.41)
+	if ck || !rst {
+		t.Fatalf("want restore at 3.41 V, got ck=%v rst=%v", ck, rst)
+	}
+	if m.State() != On {
+		t.Fatal("monitor must be On after restore")
+	}
+}
+
+func TestMonitorRepeatedCycles(t *testing.T) {
+	m := NewMonitor(DefaultMonitor())
+	cycles := 0
+	for i := 0; i < 10; i++ {
+		if ck, _ := m.Observe(3.0); ck {
+			cycles++
+		}
+		if _, rst := m.Observe(3.45); rst {
+			continue
+		}
+		t.Fatalf("cycle %d: restore not signalled", i)
+	}
+	if cycles != 10 {
+		t.Fatalf("got %d checkpoint signals, want 10", cycles)
+	}
+}
+
+func TestMonitorReset(t *testing.T) {
+	m := NewMonitor(DefaultMonitor())
+	m.Observe(3.0)
+	m.Reset()
+	if m.State() != On {
+		t.Fatal("Reset must return the monitor to On")
+	}
+}
+
+func TestMonitorConfigValidate(t *testing.T) {
+	capCfg := DefaultCapacitor()
+	cases := []struct {
+		name string
+		cfg  MonitorConfig
+	}{
+		{"vckpt below vmin", MonitorConfig{VCkpt: 2.7, VRst: 3.4}},
+		{"vrst below vckpt", MonitorConfig{VCkpt: 3.2, VRst: 3.1}},
+		{"vrst above vmax", MonitorConfig{VCkpt: 3.2, VRst: 3.6}},
+	}
+	for _, tc := range cases {
+		if err := tc.cfg.Validate(capCfg); err == nil {
+			t.Errorf("%s: Validate accepted invalid config", tc.name)
+		}
+	}
+	if err := DefaultMonitor().Validate(capCfg); err != nil {
+		t.Errorf("default rejected: %v", err)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if On.String() != "on" || Off.String() != "off" {
+		t.Fatalf("state strings: %q %q", On.String(), Off.String())
+	}
+}

@@ -1,0 +1,275 @@
+package energy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Source is an ambient energy harvesting source. Power reports the
+// instantaneous harvested power (in watts, after rectification and
+// regulation) at simulation time t (in seconds). Implementations must be
+// deterministic: the same t always yields the same power, so that every
+// scheme replayed against the source sees an identical supply.
+type Source interface {
+	Power(t float64) float64
+	Name() string
+}
+
+// TraceKind identifies one of the paper's four real-world harvesting
+// environments. The paper uses measured traces from NVPsim [23] and
+// Mementos [55]; we substitute seeded synthetic generators with matching
+// qualitative statistics (see DESIGN.md §2): the RF sources are weak and
+// bursty (frequent power outages), thermal is moderate and stable, and
+// solar is strong with slow variation (rare outages).
+type TraceKind int
+
+const (
+	// RFHome models RF harvesting in a home environment: the weakest and
+	// burstiest source, producing the most frequent power failures. This is
+	// the paper's default trace.
+	RFHome TraceKind = iota
+	// RFOffice models RF harvesting in an office: slightly stronger and
+	// steadier than RFHome but still outage-heavy.
+	RFOffice
+	// Thermal models a thermoelectric source: moderate power, stable.
+	Thermal
+	// Solar models an indoor photovoltaic source: the strongest supply
+	// with slow variation; power cycles are long and outages rare.
+	Solar
+)
+
+// TraceKinds lists all supported harvesting environments in the order the
+// paper presents them.
+var TraceKinds = []TraceKind{RFHome, RFOffice, Thermal, Solar}
+
+// String implements fmt.Stringer.
+func (k TraceKind) String() string {
+	switch k {
+	case RFHome:
+		return "RFHome"
+	case RFOffice:
+		return "RFOffice"
+	case Thermal:
+		return "Thermal"
+	case Solar:
+		return "Solar"
+	default:
+		return fmt.Sprintf("TraceKind(%d)", int(k))
+	}
+}
+
+// ParseTraceKind converts a case-insensitive trace name to its kind.
+func ParseTraceKind(s string) (TraceKind, error) {
+	for _, k := range TraceKinds {
+		if equalFold(s, k.String()) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("energy: unknown trace %q (want one of RFHome, RFOffice, Thermal, Solar)", s)
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// traceParams are the generator knobs for one harvesting environment. The
+// generator is a three-state Markov-modulated process:
+//
+//   - HIGH: harvest exceeds the system's ~10 mW active load — sustained
+//     execution, the capacitor rides at VMax.
+//   - MID: harvest sits just below the load — the capacitor drains slowly
+//     through the voltage band where EDBP's thresholds live, producing
+//     the gradual zombie onset of Figure 4 and periodic shallow outages.
+//   - LOW: a lull — rapid drain, outage, hibernation until recovery.
+type traceParams struct {
+	levels [3]float64 // HIGH, MID, LOW harvested power (W)
+	probs  [3]float64 // state selection weights
+	dwell  [3]float64 // mean dwell time per state (s)
+	jitter float64    // relative within-state power noise (0..1)
+}
+
+// params returns generator knobs calibrated so that, against the system's active load (~10 mW average, ~20 mW in miss-heavy phases) of the default configuration, the outage-frequency
+// ordering matches Section VI-H6: RFHome > RFOffice > Thermal > Solar.
+func (k TraceKind) params() traceParams {
+	switch k {
+	case RFHome:
+		return traceParams{
+			levels: [3]float64{18e-3, 7.2e-3, 0.05e-3},
+			probs:  [3]float64{0.15, 0.60, 0.25},
+			dwell:  [3]float64{2e-3, 3.5e-3, 0.7e-3},
+			jitter: 0.35,
+		}
+	case RFOffice:
+		return traceParams{
+			levels: [3]float64{19e-3, 7.6e-3, 0.1e-3},
+			probs:  [3]float64{0.20, 0.60, 0.20},
+			dwell:  [3]float64{2.5e-3, 3.5e-3, 0.6e-3},
+			jitter: 0.30,
+		}
+	case Thermal:
+		return traceParams{
+			levels: [3]float64{18e-3, 8.4e-3, 0.8e-3},
+			probs:  [3]float64{0.40, 0.47, 0.13},
+			dwell:  [3]float64{5e-3, 4e-3, 0.6e-3},
+			jitter: 0.15,
+		}
+	case Solar:
+		return traceParams{
+			levels: [3]float64{28e-3, 9.8e-3, 1.5e-3},
+			probs:  [3]float64{0.62, 0.30, 0.08},
+			dwell:  [3]float64{12e-3, 5e-3, 0.6e-3},
+			jitter: 0.10,
+		}
+	default:
+		return TraceKind(RFHome).params()
+	}
+}
+
+// Trace is a deterministic, pre-sampled harvesting power series generated
+// by a two-state (burst/lull) Markov-modulated process. The series is
+// sampled at a fixed resolution and repeats with a long period, mirroring
+// how the paper loops its measured traces over long-running benchmarks.
+type Trace struct {
+	kind    TraceKind
+	dt      float64   // sample spacing (s)
+	samples []float64 // power at sample i (W)
+}
+
+// TraceResolution is the sample spacing of generated traces. Bursts and
+// lulls last a few milliseconds, so 100 µs resolves them comfortably.
+const TraceResolution = 100e-6
+
+// tracePeriod is the length of the generated series before it repeats.
+const tracePeriod = 10.0 // seconds
+
+// NewTrace generates the synthetic power trace for the given environment.
+// The seed selects one of infinitely many statistically identical traces;
+// the paper's experiments correspond to any fixed seed (we use 1 as the
+// default throughout).
+func NewTrace(kind TraceKind, seed uint64) *Trace {
+	p := kind.params()
+	n := int(tracePeriod / TraceResolution)
+	t := &Trace{kind: kind, dt: TraceResolution, samples: make([]float64, n)}
+
+	rng := newSplitMix(seed ^ uint64(kind+1)*0x9e3779b97f4a7c15)
+	state := 0
+	remaining := p.dwell[0]
+	level := p.levels[0]
+	wsum := p.probs[0] + p.probs[1] + p.probs[2]
+	for i := 0; i < n; i++ {
+		if remaining <= 0 {
+			// Pick the next state by weight, excluding the current one so
+			// dwell times stay meaningful.
+			for {
+				r := rng.float() * wsum
+				next := 0
+				for r > p.probs[next] && next < 2 {
+					r -= p.probs[next]
+					next++
+				}
+				if next != state {
+					state = next
+					break
+				}
+			}
+			remaining = rng.exp(p.dwell[state])
+			level = p.levels[state] * (1 + p.jitter*(2*rng.float()-1))
+		}
+		// Small fast ripple on top of the state level.
+		ripple := 1 + 0.1*p.jitter*(2*rng.float()-1)
+		t.samples[i] = math.Max(0, level*ripple)
+		remaining -= TraceResolution
+	}
+	return t
+}
+
+// Name implements Source.
+func (t *Trace) Name() string { return t.kind.String() }
+
+// Kind returns the harvesting environment this trace models.
+func (t *Trace) Kind() TraceKind { return t.kind }
+
+// Power implements Source using piecewise-constant lookup; the series
+// repeats every tracePeriod seconds.
+func (t *Trace) Power(at float64) float64 {
+	if at < 0 || math.IsNaN(at) {
+		at = 0
+	}
+	// Very large times (beyond any simulation horizon) fall back to a
+	// float modulus; ordinary times use integer division so that t and
+	// t+period index the same sample exactly.
+	if at > 1e12 {
+		at = math.Mod(at, tracePeriod)
+		if at < 0 {
+			at = 0
+		}
+	}
+	i := int(at/t.dt) % len(t.samples)
+	return t.samples[i]
+}
+
+// MeanPower returns the average power of one trace period, useful for
+// reporting and calibration.
+func (t *Trace) MeanPower() float64 {
+	var sum float64
+	for _, p := range t.samples {
+		sum += p
+	}
+	return sum / float64(len(t.samples))
+}
+
+// ConstantSource supplies fixed power forever: the paper's "infinite
+// energy" limit (Section VIII) under which EDBP never activates.
+type ConstantSource struct {
+	// P is the constant harvested power in watts.
+	P float64
+}
+
+// Power implements Source.
+func (c ConstantSource) Power(float64) float64 { return c.P }
+
+// Name implements Source.
+func (c ConstantSource) Name() string { return fmt.Sprintf("Constant(%gW)", c.P) }
+
+// splitMix is a tiny deterministic PRNG (SplitMix64) so traces do not
+// depend on math/rand's generator evolution across Go releases.
+type splitMix struct{ s uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{s: seed} }
+
+func (r *splitMix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform float64 in [0, 1).
+func (r *splitMix) float() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// exp returns an exponentially distributed value with the given mean.
+func (r *splitMix) exp(mean float64) float64 {
+	u := r.float()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -mean * math.Log(1-u)
+}

@@ -1,0 +1,112 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTraceDeterminism(t *testing.T) {
+	a := NewTrace(RFHome, 1)
+	b := NewTrace(RFHome, 1)
+	for ts := 0.0; ts < 0.5; ts += 0.001 {
+		if a.Power(ts) != b.Power(ts) {
+			t.Fatalf("same seed diverged at t=%g", ts)
+		}
+	}
+}
+
+func TestTraceSeedsDiffer(t *testing.T) {
+	a := NewTrace(RFHome, 1)
+	b := NewTrace(RFHome, 2)
+	diff := 0
+	for ts := 0.0; ts < 0.1; ts += 0.001 {
+		if a.Power(ts) != b.Power(ts) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestTraceNonNegative(t *testing.T) {
+	f := func(seed uint64, at float64) bool {
+		tr := NewTrace(RFHome, seed%16)
+		return tr.Power(at) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracePeriodicity(t *testing.T) {
+	tr := NewTrace(RFOffice, 3)
+	// Sample at bucket midpoints so float rounding at bucket edges cannot
+	// slip the index by one.
+	for _, k := range []int{10, 12345, 50000} {
+		ts := (float64(k) + 0.5) * TraceResolution
+		if tr.Power(ts) != tr.Power(ts+tracePeriod) {
+			t.Fatalf("trace not periodic at t=%g", ts)
+		}
+	}
+}
+
+func TestTraceNegativeTime(t *testing.T) {
+	tr := NewTrace(RFHome, 1)
+	if got := tr.Power(-5); got != tr.Power(0) {
+		t.Fatalf("negative time: got %g, want Power(0)=%g", got, tr.Power(0))
+	}
+}
+
+// TestMeanPowerOrdering pins Section VI-H6's energy-condition ordering:
+// richer sources (solar > thermal) harvest more on average than the RF
+// sources, which is what produces their lower outage frequency.
+func TestMeanPowerOrdering(t *testing.T) {
+	means := map[TraceKind]float64{}
+	for _, k := range TraceKinds {
+		means[k] = NewTrace(k, 1).MeanPower()
+	}
+	if !(means[Solar] > means[Thermal]) {
+		t.Errorf("solar (%g) should out-harvest thermal (%g)", means[Solar], means[Thermal])
+	}
+	if !(means[Thermal] > means[RFHome]) {
+		t.Errorf("thermal (%g) should out-harvest RFHome (%g)", means[Thermal], means[RFHome])
+	}
+	if !(means[RFOffice] > means[RFHome]) {
+		t.Errorf("RFOffice (%g) should out-harvest RFHome (%g)", means[RFOffice], means[RFHome])
+	}
+}
+
+func TestParseTraceKind(t *testing.T) {
+	for _, k := range TraceKinds {
+		got, err := ParseTraceKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("round-trip of %v failed: %v %v", k, got, err)
+		}
+	}
+	if _, err := ParseTraceKind("rfhome"); err != nil {
+		t.Error("case-insensitive parse failed")
+	}
+	if _, err := ParseTraceKind("nuclear"); err == nil {
+		t.Error("unknown trace accepted")
+	}
+}
+
+func TestConstantSource(t *testing.T) {
+	s := ConstantSource{P: 5e-3}
+	if s.Power(0) != 5e-3 || s.Power(1e9) != 5e-3 {
+		t.Fatal("constant source not constant")
+	}
+	if s.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestTraceKindString(t *testing.T) {
+	if TraceKind(99).String() == "" {
+		t.Fatal("unknown kind must still stringify")
+	}
+	if RFHome.String() != "RFHome" {
+		t.Fatalf("RFHome stringifies as %q", RFHome.String())
+	}
+}

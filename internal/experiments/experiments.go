@@ -1,0 +1,394 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section VI). Each exported function produces one artefact as
+// a printable Table; cmd/experiments runs any subset, and bench_test.go
+// wraps each in a testing.B benchmark.
+//
+// The functions report the same rows/series the paper does. Absolute
+// numbers differ from the paper's (our substrate is a purpose-built
+// simulator with synthetic traces — see DESIGN.md §2), but the shapes the
+// paper's claims rest on are asserted in the test suite: who wins, by
+// roughly what factor, and where the crossovers fall.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"edbp/internal/metrics"
+	"edbp/internal/sim"
+	"edbp/internal/workload"
+)
+
+// Options parameterize a harness invocation.
+type Options struct {
+	// Apps selects the workloads; empty means all twenty.
+	Apps []string
+	// Scale shrinks the workloads for quick runs; 0 means 1.0 (the
+	// evaluation default).
+	Scale float64
+	// Seed selects the first synthetic energy trace instance.
+	Seed uint64
+	// Seeds runs each configuration against this many consecutive trace
+	// seeds and aggregates, suppressing trace-alignment noise; 0 means 3.
+	Seeds int
+	// Workers bounds parallel simulations; 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (o Options) normalize() Options {
+	if len(o.Apps) == 0 {
+		o.Apps = workload.Names()
+	}
+	if o.Scale == 0 {
+		o.Scale = 1.0
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Seeds == 0 {
+		o.Seeds = 3
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Table is a printable experiment artefact.
+type Table struct {
+	ID     string // e.g. "Figure 8"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Print renders the table.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV writes the table as RFC-4180-ish CSV (quotes only where needed).
+func (t *Table) CSV(w io.Writer) {
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			fmt.Fprint(w, c)
+		}
+		fmt.Fprintln(w)
+	}
+	writeRow(t.Header)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+}
+
+// Cell returns the cell at (row named by first column, column named by
+// header); "" when absent. Tests use it to assert shapes.
+func (t *Table) Cell(rowName, colName string) string {
+	col := -1
+	for i, h := range t.Header {
+		if h == colName {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		return ""
+	}
+	for _, r := range t.Rows {
+		if len(r) > col && r[0] == rowName {
+			return r[col]
+		}
+	}
+	return ""
+}
+
+// ------------------------------------------------------------- running --
+
+// traceSet records every selected workload once so all schemes replay the
+// identical access stream.
+type traceSet struct {
+	opts   Options
+	traces map[string]*workload.Trace
+}
+
+func newTraceSet(o Options) (*traceSet, error) {
+	ts := &traceSet{opts: o, traces: make(map[string]*workload.Trace, len(o.Apps))}
+	for _, name := range o.Apps {
+		app, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		ts.traces[name] = app.Record(o.Scale)
+	}
+	return ts, nil
+}
+
+// job is one simulation to run; mutate customises the default config.
+type job struct {
+	app    string
+	seed   uint64
+	scheme sim.Scheme
+	mutate func(*sim.Config)
+}
+
+// runAll executes jobs across a worker pool, returning results in input
+// order.
+func (ts *traceSet) runAll(jobs []job) ([]*sim.Result, error) {
+	results := make([]*sim.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, ts.opts.Workers)
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			j := jobs[i]
+			cfg := sim.Default(j.app, j.scheme)
+			cfg.Scale = ts.opts.Scale
+			cfg.SourceSeed = j.seed
+			cfg.Trace = ts.traces[j.app]
+			if j.mutate != nil {
+				j.mutate(&cfg)
+			}
+			results[i], errs[i] = sim.Run(cfg)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// runMatrix runs every app × seed × variant and returns
+// results[variant][app#seed]. Keys pair up across variants, so the
+// aggregation helpers compare like against like; per-app presentation
+// aggregates over seeds with perApp.
+func (ts *traceSet) runMatrix(variants []job) (map[int]map[string]*sim.Result, error) {
+	var jobs []job
+	var vidx []int
+	var keys []string
+	for vi, v := range variants {
+		for _, app := range ts.opts.Apps {
+			for s := 0; s < ts.opts.Seeds; s++ {
+				j := v
+				j.app = app
+				j.seed = ts.opts.Seed + uint64(s)
+				jobs = append(jobs, j)
+				vidx = append(vidx, vi)
+				keys = append(keys, fmt.Sprintf("%s#%d", app, s))
+			}
+		}
+	}
+	flat, err := ts.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]map[string]*sim.Result, len(variants))
+	for i, r := range flat {
+		vi := vidx[i]
+		if out[vi] == nil {
+			out[vi] = make(map[string]*sim.Result, len(ts.opts.Apps)*ts.opts.Seeds)
+		}
+		out[vi][keys[i]] = r
+	}
+	return out, nil
+}
+
+// appOf strips the seed suffix from a result key.
+func appOf(key string) string {
+	if i := strings.LastIndexByte(key, '#'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// perApp aggregates a per-key metric into a per-app geometric mean.
+func perApp(res map[string]*sim.Result, metric func(*sim.Result) float64) map[string]float64 {
+	byApp := map[string][]float64{}
+	for key, r := range res {
+		byApp[appOf(key)] = append(byApp[appOf(key)], metric(r))
+	}
+	out := make(map[string]float64, len(byApp))
+	for app, xs := range byApp {
+		out[app] = geomean(xs)
+	}
+	return out
+}
+
+// perAppSpeedup aggregates per-app speedups over seeds.
+func perAppSpeedup(res, base map[string]*sim.Result) map[string]float64 {
+	byApp := map[string][]float64{}
+	for key, r := range res {
+		if b, ok := base[key]; ok {
+			byApp[appOf(key)] = append(byApp[appOf(key)], r.Speedup(b))
+		}
+	}
+	out := make(map[string]float64, len(byApp))
+	for app, xs := range byApp {
+		out[app] = geomean(xs)
+	}
+	return out
+}
+
+// --------------------------------------------------------- aggregation --
+
+// geomean of a slice; 0 if empty.
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// geoSpeedup is the geometric-mean speedup of res over base across apps.
+func geoSpeedup(res, base map[string]*sim.Result) float64 {
+	var xs []float64
+	for app, r := range res {
+		b, ok := base[app]
+		if !ok {
+			continue
+		}
+		xs = append(xs, r.Speedup(b))
+	}
+	return geomean(xs)
+}
+
+// meanEnergyRatio is the arithmetic-mean normalized energy across apps.
+func meanEnergyRatio(res, base map[string]*sim.Result) float64 {
+	var xs []float64
+	for app, r := range res {
+		b, ok := base[app]
+		if !ok {
+			continue
+		}
+		xs = append(xs, r.EnergyVs(b))
+	}
+	return mean(xs)
+}
+
+// meanMissRate averages the data cache miss rate across apps.
+func meanMissRate(res map[string]*sim.Result) float64 {
+	var xs []float64
+	for _, r := range res {
+		xs = append(xs, r.DCacheStats.MissRate())
+	}
+	return mean(xs)
+}
+
+func sortedApps(m map[string]*sim.Result) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func pct(x float64) string  { return fmt.Sprintf("%.1f%%", 100*x) }
+func pct2(x float64) string { return fmt.Sprintf("%.2f%%", 100*x) }
+func f3(x float64) string   { return fmt.Sprintf("%.3f", x) }
+
+// sumCounts sums an app's prediction counts over its seeds.
+func sumCounts(res map[string]*sim.Result, app string) metrics.Counts {
+	var c metrics.Counts
+	for key, r := range res {
+		if appOf(key) == app {
+			p := r.Prediction
+			c.TP += p.TP
+			c.FP += p.FP
+			c.TN += p.TN
+			c.FN += p.FN
+			c.ZombieFN += p.ZombieFN
+		}
+	}
+	return c
+}
+
+// breakdownVsBase renders one app's energy breakdown (seed-averaged)
+// normalized to the baseline's total, as dcache/icache/memory/ckpt/others/
+// total cells.
+func breakdownVsBase(res, base map[string]*sim.Result, app string) []string {
+	var dc, ic, mem, ck, ot, tot []float64
+	for key, r := range res {
+		if appOf(key) != app {
+			continue
+		}
+		b, ok := base[key]
+		if !ok {
+			continue
+		}
+		bt := b.Energy.Total()
+		e := r.Energy
+		dc = append(dc, e.DCache()/bt)
+		ic = append(ic, e.ICache()/bt)
+		mem = append(mem, e.Memory/bt)
+		ck = append(ck, e.Checkpoint/bt)
+		ot = append(ot, e.Others()/bt)
+		tot = append(tot, e.Total()/bt)
+	}
+	return []string{f3(mean(dc)), f3(mean(ic)), f3(mean(mem)), f3(mean(ck)), f3(mean(ot)), f3(mean(tot))}
+}

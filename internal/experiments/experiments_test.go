@@ -1,0 +1,366 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTablePrintAndCell(t *testing.T) {
+	tab := &Table{
+		ID:     "T",
+		Title:  "demo",
+		Header: []string{"row", "a", "b"},
+		Rows:   [][]string{{"x", "1", "2"}, {"y", "3", "4"}},
+		Notes:  []string{"n"},
+	}
+	var sb strings.Builder
+	tab.Print(&sb)
+	out := sb.String()
+	for _, want := range []string{"== T: demo ==", "row", "x", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed table missing %q:\n%s", want, out)
+		}
+	}
+	if got := tab.Cell("y", "b"); got != "4" {
+		t.Errorf("Cell(y,b) = %q", got)
+	}
+	if got := tab.Cell("z", "b"); got != "" {
+		t.Errorf("Cell of absent row = %q", got)
+	}
+	if got := tab.Cell("x", "nope"); got != "" {
+		t.Errorf("Cell of absent column = %q", got)
+	}
+}
+
+func TestAggregationHelpers(t *testing.T) {
+	if g := geomean([]float64{2, 8}); g != 4 {
+		t.Errorf("geomean = %g", g)
+	}
+	if g := geomean(nil); g != 0 {
+		t.Errorf("empty geomean = %g", g)
+	}
+	if g := geomean([]float64{1, -1}); g != 0 {
+		t.Errorf("non-positive geomean = %g", g)
+	}
+	if m := mean([]float64{1, 3}); m != 2 {
+		t.Errorf("mean = %g", m)
+	}
+	if appOf("crc32#2") != "crc32" || appOf("plain") != "plain" {
+		t.Error("appOf")
+	}
+}
+
+// tinyOptions runs experiments fast enough for geometry smoke tests.
+func tinyOptions() Options {
+	return Options{Apps: []string{"crc32", "sha"}, Scale: 0.05, Seeds: 1}
+}
+
+// TestAllExperimentsProduceTables smoke-runs every registered experiment
+// at a tiny scale and validates the table geometry.
+func TestAllExperimentsProduceTables(t *testing.T) {
+	for _, e := range All {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run(tinyOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tab.ID == "" || tab.Title == "" {
+				t.Fatal("missing identity")
+			}
+			if len(tab.Header) == 0 || len(tab.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			for i, row := range tab.Rows {
+				if len(row) > len(tab.Header) {
+					t.Fatalf("row %d wider than header: %v", i, row)
+				}
+			}
+		})
+	}
+}
+
+// ---- shape assertions: the paper's qualitative claims ------------------
+
+// shapeApps is a representative half of the suite, keeping shape tests
+// fast; the full set runs through cmd/experiments.
+var shapeApps = []string{
+	"crc32", "adpcm_c", "adpcm_d", "susan", "sha",
+	"dijkstra", "rijndael", "gsm", "qsort", "pegwit",
+}
+
+func shapeOptions() Options {
+	return Options{Apps: shapeApps, Scale: 0.4, Seeds: 2}
+}
+
+func parseF(t *testing.T, cell string) float64 {
+	t.Helper()
+	cell = strings.TrimSuffix(cell, "%")
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("unparsable cell %q: %v", cell, err)
+	}
+	return v
+}
+
+// TestFigure8Shape pins the paper's headline ordering (Section VI-E):
+// baseline < Cache Decay < EDBP ≤ combined ≤ ideal, with SDBP ≈ baseline,
+// and the miss-rate cost of EDBP staying small (Section VI-F).
+func TestFigure8Shape(t *testing.T) {
+	tab, err := Figure8(shapeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdbp := parseF(t, tab.Cell("GEOMEAN", "SDBP"))
+	decay := parseF(t, tab.Cell("GEOMEAN", "CacheDecay"))
+	edbp := parseF(t, tab.Cell("GEOMEAN", "EDBP"))
+	comb := parseF(t, tab.Cell("GEOMEAN", "CacheDecay+EDBP"))
+	ideal := parseF(t, tab.Cell("GEOMEAN", "Ideal"))
+
+	if sdbp < 0.97 || sdbp > 1.03 {
+		t.Errorf("SDBP speedup %g should be near 1 (paper: ~1.3%% energy only)", sdbp)
+	}
+	if !(decay > 1.0) {
+		t.Errorf("Cache Decay speedup %g must exceed 1", decay)
+	}
+	if !(edbp > 1.01) {
+		t.Errorf("EDBP speedup %g must clearly exceed 1", edbp)
+	}
+	if !(edbp > decay-0.005) {
+		t.Errorf("EDBP (%g) must not trail Cache Decay (%g) — the paper's ordering", edbp, decay)
+	}
+	if !(comb > edbp-0.005) {
+		t.Errorf("combined (%g) must not trail EDBP (%g)", comb, edbp)
+	}
+	if !(ideal > comb-0.005) {
+		t.Errorf("ideal (%g) must bound the combined scheme (%g)", ideal, comb)
+	}
+	// Section VI-F: EDBP raises the miss rate, but only by a couple of
+	// percentage points.
+	mb := parseF(t, tab.Cell("GEOMEAN", "miss(base)"))
+	me := parseF(t, tab.Cell("GEOMEAN", "miss(EDBP)"))
+	mc := parseF(t, tab.Cell("GEOMEAN", "miss(comb)"))
+	if !(me > mb) || !(mc >= me-0.2) {
+		t.Errorf("miss rates must rise with gating: base %g, edbp %g, comb %g", mb, me, mc)
+	}
+	if me-mb > 4 {
+		t.Errorf("EDBP's miss increase %g pp is too large", me-mb)
+	}
+}
+
+// TestFigure6Shape pins Section VI-C: Cache Decay alone suffers a large
+// "missed prediction" share (zombies it cannot see); adding EDBP slashes
+// it and lifts coverage.
+func TestFigure6Shape(t *testing.T) {
+	tab, err := Figure6(shapeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	decayMissed := parseF(t, missedCell(t, tab, "CacheDecay"))
+	combMissed := parseF(t, missedCell(t, tab, "CacheDecay+EDBP"))
+	decayCov := parseF(t, covCell(t, tab, "CacheDecay"))
+	combCov := parseF(t, covCell(t, tab, "CacheDecay+EDBP"))
+	if !(combMissed < decayMissed) {
+		t.Errorf("combined missed-FN %g%% must undercut decay's %g%%", combMissed, decayMissed)
+	}
+	if !(combCov > decayCov) {
+		t.Errorf("combined coverage %g%% must exceed decay's %g%%", combCov, decayCov)
+	}
+}
+
+func missedCell(t *testing.T, tab *Table, scheme string) string {
+	return meanRowCell(t, tab, scheme, "missed(FN)")
+}
+func covCell(t *testing.T, tab *Table, scheme string) string {
+	return meanRowCell(t, tab, scheme, "coverage")
+}
+
+// meanRowCell finds the MEAN row for a scheme (Figure 6 has one MEAN row
+// per scheme, distinguished by the second column).
+func meanRowCell(t *testing.T, tab *Table, scheme, col string) string {
+	t.Helper()
+	ci := -1
+	for i, h := range tab.Header {
+		if h == col {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		t.Fatalf("no column %q", col)
+	}
+	for _, row := range tab.Rows {
+		if row[0] == "MEAN" && row[1] == scheme {
+			return row[ci]
+		}
+	}
+	t.Fatalf("no MEAN row for %q", scheme)
+	return ""
+}
+
+// TestFigure7Shape pins Section VI-D: EDBP cuts total energy versus the
+// baseline, the combination cuts more, and SDBP barely moves it.
+func TestFigure7Shape(t *testing.T) {
+	tab, err := Figure7(shapeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := func(scheme string) float64 {
+		return parseF(t, meanRowCell(t, tab, scheme, "total"))
+	}
+	base := total("NVSRAMCache")
+	if base != 1.0 {
+		t.Fatalf("baseline not normalized to itself: %g", base)
+	}
+	edbp := total("EDBP")
+	comb := total("CacheDecay+EDBP")
+	sdbp := total("SDBP")
+	if !(edbp < 0.99) {
+		t.Errorf("EDBP energy ratio %g must be clearly below 1", edbp)
+	}
+	if !(comb <= edbp+0.005) {
+		t.Errorf("combined energy ratio %g must not exceed EDBP's %g", comb, edbp)
+	}
+	if sdbp < 0.96 || sdbp > 1.04 {
+		t.Errorf("SDBP energy ratio %g should be near 1", sdbp)
+	}
+}
+
+// TestFigure16Shape pins Section VI-H7: EDBP's advantage shrinks as the
+// capacitor grows (fewer outages → fewer zombies).
+func TestFigure16Shape(t *testing.T) {
+	o := Options{Apps: shapeApps[:6], Scale: 0.4, Seeds: 2}
+	tab, err := Figure16(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallGain := parseF(t, tab.Cell("0.47µF", "EDBP")) / parseF(t, tab.Cell("0.47µF", "NVSRAMCache"))
+	bigGain := parseF(t, tab.Cell("100µF", "EDBP")) / parseF(t, tab.Cell("100µF", "NVSRAMCache"))
+	if !(smallGain > bigGain-0.005) {
+		t.Errorf("EDBP's relative gain must shrink with capacitor size: 0.47µF %g vs 100µF %g", smallGain, bigGain)
+	}
+}
+
+// TestFigure4Shape pins the Figure 4 trend on the merged profile: zombies
+// concentrate at low voltage (the top-of-range bucket aggregates long
+// full-charge phases and is excluded).
+func TestFigure4Shape(t *testing.T) {
+	tab, err := Figure4(shapeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 6 {
+		t.Skip("profile too sparse")
+	}
+	n := len(tab.Rows)
+	var lo, hi float64
+	for i := 0; i < 3; i++ {
+		lo += parseF(t, tab.Rows[i][1])
+		hi += parseF(t, tab.Rows[n-2-i][1]) // skip the VMax bucket
+	}
+	if !(lo > hi) {
+		t.Errorf("zombie ratio must rise toward the outage: low %.2f !> high %.2f", lo/3, hi/3)
+	}
+}
+
+// TestFigure18Shape pins Section VI-I: with a volatile SRAM I-cache,
+// applying the predictors to both caches saves more energy than the data
+// cache alone.
+func TestFigure18Shape(t *testing.T) {
+	o := Options{Apps: shapeApps[:6], Scale: 0.4, Seeds: 2}
+	tab, err := Figure18(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dOnly := parseF(t, tab.Cell("CacheDecay+EDBP (D$)", "total E"))
+	both := parseF(t, tab.Cell("CacheDecay+EDBP (both)", "total E"))
+	if !(dOnly < 1.0) {
+		t.Errorf("combined on D$ must cut energy: %g", dOnly)
+	}
+	if !(both < dOnly+0.005) {
+		t.Errorf("predicting both caches (%g) must not lose to D$-only (%g)", both, dOnly)
+	}
+	spBoth := parseF(t, tab.Cell("CacheDecay+EDBP (both)", "speedup"))
+	if !(spBoth > 1.0) {
+		t.Errorf("combined on both caches must speed the new baseline up: %g", spBoth)
+	}
+}
+
+// TestTableIShape pins Table I's two rows: leakage grows with size, and
+// the static share of data-cache energy grows with it.
+func TestTableIShape(t *testing.T) {
+	tab, err := TableI(Options{Apps: shapeApps[:4], Scale: 0.3, Seeds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leak256 := parseF(t, tab.Cell("leakage (mW)", "256B"))
+	leak16k := parseF(t, tab.Cell("leakage (mW)", "16kB"))
+	if !(leak16k > leak256*10) {
+		t.Errorf("leakage must grow strongly with size: %g → %g", leak256, leak16k)
+	}
+	r256 := parseF(t, tab.Cell("static ratio (%)", "256B"))
+	r16k := parseF(t, tab.Cell("static ratio (%)", "16kB"))
+	if !(r16k > r256) {
+		t.Errorf("static ratio must grow with size: %g%% → %g%%", r256, r16k)
+	}
+}
+
+func TestHardwareCostTable(t *testing.T) {
+	tab, err := HardwareCost(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Cell("comparators", "value"); !strings.Contains(got, "256") {
+		t.Errorf("comparators = %q, want 256 for the 4 kB cache", got)
+	}
+}
+
+// TestIntegrationShape pins Section VII-A: every conventional predictor
+// gains (or at worst does not lose) from the addition of EDBP.
+func TestIntegrationShape(t *testing.T) {
+	tab, err := Integration(Options{Apps: shapeApps[:6], Scale: 0.4, Seeds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row[0] == "(none)" || strings.HasPrefix(row[0], "Counting") {
+			// The counting-based predictor mispredicts streaming blocks so
+			// badly that nothing rescues it (see EXPERIMENTS.md); the
+			// composition claim is asserted for the predictors that work.
+			continue
+		}
+		alone := parseF(t, row[1])
+		with := parseF(t, row[2])
+		if with < alone-0.005 {
+			t.Errorf("%s: adding EDBP lost performance (%g → %g)", row[0], alone, with)
+		}
+	}
+}
+
+// TestAblationDecayShape pins the decay adjustments: the default
+// (dirty gating + persistent counters) must not lose to the crippled
+// variants when combined with EDBP.
+func TestAblationDecayShape(t *testing.T) {
+	tab, err := AblationDecay(Options{Apps: shapeApps[:6], Scale: 0.4, Seeds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := parseF(t, tab.Cell("default (dirty+persist)", "decay alone"))
+	crippled := parseF(t, tab.Cell("clean only + volatile", "decay alone"))
+	if def < crippled-0.005 {
+		t.Errorf("default decay (%g) lost to the fully crippled variant (%g)", def, crippled)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"plain", `has"quote`}, {"with,comma", "x"}},
+	}
+	var sb strings.Builder
+	tab.CSV(&sb)
+	want := "a,b\nplain,\"has\"\"quote\"\n\"with,comma\",x\n"
+	if sb.String() != want {
+		t.Fatalf("CSV = %q, want %q", sb.String(), want)
+	}
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+
+	"edbp/internal/core"
+	"edbp/internal/sim"
+)
+
+// Figure18 reproduces Figure 18 (Section VI-I): a new baseline whose
+// instruction cache is volatile SRAM, with each predictor applied either
+// to the data cache only or to both caches. Energy and speedup are
+// normalized to the new baseline.
+func Figure18(o Options) (*Table, error) {
+	o = o.normalize()
+	ts, err := newTraceSet(o)
+	if err != nil {
+		return nil, err
+	}
+
+	type variant struct {
+		name   string
+		scheme sim.Scheme
+		both   bool
+	}
+	variants := []variant{
+		{"NVSRAMCache", sim.Baseline, false},
+		{"SDBP", sim.SDBP, false},
+		{"CacheDecay (D$)", sim.Decay, false},
+		{"EDBP (D$)", sim.EDBP, false},
+		{"CacheDecay+EDBP (D$)", sim.DecayEDBP, false},
+		{"CacheDecay (both)", sim.Decay, true},
+		{"EDBP (both)", sim.EDBP, true},
+		{"CacheDecay+EDBP (both)", sim.DecayEDBP, true},
+	}
+	var jobs []job
+	for _, v := range variants {
+		v := v
+		jobs = append(jobs, job{scheme: v.scheme, mutate: func(c *sim.Config) {
+			c.ICacheSRAM = true
+			c.PredictICache = v.both
+		}})
+	}
+	res, err := ts.runMatrix(jobs)
+	if err != nil {
+		return nil, err
+	}
+	base := res[0]
+
+	t := &Table{
+		ID:     "Figure 18",
+		Title:  "SRAM I-cache baseline: energy breakdown and speedup (normalized to the new baseline)",
+		Header: []string{"scheme", "dcache", "icache", "memory", "ckpt", "others", "total E", "speedup"},
+	}
+	for vi, v := range variants {
+		var dc, ic, mem, ck, ot, tot, sp []float64
+		for app, r := range res[vi] {
+			b := base[app]
+			bt := b.Energy.Total()
+			dc = append(dc, r.Energy.DCache()/bt)
+			ic = append(ic, r.Energy.ICache()/bt)
+			mem = append(mem, r.Energy.Memory/bt)
+			ck = append(ck, r.Energy.Checkpoint/bt)
+			ot = append(ot, r.Energy.Others()/bt)
+			tot = append(tot, r.Energy.Total()/bt)
+			sp = append(sp, r.Speedup(b))
+		}
+		t.Rows = append(t.Rows, []string{
+			v.name, f3(mean(dc)), f3(mean(ic)), f3(mean(mem)),
+			f3(mean(ck)), f3(mean(ot)), f3(mean(tot)), f3(geomean(sp)),
+		})
+	}
+	t.Notes = append(t.Notes, "\"both\" applies the predictor stack to the SRAM instruction cache as well as the data cache")
+	return t, nil
+}
+
+// HardwareCost reproduces the Section VI-B analysis: EDBP's additional
+// hardware for the default data cache.
+func HardwareCost(o Options) (*Table, error) {
+	cfg := sim.Default("crc32", sim.EDBP)
+	blocks := cfg.DCacheBytes / cfg.BlockBytes
+	h := core.CostFor(blocks, 8)
+	t := &Table{
+		ID:     "HW Cost",
+		Title:  "EDBP hardware cost (Section VI-B)",
+		Header: []string{"item", "value"},
+		Rows: [][]string{
+			{"comparators", fmt.Sprintf("%d (one per block)", h.Comparators)},
+			{"registers", fmt.Sprintf("%d (R_WrongKill, R_Total, R_FPR)", h.Registers)},
+			{"deact. buffer", fmt.Sprintf("%d entries", h.BufferEntries)},
+			{"comparator area", fmt.Sprintf("%.6f mm²", h.ComparatorAreaMM2)},
+			{"buffer+reg area", fmt.Sprintf("%.6f mm²", h.BufferAreaMM2)},
+			{"total area", fmt.Sprintf("%.6f mm² of %.2f mm² core", h.TotalAreaMM2, h.CoreAreaMM2)},
+			{"fraction", fmt.Sprintf("%.4f%%", 100*h.AreaFraction)},
+		},
+	}
+	return t, nil
+}
+
+// All lists every experiment by ID, in the paper's order.
+var All = []struct {
+	ID  string
+	Run func(Options) (*Table, error)
+}{
+	{"table1", TableI},
+	{"table2", TableII},
+	{"fig1", Figure1},
+	{"fig4", Figure4},
+	{"fig6", Figure6},
+	{"fig7", Figure7},
+	{"fig8", Figure8},
+	{"fig9", Figure9},
+	{"fig10", Figure10},
+	{"fig11", Figure11},
+	{"fig12", Figure12},
+	{"fig13", Figure13},
+	{"fig14", Figure14},
+	{"fig15", Figure15},
+	{"fig16", Figure16},
+	{"fig17", Figure17},
+	{"fig18", Figure18},
+	{"integration", Integration},
+	{"ablation-edbp", AblationEDBP},
+	{"ablation-decay", AblationDecay},
+	{"hwcost", HardwareCost},
+}

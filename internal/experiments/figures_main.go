@@ -1,0 +1,371 @@
+package experiments
+
+import (
+	"fmt"
+
+	"edbp/internal/metrics"
+	"edbp/internal/sim"
+	"edbp/internal/sram"
+)
+
+// cacheSizes is the Table I / Figure 1 / Figure 11 sweep.
+var cacheSizes = []int{256, 512, 1024, 2048, 4096, 8192, 16384}
+
+func sizeLabel(b int) string {
+	if b >= 1024 {
+		return fmt.Sprintf("%dkB", b/1024)
+	}
+	return fmt.Sprintf("%dB", b)
+}
+
+// TableI reproduces Table I: SRAM cache leakage power and the ratio of
+// static energy to total data-cache energy, for 4-way caches from 256 B
+// to 16 kB. The leakage row comes from the SRAM cost model; the static
+// ratio row from baseline simulations at each size.
+func TableI(o Options) (*Table, error) {
+	o = o.normalize()
+	ts, err := newTraceSet(o)
+	if err != nil {
+		return nil, err
+	}
+
+	var variants []job
+	for _, size := range cacheSizes {
+		size := size
+		variants = append(variants, job{scheme: sim.Baseline, mutate: func(c *sim.Config) {
+			c.DCacheBytes = size
+		}})
+	}
+	res, err := ts.runMatrix(variants)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:     "Table I",
+		Title:  "SRAM cache leakage power (mW) and static-to-total data cache energy ratio (%)",
+		Header: []string{"metric"},
+	}
+	for _, s := range cacheSizes {
+		t.Header = append(t.Header, sizeLabel(s))
+	}
+	leakRow := []string{"leakage (mW)"}
+	ratioRow := []string{"static ratio (%)"}
+	for vi, s := range cacheSizes {
+		leakRow = append(leakRow, fmt.Sprintf("%.2f", sram.TableIILeak(s)*1e3))
+		var ratios []float64
+		for _, r := range res[vi] {
+			dc := r.Energy.DCache()
+			if dc > 0 {
+				ratios = append(ratios, r.Energy.DCacheLeak/dc)
+			}
+		}
+		ratioRow = append(ratioRow, fmt.Sprintf("%.1f", 100*mean(ratios)))
+	}
+	t.Rows = [][]string{leakRow, ratioRow}
+	t.Notes = append(t.Notes,
+		"leakage from the Table-I-fitted SRAM model (Table II overhead applied); static ratio measured on baseline runs")
+	return t, nil
+}
+
+// TableII echoes the simulation configuration actually used (a config
+// audit, not an experiment).
+func TableII(o Options) (*Table, error) {
+	o = o.normalize()
+	cfg := sim.Default("crc32", sim.EDBP)
+	t := &Table{
+		ID:     "Table II",
+		Title:  "Simulation configuration",
+		Header: []string{"parameter", "value"},
+		Rows: [][]string{
+			{"Vmax/Vmin", fmt.Sprintf("%.1f/%.1f V", cfg.Capacitor.VMax, cfg.Capacitor.VMin)},
+			{"Vckpt/Vrst", fmt.Sprintf("%.1f/%.1f V", cfg.Monitor.VCkpt, cfg.Monitor.VRst)},
+			{"MCU", fmt.Sprintf("%.0f MHz, %.0f µW/MHz", cfg.CPU.ClockHz/1e6, cfg.CPU.PowerPerMHz*1e6)},
+			{"Capacitor", fmt.Sprintf("%.2f µF", cfg.Capacitor.Capacitance*1e6)},
+			{"Energy trace", cfg.TraceKind.String()},
+			{"Deact. buffer", "8 entries"},
+			{"Data cache", fmt.Sprintf("%s SRAM, %d-way, %dB blocks, %v", sizeLabel(cfg.DCacheBytes), cfg.DCacheWays, cfg.BlockBytes, cfg.DCachePolicy)},
+			{"Inst. cache", fmt.Sprintf("%s ReRAM, %d-way, %dB blocks", sizeLabel(cfg.ICacheBytes), cfg.ICacheWays, cfg.BlockBytes)},
+			{"Memory", fmt.Sprintf("%d MB %v", cfg.MemBytes>>20, cfg.MemTech)},
+		},
+	}
+	return t, nil
+}
+
+// Figure1 reproduces Figure 1: baseline performance across cache sizes,
+// with real leakage and with leakage magically reduced by 80%, normalized
+// to the 4 kB real-leakage configuration.
+func Figure1(o Options) (*Table, error) {
+	o = o.normalize()
+	ts, err := newTraceSet(o)
+	if err != nil {
+		return nil, err
+	}
+
+	type variant struct {
+		size int
+		leak float64
+	}
+	var vs []variant
+	var jobs []job
+	for _, size := range cacheSizes {
+		for _, leak := range []float64{1.0, 0.2} {
+			size, leak := size, leak
+			vs = append(vs, variant{size, leak})
+			jobs = append(jobs, job{scheme: sim.Baseline, mutate: func(c *sim.Config) {
+				c.DCacheBytes = size
+				c.DCacheLeakFactor = leak
+			}})
+		}
+	}
+	res, err := ts.runMatrix(jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	// The denominator: 4 kB with real leakage.
+	baseIdx := -1
+	for i, v := range vs {
+		if v.size == 4096 && v.leak == 1.0 {
+			baseIdx = i
+		}
+	}
+	base := res[baseIdx]
+
+	t := &Table{
+		ID:     "Figure 1",
+		Title:  "Baseline speedup across cache sizes (normalized to 4kB, real leakage)",
+		Header: []string{"cache", "real leakage", "80% leakage off"},
+	}
+	for _, size := range cacheSizes {
+		row := []string{sizeLabel(size)}
+		for _, leak := range []float64{1.0, 0.2} {
+			for i, v := range vs {
+				if v.size == size && v.leak == leak {
+					row = append(row, f3(geoSpeedup(res[i], base)))
+				}
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Figure4 reproduces Figure 4: the ratio of zombie blocks to live blocks
+// as the capacitor voltage falls, measured on the baseline.
+func Figure4(o Options) (*Table, error) {
+	o = o.normalize()
+	ts, err := newTraceSet(o)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ts.runMatrix([]job{{scheme: sim.Baseline, mutate: func(c *sim.Config) {
+		c.CollectZombieProfile = true
+	}}})
+	if err != nil {
+		return nil, err
+	}
+
+	var merged *metrics.ZombieProfile
+	for _, r := range res[0] {
+		if r.ZombieProfile == nil {
+			continue
+		}
+		if merged == nil {
+			merged = r.ZombieProfile
+			continue
+		}
+		if err := merged.Merge(r.ZombieProfile); err != nil {
+			return nil, err
+		}
+	}
+
+	t := &Table{
+		ID:     "Figure 4",
+		Title:  "Zombie block ratio vs capacitor voltage (baseline, RFHome)",
+		Header: []string{"voltage (V)", "zombie ratio", "observations"},
+	}
+	if merged != nil {
+		for _, p := range merged.Points() {
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%.3f", p.Voltage), pct(p.ZombieRatio), fmt.Sprintf("%.0f", p.Samples),
+			})
+		}
+	}
+	t.Notes = append(t.Notes, "ratio rises toward the checkpoint voltage: blocks alive near an outage rarely see reuse")
+	return t, nil
+}
+
+// Figure6 reproduces Figure 6: the zombie-aware prediction outcome rates
+// per application for Cache Decay, EDBP, and Cache Decay + EDBP.
+func Figure6(o Options) (*Table, error) {
+	o = o.normalize()
+	ts, err := newTraceSet(o)
+	if err != nil {
+		return nil, err
+	}
+	schemes := []sim.Scheme{sim.Decay, sim.EDBP, sim.DecayEDBP}
+	var jobs []job
+	for _, s := range schemes {
+		jobs = append(jobs, job{scheme: s})
+	}
+	res, err := ts.runMatrix(jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:     "Figure 6",
+		Title:  "Prediction outcome rates (TP/FP/TN/FN + missed prediction) per app",
+		Header: []string{"app", "scheme", "TP", "FP", "TN", "FN", "missed(FN)", "coverage", "accuracy"},
+	}
+	for _, app := range o.Apps {
+		for vi, s := range schemes {
+			c := sumCounts(res[vi], app)
+			tp, fp, tn, fn, zfn := c.Rate()
+			t.Rows = append(t.Rows, []string{
+				app, s.String(), pct(tp), pct(fp), pct(tn), pct(fn), pct(zfn),
+				pct(c.Coverage()), pct(c.Accuracy()),
+			})
+		}
+	}
+	for vi, s := range schemes {
+		var cov, acc, missed []float64
+		for _, r := range res[vi] {
+			cov = append(cov, r.Prediction.Coverage())
+			acc = append(acc, r.Prediction.Accuracy())
+			_, _, _, _, z := r.Prediction.Rate()
+			missed = append(missed, z)
+		}
+		t.Rows = append(t.Rows, []string{
+			"MEAN", s.String(), "", "", "", "", pct(mean(missed)), pct(mean(cov)), pct(mean(acc)),
+		})
+	}
+	return t, nil
+}
+
+// figure7And8Schemes is the five-bar scheme list of Figures 7 and 8.
+var figure7Schemes = []sim.Scheme{sim.Baseline, sim.SDBP, sim.Decay, sim.EDBP, sim.DecayEDBP}
+
+// Figure7 reproduces Figure 7: the energy breakdown per scheme normalized
+// to the baseline, plus each app's load/store instruction ratio.
+func Figure7(o Options) (*Table, error) {
+	o = o.normalize()
+	ts, err := newTraceSet(o)
+	if err != nil {
+		return nil, err
+	}
+	var jobs []job
+	for _, s := range figure7Schemes {
+		jobs = append(jobs, job{scheme: s})
+	}
+	res, err := ts.runMatrix(jobs)
+	if err != nil {
+		return nil, err
+	}
+	base := res[0]
+
+	t := &Table{
+		ID:     "Figure 7",
+		Title:  "Energy breakdown normalized to NVSRAMCache (RFHome) + load/store ratio",
+		Header: []string{"app", "scheme", "dcache", "icache", "memory", "ckpt", "others", "total", "ld/st"},
+	}
+	for _, app := range o.Apps {
+		lsr := pct(ts.traces[app].LoadStoreRatio())
+		for vi, s := range figure7Schemes {
+			cells := breakdownVsBase(res[vi], base, app)
+			row := append([]string{app, s.String()}, cells...)
+			t.Rows = append(t.Rows, append(row, lsr))
+		}
+	}
+	for vi, s := range figure7Schemes {
+		t.Rows = append(t.Rows, []string{
+			"MEAN", s.String(), "", "", "", "", "", f3(meanEnergyRatio(res[vi], base)), "",
+		})
+	}
+	return t, nil
+}
+
+// Figure8 reproduces Figure 8: speedup over the baseline for every scheme
+// including the 80%-leakage-off magic run and the Ideal oracle, plus the
+// data cache miss rates.
+func Figure8(o Options) (*Table, error) {
+	o = o.normalize()
+	ts, err := newTraceSet(o)
+	if err != nil {
+		return nil, err
+	}
+	names := []string{"SDBP", "CacheDecay", "EDBP", "CacheDecay+EDBP", "80%LeakOff", "Ideal"}
+	jobs := []job{
+		{scheme: sim.Baseline},
+		{scheme: sim.SDBP},
+		{scheme: sim.Decay},
+		{scheme: sim.EDBP},
+		{scheme: sim.DecayEDBP},
+		{scheme: sim.Baseline, mutate: func(c *sim.Config) { c.DCacheLeakFactor = 0.2 }},
+		{scheme: sim.Ideal},
+	}
+	res, err := ts.runMatrix(jobs)
+	if err != nil {
+		return nil, err
+	}
+	base := res[0]
+
+	t := &Table{
+		ID:     "Figure 8",
+		Title:  "Speedup over NVSRAMCache and D$ miss rate (RFHome)",
+		Header: append(append([]string{"app"}, names...), "miss(base)", "miss(EDBP)", "miss(comb)"),
+	}
+	missOf := func(r *sim.Result) float64 { return r.DCacheStats.MissRate() }
+	baseMiss := perApp(base, missOf)
+	edbpMiss := perApp(res[3], missOf)
+	combMiss := perApp(res[4], missOf)
+	var appSpeed []map[string]float64
+	for vi := 1; vi <= 6; vi++ {
+		appSpeed = append(appSpeed, perAppSpeedup(res[vi], base))
+	}
+	for _, app := range o.Apps {
+		row := []string{app}
+		for vi := 0; vi < 6; vi++ {
+			row = append(row, f3(appSpeed[vi][app]))
+		}
+		row = append(row, pct2(baseMiss[app]), pct2(edbpMiss[app]), pct2(combMiss[app]))
+		t.Rows = append(t.Rows, row)
+	}
+	row := []string{"GEOMEAN"}
+	for vi := 1; vi <= 6; vi++ {
+		row = append(row, f3(geoSpeedup(res[vi], base)))
+	}
+	row = append(row, pct2(meanMissRate(base)), pct2(meanMissRate(res[3])), pct2(meanMissRate(res[4])))
+	t.Rows = append(t.Rows, row)
+	return t, nil
+}
+
+// Figure9 reproduces Figure 9: the baseline's absolute average power and
+// total energy per application.
+func Figure9(o Options) (*Table, error) {
+	o = o.normalize()
+	ts, err := newTraceSet(o)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ts.runMatrix([]job{{scheme: sim.Baseline}})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "Figure 9",
+		Title:  "Absolute average power and total energy of NVSRAMCache",
+		Header: []string{"app", "avg power (mW)", "total energy (mJ)"},
+	}
+	pw := perApp(res[0], func(r *sim.Result) float64 { return r.AvgPower() })
+	en := perApp(res[0], func(r *sim.Result) float64 { return r.Energy.Total() })
+	var pws, ens []float64
+	for _, app := range o.Apps {
+		pws = append(pws, pw[app])
+		ens = append(ens, en[app])
+		t.Rows = append(t.Rows, []string{app, f3(pw[app] * 1e3), f3(en[app] * 1e3)})
+	}
+	t.Rows = append(t.Rows, []string{"MEAN", f3(mean(pws) * 1e3), f3(mean(ens) * 1e3)})
+	return t, nil
+}

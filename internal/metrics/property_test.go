@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+
+	"edbp/internal/xrand"
+)
+
+// refEvent is one lifecycle event in the reference model's log.
+type refEvent struct {
+	kind int // 0 fill, 1 hit, 2 gate, 3 wrongkill, 4 evict, 5 outage
+}
+
+// TestTrackerMatchesReferenceModel replays random lifecycle sequences into
+// the Tracker and an independently-written classifier (working from the
+// Section IV definitions over the whole event log) and compares counts.
+func TestTrackerMatchesReferenceModel(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		tr := NewTracker(1, 1) // single block: generations are a simple sequence
+		var log []refEvent
+		active, gated := false, false
+		now := 0.0
+		ev := uint64(0)
+
+		for step := 0; step < 400; step++ {
+			now += 1.0
+			ev++
+			switch rng.Intn(6) {
+			case 0: // fill (ends any stale gen implicitly; sim always evicts first)
+				if active {
+					tr.BlockEvicted(0, 0, ev, now)
+					log = append(log, refEvent{4})
+				}
+				tr.BlockFilled(0, 0, 0x40, ev, now)
+				log = append(log, refEvent{0})
+				active, gated = true, false
+			case 1:
+				if active && !gated {
+					tr.BlockHit(0, 0, ev, now)
+					log = append(log, refEvent{1})
+				}
+			case 2:
+				if active && !gated {
+					tr.BlockGated(0, 0, ev, now)
+					log = append(log, refEvent{2})
+					gated = true
+				}
+			case 3:
+				if active && gated {
+					tr.BlockWrongKill(0, 0, ev, now)
+					log = append(log, refEvent{3})
+					active, gated = false, false
+				}
+			case 4:
+				if active {
+					tr.BlockEvicted(0, 0, ev, now)
+					log = append(log, refEvent{4})
+					active, gated = false, false
+				}
+			case 5:
+				if active {
+					tr.BlockLostAtOutage(0, 0, ev, now)
+					log = append(log, refEvent{5})
+					active, gated = false, false
+				}
+			}
+		}
+		tr.FlushOpen(now + 1)
+		if active {
+			log = append(log, refEvent{4}) // flush behaves like an eviction
+		}
+
+		// Reference classification straight from the definitions.
+		var want Counts
+		i := 0
+		for i < len(log) {
+			if log[i].kind != 0 {
+				i++
+				continue
+			}
+			// One generation: from this fill to the next terminator.
+			uses := 1
+			genGated := false
+			j := i + 1
+			end := -1
+		gen:
+			for ; j < len(log); j++ {
+				switch log[j].kind {
+				case 1:
+					uses++
+				case 2:
+					genGated = true
+				case 3, 4, 5:
+					end = log[j].kind
+					break gen
+				case 0:
+					// Defensive: fills are always preceded by a terminator
+					// in this generator.
+					end = 4
+					break gen
+				}
+			}
+			switch {
+			case genGated && end == 3:
+				want.FP++
+			case genGated: // evict or outage without re-demand
+				want.TP++
+			case end == 5:
+				want.ZombieFN++
+			case uses > 1:
+				want.TN++
+			default:
+				want.FN++
+			}
+			i = j + 1
+		}
+
+		return tr.Counts() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package metrics
+
+import "fmt"
+
+// ZombieProfile reproduces Figure 4: the ratio of zombie blocks to live
+// blocks as a function of capacitor voltage. The simulator samples the
+// cache periodically (time, voltage, live-block count); when a power
+// outage later ends a generation without reuse, every sample taken after
+// that generation's final access saw the block as a zombie.
+//
+// Samples buffer within the current power cycle and resolve when the
+// outage arrives (only then is "no reuse before the outage" knowable);
+// cycles that end without an outage (program completion) are discarded,
+// exactly matching the zombie definition.
+type ZombieProfile struct {
+	vMin, vMax float64
+	buckets    int
+
+	zombie []float64 // per bucket: Σ zombie blocks over samples
+	live   []float64 // per bucket: Σ live blocks over samples
+
+	// Current power cycle's pending samples.
+	times   []float64
+	volts   []float64
+	liveCnt []float64
+	zCnt    []float64
+}
+
+// NewZombieProfile creates a profile over [vMin, vMax] with the given
+// bucket count (Figure 4 spans Vckpt..VMax).
+func NewZombieProfile(vMin, vMax float64, buckets int) (*ZombieProfile, error) {
+	if vMax <= vMin || buckets <= 0 {
+		return nil, fmt.Errorf("metrics: invalid zombie profile range [%g, %g] × %d", vMin, vMax, buckets)
+	}
+	return &ZombieProfile{
+		vMin: vMin, vMax: vMax, buckets: buckets,
+		zombie: make([]float64, buckets),
+		live:   make([]float64, buckets),
+	}, nil
+}
+
+// Sample records one observation of the cache: the current time, the
+// capacitor voltage and the number of live (powered, valid) blocks.
+func (p *ZombieProfile) Sample(now, voltage float64, liveBlocks int) {
+	p.times = append(p.times, now)
+	p.volts = append(p.volts, voltage)
+	p.liveCnt = append(p.liveCnt, float64(liveBlocks))
+	p.zCnt = append(p.zCnt, 0)
+}
+
+// resolveGen marks, for a generation that died at the outage without
+// reuse after lastUse, every pending sample at or after lastUse as having
+// seen one zombie block. (lastUse ≥ fillTime always, so the fill time
+// needs no separate check; samples are time-ordered.)
+func (p *ZombieProfile) resolveGen(_, lastUse float64) {
+	for i := len(p.times) - 1; i >= 0 && p.times[i] >= lastUse; i-- {
+		p.zCnt[i]++
+	}
+}
+
+// FlushCycle folds the pending samples into the voltage buckets. Call it
+// after the outage's generation teardown; outage=false (program finished
+// with power intact) discards the samples instead, because zombie status
+// is undefined without an outage.
+func (p *ZombieProfile) FlushCycle(outage bool) {
+	if outage {
+		for i := range p.times {
+			b := p.bucket(p.volts[i])
+			if b >= 0 {
+				p.zombie[b] += p.zCnt[i]
+				p.live[b] += p.liveCnt[i]
+			}
+		}
+	}
+	p.times = p.times[:0]
+	p.volts = p.volts[:0]
+	p.liveCnt = p.liveCnt[:0]
+	p.zCnt = p.zCnt[:0]
+}
+
+func (p *ZombieProfile) bucket(v float64) int {
+	if v < p.vMin || v > p.vMax {
+		return -1
+	}
+	b := int(float64(p.buckets) * (v - p.vMin) / (p.vMax - p.vMin))
+	if b == p.buckets {
+		b--
+	}
+	return b
+}
+
+// Merge folds another profile's bucketed observations into p. The two
+// profiles must share geometry; pending (unflushed) samples are ignored.
+func (p *ZombieProfile) Merge(o *ZombieProfile) error {
+	if o.vMin != p.vMin || o.vMax != p.vMax || o.buckets != p.buckets {
+		return fmt.Errorf("metrics: cannot merge zombie profiles with different geometry")
+	}
+	for b := 0; b < p.buckets; b++ {
+		p.zombie[b] += o.zombie[b]
+		p.live[b] += o.live[b]
+	}
+	return nil
+}
+
+// Point is one Figure 4 data point.
+type Point struct {
+	Voltage     float64 // bucket centre
+	ZombieRatio float64 // zombies / live blocks observed at this voltage
+	Samples     float64 // live-block observations backing the ratio
+}
+
+// Points returns the profile as bucket-centre points, lowest voltage
+// first. Buckets with no observations are skipped.
+func (p *ZombieProfile) Points() []Point {
+	var out []Point
+	w := (p.vMax - p.vMin) / float64(p.buckets)
+	for b := 0; b < p.buckets; b++ {
+		if p.live[b] == 0 {
+			continue
+		}
+		out = append(out, Point{
+			Voltage:     p.vMin + (float64(b)+0.5)*w,
+			ZombieRatio: p.zombie[b] / p.live[b],
+			Samples:     p.live[b],
+		})
+	}
+	return out
+}

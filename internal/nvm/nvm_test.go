@@ -1,0 +1,134 @@
+package nvm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseTech(t *testing.T) {
+	for _, tech := range Techs {
+		got, err := ParseTech(tech.String())
+		if err != nil || got != tech {
+			t.Errorf("round-trip of %v failed: %v %v", tech, got, err)
+		}
+	}
+	if _, err := ParseTech("reram"); err != nil {
+		t.Error("case-insensitive parse failed")
+	}
+	if _, err := ParseTech("DRAM"); err == nil {
+		t.Error("unknown tech accepted")
+	}
+}
+
+func TestMemoryAnchor(t *testing.T) {
+	// At the 16 MB reference size the costs equal the reference values.
+	m, err := NewMemory(ReRAM, 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Read.Latency-49.8e-9) > 1e-12 {
+		t.Errorf("ReRAM 16MB read latency = %g", m.Read.Latency)
+	}
+	if math.Abs(m.Write.Energy-22.8e-9) > 1e-12 {
+		t.Errorf("ReRAM 16MB write energy = %g", m.Write.Energy)
+	}
+}
+
+func TestMemorySizeScaling(t *testing.T) {
+	// Figure 14's premise: larger memories cost more per access.
+	small, _ := NewMemory(ReRAM, 2<<20)
+	big, _ := NewMemory(ReRAM, 32<<20)
+	if !(small.Read.Latency < big.Read.Latency) {
+		t.Error("read latency must grow with capacity")
+	}
+	if !(small.Write.Energy < big.Write.Energy) {
+		t.Error("write energy must grow with capacity")
+	}
+	// sqrt scaling: 16× the capacity → 4× the cost.
+	ratio := big.Read.Latency / small.Read.Latency
+	if math.Abs(ratio-4) > 1e-9 {
+		t.Errorf("32MB/2MB latency ratio = %g, want 4 (sqrt scaling)", ratio)
+	}
+}
+
+func TestTechOrdering(t *testing.T) {
+	// Figure 13's premise: STT-RAM has the most expensive writes, ReRAM
+	// the cheapest miss penalties among the three.
+	reram, _ := NewMemory(ReRAM, 16<<20)
+	feram, _ := NewMemory(FeRAM, 16<<20)
+	stt, _ := NewMemory(STTRAM, 16<<20)
+	if !(stt.Write.Energy > reram.Write.Energy) {
+		t.Error("STT-RAM writes must out-cost ReRAM writes")
+	}
+	if !(stt.Write.Latency > feram.Write.Latency) {
+		t.Error("STT-RAM writes must out-cost FeRAM writes")
+	}
+	if !(reram.Read.Latency < feram.Read.Latency) {
+		t.Error("ReRAM reads must be fastest")
+	}
+}
+
+func TestMemoryInvalidSize(t *testing.T) {
+	if _, err := NewMemory(ReRAM, 0); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := NewMemory(ReRAM, -1); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+func TestICacheTableIIAnchors(t *testing.T) {
+	// The 4 kB ReRAM I-cache must reproduce Table II verbatim.
+	ic, err := NewICache(ReRAM, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"hit latency", ic.Hit.Latency, 19.44e-9},
+		{"hit energy", ic.Hit.Energy, 3.65e-9},
+		{"miss latency", ic.Miss.Latency, 9.99e-9},
+		{"miss energy", ic.Miss.Energy, 0.9e-9},
+		{"write latency", ic.Write.Latency, 202.35e-9},
+		{"write energy", ic.Write.Energy, 3.55e-9},
+		{"leak", ic.Leak, 0.22e-3},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > 1e-15 {
+			t.Errorf("%s = %g, want %g", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestICacheScaling(t *testing.T) {
+	small, _ := NewICache(ReRAM, 1024)
+	big, _ := NewICache(ReRAM, 16384)
+	if !(small.Hit.Energy < big.Hit.Energy) {
+		t.Error("icache hit energy must grow with capacity")
+	}
+	if !(small.Leak < big.Leak) {
+		t.Error("icache leakage must grow with capacity")
+	}
+}
+
+func TestICacheTechVariants(t *testing.T) {
+	reram, _ := NewICache(ReRAM, 4096)
+	stt, _ := NewICache(STTRAM, 4096)
+	if !(stt.Hit.Energy > reram.Hit.Energy) {
+		t.Error("STT-RAM icache must out-cost ReRAM")
+	}
+	if _, err := NewICache(Tech(42), 4096); err == nil {
+		t.Error("unknown icache tech accepted")
+	}
+	if _, err := NewICache(ReRAM, 0); err == nil {
+		t.Error("zero icache size accepted")
+	}
+}
+
+func TestTechString(t *testing.T) {
+	if Tech(42).String() == "" {
+		t.Fatal("unknown tech must still stringify")
+	}
+}

@@ -1,0 +1,109 @@
+package predictor
+
+import (
+	"fmt"
+
+	"edbp/internal/cache"
+)
+
+// CountingConfig tunes the counting-based dead block predictor.
+type CountingConfig struct {
+	// TableBits sizes the per-block-address threshold table.
+	TableBits uint
+	// Confidence is how many consistent generations are needed before the
+	// learned count is trusted enough to gate on.
+	Confidence uint8
+}
+
+// DefaultCounting returns the evaluation configuration.
+func DefaultCounting() CountingConfig { return CountingConfig{TableBits: 12, Confidence: 2} }
+
+// Counting is the counting-based dead block predictor of Kharbutli &
+// Solihin [34]: each block's accesses are counted, and once the count
+// reaches the threshold its previous generations died at, the block is
+// predicted dead and gated. The per-address threshold adapts: a
+// generation dying at a different count resets the entry's confidence.
+type Counting struct {
+	cfg  CountingConfig
+	env  Env
+	mask uint64
+
+	// Learned thresholds and confidences, indexed by address hash.
+	threshold []uint8
+	conf      []uint8
+}
+
+// NewCounting constructs the counting-based predictor.
+func NewCounting(cfg CountingConfig) (*Counting, error) {
+	if cfg.TableBits == 0 || cfg.TableBits > 24 {
+		return nil, fmt.Errorf("predictor: counting table bits must be in 1..24, got %d", cfg.TableBits)
+	}
+	if cfg.Confidence == 0 {
+		return nil, fmt.Errorf("predictor: counting confidence must be positive")
+	}
+	n := 1 << cfg.TableBits
+	return &Counting{
+		cfg:       cfg,
+		mask:      uint64(n - 1),
+		threshold: make([]uint8, n),
+		conf:      make([]uint8, n),
+	}, nil
+}
+
+// Name implements Predictor.
+func (p *Counting) Name() string { return "counting" }
+
+// Attach implements Predictor.
+func (p *Counting) Attach(env Env) { p.env = env }
+
+func (p *Counting) hash(addr uint64) uint64 {
+	return (addr * 0x9e3779b97f4a7c15 >> 20) & p.mask
+}
+
+// AfterAccess implements Predictor: train on evictions, and gate the
+// touched block once its use count reaches a confident threshold.
+func (p *Counting) AfterAccess(res cache.AccessResult) {
+	if res.Evicted && !res.EvictedGated {
+		p.train(p.env.Cache.BlockAddr(res.Set, res.EvictedTag), res.EvictedUses)
+	}
+	b := p.env.Cache.Block(res.Set, res.Way)
+	if !b.Live() {
+		return
+	}
+	h := p.hash(p.env.Cache.BlockAddr(res.Set, b.Tag))
+	if p.conf[h] >= p.cfg.Confidence && p.threshold[h] > 0 && b.Uses >= uint32(p.threshold[h]) {
+		p.env.GateBlock(res.Set, res.Way)
+	}
+}
+
+// Train records the final access count of a finished generation; the
+// simulator also calls it for blocks lost at outages.
+func (p *Counting) Train(addr uint64, uses uint32) { p.train(addr, uses) }
+
+func (p *Counting) train(addr uint64, uses uint32) {
+	if uses > 255 {
+		uses = 255
+	}
+	h := p.hash(addr)
+	if p.threshold[h] == uint8(uses) {
+		if p.conf[h] < 255 {
+			p.conf[h]++
+		}
+		return
+	}
+	p.threshold[h] = uint8(uses)
+	p.conf[h] = 0
+}
+
+// Tick implements Predictor.
+func (p *Counting) Tick(uint64) {}
+
+// OnVoltage implements Predictor.
+func (p *Counting) OnVoltage(float64) {}
+
+// OnCheckpoint implements Predictor.
+func (p *Counting) OnCheckpoint() {}
+
+// OnReboot implements Predictor: like SDBP's table, the small threshold
+// table lives in NV storage and survives.
+func (p *Counting) OnReboot() {}

@@ -1,0 +1,87 @@
+package predictor
+
+import (
+	"testing"
+
+	"edbp/internal/cache"
+)
+
+func TestOracleRecorderSchedule(t *testing.T) {
+	rec := NewOracleRecorder(2, 2)
+	// Generation: filled at event 1, hit at event 3, evicted at event 7.
+	rec.BlockFilled(0, 0, 0x100, 1, 1.0)
+	rec.BlockHit(0, 0, 3, 3.0)
+	rec.BlockEvicted(0, 0, 7, 7.0)
+	// Generation with no reuse, lost at an outage.
+	rec.BlockFilled(1, 1, 0x200, 4, 4.0)
+	rec.BlockLostAtOutage(1, 1, 9, 9.0)
+
+	sched := rec.Schedule(10.0)
+	if got := sched[3]; len(got) != 1 || got[0].addr != 0x100 {
+		t.Fatalf("schedule[3] = %+v, want gate of 0x100 after its last use", got)
+	}
+	if got := sched[3][0].tail; got != 4.0 {
+		t.Fatalf("tail = %g, want 4 (last use 3.0 → end 7.0)", got)
+	}
+	if got := sched[4]; len(got) != 1 || got[0].addr != 0x200 {
+		t.Fatalf("schedule[4] = %+v, want gate of 0x200 after its fill", got)
+	}
+}
+
+func TestOracleRecorderFlushesOpenGens(t *testing.T) {
+	rec := NewOracleRecorder(1, 1)
+	rec.BlockFilled(0, 0, 0x100, 2, 2.0)
+	sched := rec.Schedule(5.0)
+	if got := sched[2]; len(got) != 1 {
+		t.Fatalf("open generation not flushed: %+v", sched)
+	}
+}
+
+func TestIdealReplayGates(t *testing.T) {
+	c, err := cache.New(cache.Config{SizeBytes: 512, BlockBytes: 16, Ways: 4, Policy: cache.LRU, Power: cache.GateInvalid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewOracleRecorder(c.Sets(), c.Ways())
+	rec.BlockFilled(0, 0, 0x0, 5, 1.0)
+	rec.BlockEvicted(0, 0, 9, 9.0)
+	oracle := NewIdeal(rec, 10.0, 0)
+	oracle.Attach(Env{Cache: c, GateBlock: func(s, w int) { c.Gate(s, w) }})
+
+	// Replay: fill the block, then cross event 5.
+	c.Access(0x0, false)
+	oracle.AfterEvent(4)
+	if !c.Block(0, 0).Live() {
+		t.Fatal("gated before its scheduled event")
+	}
+	oracle.AfterEvent(5)
+	if c.Block(0, 0).Live() {
+		t.Fatal("not gated at its scheduled event")
+	}
+}
+
+func TestIdealSkipsDirtyShortTails(t *testing.T) {
+	c, _ := cache.New(cache.Config{SizeBytes: 512, BlockBytes: 16, Ways: 4, Policy: cache.LRU, Power: cache.GateInvalid})
+	rec := NewOracleRecorder(c.Sets(), c.Ways())
+	rec.BlockFilled(0, 0, 0x0, 5, 1.0)
+	rec.BlockEvicted(0, 0, 9, 1.001)   // 1 ms tail
+	oracle := NewIdeal(rec, 10.0, 0.5) // dirty blocks need a 0.5 s tail
+	oracle.Attach(Env{Cache: c, GateBlock: func(s, w int) { c.Gate(s, w) }})
+
+	c.Access(0x0, true) // dirty
+	oracle.AfterEvent(5)
+	if !c.Block(0, 0).Live() {
+		t.Fatal("dirty block with a short tail must stay powered")
+	}
+}
+
+func TestIdealToleratesDivergence(t *testing.T) {
+	c, _ := cache.New(cache.Config{SizeBytes: 512, BlockBytes: 16, Ways: 4, Policy: cache.LRU, Power: cache.GateInvalid})
+	rec := NewOracleRecorder(c.Sets(), c.Ways())
+	rec.BlockFilled(0, 0, 0x0, 5, 1.0)
+	rec.BlockEvicted(0, 0, 9, 9.0)
+	oracle := NewIdeal(rec, 10.0, 0)
+	oracle.Attach(Env{Cache: c, GateBlock: func(s, w int) { c.Gate(s, w) }})
+	// The scheduled block is not resident in this pass: must be a no-op.
+	oracle.AfterEvent(5)
+}

@@ -1,0 +1,141 @@
+// Package predictor implements the dead block predictors the paper
+// evaluates against and alongside EDBP: Cache Decay [32] (the paper's
+// conventional-predictor partner), AMC [74], SDBP [44] (the
+// checkpoint-filtering competitor), an oracle Ideal predictor (the
+// theoretical bound of Figure 8), and the no-op baseline.
+//
+// EDBP itself lives in internal/core — it is the paper's contribution, not
+// a prior predictor — but satisfies the same Predictor interface so that
+// the simulator composes it freely with the predictors here.
+package predictor
+
+import "edbp/internal/cache"
+
+// Env is everything a predictor may touch, supplied by the simulator at
+// attach time.
+type Env struct {
+	// Cache is the cache the predictor manages.
+	Cache *cache.Cache
+	// GateBlock powers the block at (set, way) off, charging the dirty
+	// writeback cost if needed. It is safe to call on non-live blocks (a
+	// no-op).
+	GateBlock func(set, way int)
+	// ClockHz lets time-based predictors convert cycles to seconds.
+	ClockHz float64
+	// PC, when provided, reports the current instruction-fetch program
+	// counter; trace-based predictors (RefTrace) need it.
+	PC func() uint32
+}
+
+// Predictor observes execution and deactivates cache blocks. All hooks are
+// invoked by the simulator; implementations must not call back into the
+// cache's demand-access path.
+type Predictor interface {
+	Name() string
+	// Attach binds the predictor to a simulation run. It is called once,
+	// before any other hook.
+	Attach(env Env)
+	// AfterAccess runs after every demand access to the managed cache.
+	AfterAccess(res cache.AccessResult)
+	// Tick advances predictor time by the given number of CPU cycles.
+	Tick(cycles uint64)
+	// OnVoltage reports the capacitor voltage after every simulation
+	// event; only voltage-aware predictors (EDBP) act on it.
+	OnVoltage(v float64)
+	// OnCheckpoint runs just before the JIT checkpoint (power failing).
+	OnCheckpoint()
+	// OnReboot runs after restoration, at the start of a new power cycle.
+	OnReboot()
+}
+
+// None is the baseline: no dead block prediction (NVSRAMCache alone).
+type None struct{}
+
+// Name implements Predictor.
+func (None) Name() string { return "none" }
+
+// Attach implements Predictor.
+func (None) Attach(Env) {}
+
+// AfterAccess implements Predictor.
+func (None) AfterAccess(cache.AccessResult) {}
+
+// Tick implements Predictor.
+func (None) Tick(uint64) {}
+
+// OnVoltage implements Predictor.
+func (None) OnVoltage(float64) {}
+
+// OnCheckpoint implements Predictor.
+func (None) OnCheckpoint() {}
+
+// OnReboot implements Predictor.
+func (None) OnReboot() {}
+
+// Combine runs several predictors side by side (the paper's
+// "Cache Decay + EDBP" configuration). Hooks fan out in order.
+type Combine struct {
+	parts []Predictor
+	name  string
+}
+
+// NewCombine composes predictors; the display name joins theirs with "+".
+func NewCombine(parts ...Predictor) *Combine {
+	name := ""
+	for i, p := range parts {
+		if i > 0 {
+			name += "+"
+		}
+		name += p.Name()
+	}
+	return &Combine{parts: parts, name: name}
+}
+
+// Name implements Predictor.
+func (c *Combine) Name() string { return c.name }
+
+// Attach implements Predictor.
+func (c *Combine) Attach(env Env) {
+	for _, p := range c.parts {
+		p.Attach(env)
+	}
+}
+
+// AfterAccess implements Predictor.
+func (c *Combine) AfterAccess(res cache.AccessResult) {
+	for _, p := range c.parts {
+		p.AfterAccess(res)
+	}
+}
+
+// Tick implements Predictor.
+func (c *Combine) Tick(cycles uint64) {
+	for _, p := range c.parts {
+		p.Tick(cycles)
+	}
+}
+
+// OnVoltage implements Predictor.
+func (c *Combine) OnVoltage(v float64) {
+	for _, p := range c.parts {
+		p.OnVoltage(v)
+	}
+}
+
+// OnCheckpoint implements Predictor.
+func (c *Combine) OnCheckpoint() {
+	for _, p := range c.parts {
+		p.OnCheckpoint()
+	}
+}
+
+// OnReboot implements Predictor.
+func (c *Combine) OnReboot() {
+	for _, p := range c.parts {
+		p.OnReboot()
+	}
+}
+
+// Parts exposes the composed predictors (e.g. so the simulator can find a
+// checkpoint.Filter among them).
+func (c *Combine) Parts() []Predictor { return c.parts }

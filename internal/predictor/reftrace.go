@@ -1,0 +1,139 @@
+package predictor
+
+import (
+	"fmt"
+
+	"edbp/internal/cache"
+)
+
+// RefTraceConfig tunes the trace-based dead block predictor.
+type RefTraceConfig struct {
+	// TableBits sizes the dead-signature history table.
+	TableBits uint
+	// Confidence is the saturating-counter threshold at which a signature
+	// is trusted to indicate death.
+	Confidence uint8
+}
+
+// DefaultRefTrace returns the evaluation configuration.
+func DefaultRefTrace() RefTraceConfig { return RefTraceConfig{TableBits: 13, Confidence: 2} }
+
+// RefTrace is the trace-based dead block predictor of Lai, Fide & Falsafi
+// [38]: each block accumulates a signature hashed from the sequence of
+// program counters that touched it; a history table remembers the
+// signatures at which blocks died. When a block's running signature
+// matches a confidently-dead signature, the block is predicted dead and
+// gated. Wrong kills decay the offending signature's confidence.
+//
+// The per-way signature slot doubles as the victim's final signature
+// during an eviction: AfterAccess reinforces it before the fill's fresh
+// signature overwrites the slot.
+type RefTrace struct {
+	cfg  RefTraceConfig
+	env  Env
+	mask uint32
+
+	// sig is each block's running PC-trace signature for the current
+	// generation.
+	sig []uint32
+	// deadConf is the saturating confidence that a signature leads to
+	// death.
+	deadConf []uint8
+}
+
+// NewRefTrace constructs the trace-based predictor.
+func NewRefTrace(cfg RefTraceConfig) (*RefTrace, error) {
+	if cfg.TableBits == 0 || cfg.TableBits > 24 {
+		return nil, fmt.Errorf("predictor: reftrace table bits must be in 1..24, got %d", cfg.TableBits)
+	}
+	if cfg.Confidence == 0 {
+		return nil, fmt.Errorf("predictor: reftrace confidence must be positive")
+	}
+	return &RefTrace{
+		cfg:      cfg,
+		mask:     uint32(1<<cfg.TableBits - 1),
+		deadConf: make([]uint8, 1<<cfg.TableBits),
+	}, nil
+}
+
+// Name implements Predictor.
+func (p *RefTrace) Name() string { return "reftrace" }
+
+// Attach implements Predictor.
+func (p *RefTrace) Attach(env Env) {
+	p.env = env
+	p.sig = make([]uint32, env.Cache.Config().Blocks())
+}
+
+func (p *RefTrace) idx(set, way int) int { return set*p.env.Cache.Ways() + way }
+
+// mix folds one PC into a signature.
+func mix(sig, pc uint32) uint32 {
+	sig ^= pc
+	sig *= 0x85ebca6b
+	sig ^= sig >> 13
+	return sig
+}
+
+func satInc(v uint8) uint8 {
+	if v == 255 {
+		return v
+	}
+	return v + 1
+}
+
+// AfterAccess implements Predictor. The simulator provides the current
+// fetch PC through Env.PC; without it the predictor stays inert.
+func (p *RefTrace) AfterAccess(res cache.AccessResult) {
+	if p.env.PC == nil {
+		return
+	}
+	pc := p.env.PC()
+	i := p.idx(res.Set, res.Way)
+
+	if res.WrongKill {
+		// The signature that triggered the kill is still in the slot;
+		// weaken it before the refill resets the slot.
+		h := p.sig[i] & p.mask
+		if p.deadConf[h] > 0 {
+			p.deadConf[h]--
+		}
+	}
+	if res.Evicted && !res.EvictedGated {
+		// The victim died with the signature still held in this way's
+		// slot: reinforce it as death-indicating.
+		h := p.sig[i] & p.mask
+		p.deadConf[h] = satInc(p.deadConf[h])
+	}
+
+	if res.Filled {
+		p.sig[i] = mix(0, pc)
+	} else if res.Hit {
+		p.sig[i] = mix(p.sig[i], pc)
+	}
+
+	b := p.env.Cache.Block(res.Set, res.Way)
+	if b.Live() {
+		h := p.sig[i] & p.mask
+		if p.deadConf[h] >= p.cfg.Confidence {
+			p.env.GateBlock(res.Set, res.Way)
+		}
+	}
+}
+
+// Tick implements Predictor.
+func (p *RefTrace) Tick(uint64) {}
+
+// OnVoltage implements Predictor.
+func (p *RefTrace) OnVoltage(float64) {}
+
+// OnCheckpoint implements Predictor.
+func (p *RefTrace) OnCheckpoint() {}
+
+// OnReboot implements Predictor: per-block signatures are volatile; the
+// history table survives in NV storage.
+func (p *RefTrace) OnReboot() {
+	for i := range p.sig {
+		p.sig[i] = 0
+	}
+}

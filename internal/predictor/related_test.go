@@ -1,0 +1,168 @@
+package predictor
+
+import (
+	"testing"
+
+	"edbp/internal/cache"
+)
+
+func TestCountingGatesAtLearnedThreshold(t *testing.T) {
+	env, c, gated := testEnv(t, 4)
+	p, err := NewCounting(CountingConfig{TableBits: 10, Confidence: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Attach(env)
+
+	// Teach: the block at address 0 historically dies after 3 uses, twice
+	// (confidence 1 needs one consistent repetition beyond the reset).
+	p.Train(0, 3)
+	p.Train(0, 3)
+
+	// Fill (use 1), hit (use 2): stays live.
+	p.AfterAccess(c.Access(0, false))
+	p.AfterAccess(c.Access(0, false))
+	if len(*gated) != 0 {
+		t.Fatal("gated before the learned threshold")
+	}
+	// Third use reaches the threshold: gated right after.
+	p.AfterAccess(c.Access(0, false))
+	if len(*gated) != 1 {
+		t.Fatalf("gated %d blocks at the threshold, want 1", len(*gated))
+	}
+}
+
+func TestCountingConfidenceGate(t *testing.T) {
+	env, c, gated := testEnv(t, 4)
+	p, _ := NewCounting(CountingConfig{TableBits: 10, Confidence: 2})
+	p.Attach(env)
+	p.Train(0, 1) // first sighting: confidence resets to 0
+	p.AfterAccess(c.Access(0, false))
+	if len(*gated) != 0 {
+		t.Fatal("gated with zero confidence")
+	}
+	// Inconsistent history keeps confidence at zero.
+	p.Train(0, 5)
+	p.Train(0, 1)
+	p.AfterAccess(c.Access(0, false))
+	if len(*gated) != 0 {
+		t.Fatal("gated despite inconsistent history")
+	}
+}
+
+func TestCountingTrainsOnEviction(t *testing.T) {
+	env, c, _ := testEnv(t, 4)
+	p, _ := NewCounting(DefaultCounting())
+	p.Attach(env)
+	sets := c.Sets()
+	for tag := 0; tag < 5; tag++ {
+		p.AfterAccess(c.Access(uint64(tag)*uint64(sets)*16, false))
+	}
+	// No panic, table updated; behavioural effect is covered above.
+}
+
+func TestCountingValidation(t *testing.T) {
+	if _, err := NewCounting(CountingConfig{TableBits: 0, Confidence: 1}); err == nil {
+		t.Error("zero table accepted")
+	}
+	if _, err := NewCounting(CountingConfig{TableBits: 10, Confidence: 0}); err == nil {
+		t.Error("zero confidence accepted")
+	}
+}
+
+// refTraceEnv wires a RefTrace with a controllable PC.
+func refTraceEnv(t *testing.T) (*RefTrace, *cache.Cache, *[]int, *uint32) {
+	t.Helper()
+	env, c, gated := testEnv(t, 4)
+	pc := uint32(0x1000)
+	env.PC = func() uint32 { return pc }
+	p, err := NewRefTrace(RefTraceConfig{TableBits: 12, Confidence: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Attach(env)
+	return p, c, gated, &pc
+}
+
+func TestRefTraceLearnsDeathSignature(t *testing.T) {
+	p, c, gated, pc := refTraceEnv(t)
+	sets := uint64(c.Sets())
+	addr := func(tag int) uint64 { return uint64(tag) * sets * 16 }
+
+	// Generation 1 of tag 0: filled at PC 0x1000, then evicted by four
+	// fills — its death signature (single access at 0x1000) is learned.
+	*pc = 0x1000
+	p.AfterAccess(c.Access(addr(0), false))
+	for tag := 1; tag <= 4; tag++ {
+		*pc = 0x2000 + uint32(tag)*4
+		p.AfterAccess(c.Access(addr(tag), false))
+	}
+
+	// Generation 2 of tag 0 with the same fill PC: the signature matches
+	// a confident death record, so the block is gated immediately.
+	before := len(*gated)
+	*pc = 0x1000
+	p.AfterAccess(c.Access(addr(0), false))
+	if len(*gated) != before+1 {
+		t.Fatalf("matching death signature did not gate (gated %d)", len(*gated)-before)
+	}
+}
+
+func TestRefTraceWrongKillWeakensSignature(t *testing.T) {
+	p, c, gated, pc := refTraceEnv(t)
+	sets := uint64(c.Sets())
+	addr := func(tag int) uint64 { return uint64(tag) * sets * 16 }
+
+	// Learn a death signature as above and trigger a kill.
+	*pc = 0x1000
+	p.AfterAccess(c.Access(addr(0), false))
+	for tag := 1; tag <= 4; tag++ {
+		*pc = 0x2000 + uint32(tag)*4
+		p.AfterAccess(c.Access(addr(tag), false))
+	}
+	*pc = 0x1000
+	p.AfterAccess(c.Access(addr(0), false)) // gated (kill)
+	if len(*gated) != 1 {
+		t.Fatal("setup failed: no kill")
+	}
+
+	// Re-demand the killed block: WrongKill weakens the signature, so the
+	// immediate refill with the same PC is NOT gated again.
+	p.AfterAccess(c.Access(addr(0), false))
+	if len(*gated) != 1 {
+		t.Fatalf("signature not weakened after wrong kill: %d gates", len(*gated))
+	}
+}
+
+func TestRefTraceInertWithoutPC(t *testing.T) {
+	env, c, gated := testEnv(t, 4) // no PC provider
+	p, _ := NewRefTrace(DefaultRefTrace())
+	p.Attach(env)
+	for i := 0; i < 50; i++ {
+		p.AfterAccess(c.Access(uint64(i)*16, false))
+	}
+	if len(*gated) != 0 {
+		t.Fatal("RefTrace acted without a PC source")
+	}
+}
+
+func TestRefTraceValidation(t *testing.T) {
+	if _, err := NewRefTrace(RefTraceConfig{TableBits: 0, Confidence: 1}); err == nil {
+		t.Error("zero table accepted")
+	}
+	if _, err := NewRefTrace(RefTraceConfig{TableBits: 12, Confidence: 0}); err == nil {
+		t.Error("zero confidence accepted")
+	}
+}
+
+func TestRefTraceRebootClearsSignatures(t *testing.T) {
+	p, c, _, pc := refTraceEnv(t)
+	*pc = 0x1000
+	p.AfterAccess(c.Access(0, false))
+	p.OnReboot()
+	for _, s := range p.sig {
+		if s != 0 {
+			t.Fatal("signatures survived reboot")
+		}
+	}
+}

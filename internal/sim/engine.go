@@ -1,0 +1,681 @@
+package sim
+
+import (
+	"fmt"
+
+	"edbp/internal/cache"
+	"edbp/internal/checkpoint"
+	"edbp/internal/core"
+	"edbp/internal/cpu"
+	"edbp/internal/energy"
+	"edbp/internal/metrics"
+	"edbp/internal/nvm"
+	"edbp/internal/predictor"
+	"edbp/internal/sram"
+	"edbp/internal/workload"
+)
+
+// zombieSampleEvery is the Figure 4 sampling period in simulated seconds.
+const zombieSampleEvery = 20e-6
+
+// engine is one simulation run's mutable state.
+type engine struct {
+	cfg   Config
+	trace *workload.Trace
+
+	cap *energy.Capacitor
+	mon *energy.Monitor
+	src energy.Source
+
+	dc, ic  *cache.Cache
+	dcModel *sram.Model
+	icSRAM  *sram.Model // non-nil when the I-cache is SRAM (Section VI-I)
+	icNVM   *nvm.ICache // non-nil when the I-cache is ReRAM (default)
+	mem     *nvm.Memory
+
+	fetch     *cpu.Fetcher
+	cycleTime float64
+	mcuPower  float64
+
+	pred       predictor.Predictor // data cache predictor stack
+	icPred     predictor.Predictor // optional I-cache predictor stack
+	filter     checkpoint.Filter
+	edbp       *core.EDBP
+	eventAware predictor.EventAware
+
+	tracker   *metrics.Tracker
+	icTracker *metrics.Tracker
+	listeners []metrics.Listener // data cache listeners (tracker + extras)
+	profile   *metrics.ZombieProfile
+
+	now        float64
+	eventIdx   uint64
+	instrsDone uint64
+	truncated  bool
+
+	// pendingWB counts dirty writebacks queued by predictor gating. A
+	// gating sweep can turn off dozens of dirty blocks at once; hardware
+	// drains those through a writeback buffer over time, so the simulator
+	// spreads their memory-write energy across subsequent flushes instead
+	// of dumping one large instantaneous drain on the capacitor (which
+	// would trigger artificial voltage-shock outages). Any writebacks
+	// still pending at a power failure complete as part of the checkpoint
+	// (the JIT energy reserve covers them).
+	pendingWB int
+
+	// Scratch accumulators for the current micro-op's instruction fetches.
+	fLat  float64
+	fDyn  float64
+	fMemE float64
+
+	// Restore state across an outage.
+	restoreBlocks int
+
+	nextZombieSample float64
+
+	res Result
+}
+
+type trainer interface {
+	Train(addr uint64, uses uint32)
+}
+
+// newEngine wires a run together. extra listeners (e.g. the Ideal
+// recorder) observe data cache block lifecycle events; predOverride, when
+// non-nil, replaces the scheme-derived data cache predictor (used for the
+// Ideal replay pass).
+func newEngine(cfg Config, trace *workload.Trace, predOverride predictor.Predictor, extra ...metrics.Listener) (*engine, error) {
+	capac, err := energy.NewCapacitor(cfg.Capacitor)
+	if err != nil {
+		return nil, err
+	}
+	dcCfg := cfg.dcacheConfig()
+	dc, err := cache.New(dcCfg)
+	if err != nil {
+		return nil, fmt.Errorf("sim: data cache: %w", err)
+	}
+	ic, err := cache.New(cfg.icacheConfig())
+	if err != nil {
+		return nil, fmt.Errorf("sim: instruction cache: %w", err)
+	}
+	dcModel, err := sram.New(sram.Config{Bytes: cfg.DCacheBytes, Ways: cfg.DCacheWays})
+	if err != nil {
+		return nil, err
+	}
+	mem, err := nvm.NewMemory(cfg.MemTech, cfg.MemBytes)
+	if err != nil {
+		return nil, err
+	}
+
+	e := &engine{
+		cfg:       cfg,
+		trace:     trace,
+		cap:       capac,
+		mon:       energy.NewMonitor(cfg.Monitor),
+		dc:        dc,
+		ic:        ic,
+		dcModel:   dcModel,
+		mem:       mem,
+		fetch:     cpu.NewFetcher(trace.Regions, cfg.BlockBytes),
+		cycleTime: cfg.CPU.CycleTime(),
+		mcuPower:  cfg.CPU.ActivePower(),
+		tracker:   metrics.NewTracker(dc.Sets(), dc.Ways()),
+	}
+	e.res.Config = cfg
+
+	if cfg.Source != nil {
+		e.src = cfg.Source
+	} else {
+		e.src = energy.NewTrace(cfg.TraceKind, cfg.SourceSeed)
+	}
+
+	if cfg.ICacheSRAM {
+		e.icSRAM, err = sram.New(sram.Config{Bytes: cfg.ICacheBytes, Ways: cfg.ICacheWays})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		e.icNVM, err = nvm.NewICache(nvm.ReRAM, cfg.ICacheBytes)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Apply the dynamic-energy calibration (Config.CacheDynScale /
+	// MemDynScale); all these model structs are freshly constructed above,
+	// so scaling in place is safe. Leakage powers stay untouched.
+	e.dcModel.AccessEnergy *= cfg.CacheDynScale
+	if e.icSRAM != nil {
+		e.icSRAM.AccessEnergy *= cfg.CacheDynScale
+	} else {
+		e.icNVM.Hit.Energy *= cfg.CacheDynScale
+		e.icNVM.Miss.Energy *= cfg.CacheDynScale
+		e.icNVM.Write.Energy *= cfg.CacheDynScale
+	}
+	e.mem.Read.Energy *= cfg.MemDynScale
+	e.mem.Write.Energy *= cfg.MemDynScale
+
+	e.listeners = append(e.listeners, e.tracker)
+	e.listeners = append(e.listeners, extra...)
+
+	if cfg.CollectZombieProfile {
+		e.profile, err = metrics.NewZombieProfile(cfg.Monitor.VCkpt, cfg.Capacitor.VMax, 12)
+		if err != nil {
+			return nil, err
+		}
+		e.tracker.EnableZombieProfile(e.profile)
+		e.res.ZombieProfile = e.profile
+	}
+
+	// Predictor stacks.
+	if predOverride != nil {
+		e.pred = predOverride
+	} else {
+		e.pred, err = buildPredictor(cfg, cfg.DCacheWays)
+		if err != nil {
+			return nil, err
+		}
+	}
+	e.pred.Attach(predictor.Env{Cache: dc, GateBlock: e.gateDCache, ClockHz: cfg.CPU.ClockHz, PC: e.fetch.PC})
+	e.filter = checkpoint.DirtyOnly{}
+	probeScheme(e.pred, e)
+
+	if cfg.PredictICache {
+		e.icPred, err = buildPredictor(cfg, cfg.ICacheWays)
+		if err != nil {
+			return nil, err
+		}
+		e.icPred.Attach(predictor.Env{Cache: ic, GateBlock: e.gateICache, ClockHz: cfg.CPU.ClockHz, PC: e.fetch.PC})
+		e.icTracker = metrics.NewTracker(ic.Sets(), ic.Ways())
+	}
+	return e, nil
+}
+
+// buildPredictor constructs the scheme's predictor stack for a cache of
+// the given associativity.
+func buildPredictor(cfg Config, ways int) (predictor.Predictor, error) {
+	newDecay := func() (predictor.Predictor, error) {
+		dcfg := predictor.DefaultDecay()
+		if cfg.DecayCfg != nil {
+			dcfg = *cfg.DecayCfg
+		}
+		return predictor.NewDecay(dcfg)
+	}
+	newAMC := func() (predictor.Predictor, error) {
+		acfg := predictor.DefaultAMC()
+		if cfg.AMCCfg != nil {
+			acfg = *cfg.AMCCfg
+		}
+		return predictor.NewAMC(acfg)
+	}
+	newEDBP := func() (predictor.Predictor, error) {
+		ecfg := core.DefaultConfig(ways, cfg.Monitor.VCkpt, cfg.Monitor.VRst)
+		if cfg.EDBPCfg != nil {
+			ecfg = *cfg.EDBPCfg
+		}
+		return core.New(ecfg, ways)
+	}
+	newCounting := func() (predictor.Predictor, error) {
+		return predictor.NewCounting(predictor.DefaultCounting())
+	}
+	newRefTrace := func() (predictor.Predictor, error) {
+		return predictor.NewRefTrace(predictor.DefaultRefTrace())
+	}
+	combine := func(a func() (predictor.Predictor, error)) (predictor.Predictor, error) {
+		p, err := a()
+		if err != nil {
+			return nil, err
+		}
+		z, err := newEDBP()
+		if err != nil {
+			return nil, err
+		}
+		return predictor.NewCombine(p, z), nil
+	}
+	switch cfg.Scheme {
+	case Baseline:
+		return predictor.None{}, nil
+	case SDBP:
+		scfg := predictor.DefaultSDBP()
+		if cfg.SDBPCfg != nil {
+			scfg = *cfg.SDBPCfg
+		}
+		return predictor.NewSDBP(scfg)
+	case Decay:
+		return newDecay()
+	case AMC:
+		return newAMC()
+	case EDBP:
+		return newEDBP()
+	case Counting:
+		return newCounting()
+	case RefTrace:
+		return newRefTrace()
+	case DecayEDBP:
+		return combine(newDecay)
+	case AMCEDBP:
+		return combine(newAMC)
+	case CountingEDBP:
+		return combine(newCounting)
+	case RefTraceEDBP:
+		return combine(newRefTrace)
+	case Ideal:
+		return nil, fmt.Errorf("sim: Ideal is built by Run's two-pass driver, not buildPredictor")
+	default:
+		return nil, fmt.Errorf("sim: unknown scheme %v", cfg.Scheme)
+	}
+}
+
+// probeScheme discovers special predictor capabilities (checkpoint
+// filtering, event awareness, EDBP state) anywhere in the stack.
+func probeScheme(p predictor.Predictor, e *engine) {
+	switch v := p.(type) {
+	case *predictor.Combine:
+		for _, part := range v.Parts() {
+			probeScheme(part, e)
+		}
+	case checkpoint.Filter:
+		e.filter = v
+		if ed, ok := p.(*core.EDBP); ok {
+			e.edbp = ed
+		}
+	}
+	if ed, ok := p.(*core.EDBP); ok {
+		e.edbp = ed
+	}
+	if ea, ok := p.(predictor.EventAware); ok {
+		e.eventAware = ea
+	}
+}
+
+// ------------------------------------------------------------- gating --
+
+// gateDCache powers a data cache block off on a predictor's behalf,
+// charging the dirty writeback and notifying the lifecycle listeners.
+func (e *engine) gateDCache(set, way int) {
+	wasDirty, gated := e.dc.Gate(set, way)
+	if !gated {
+		return
+	}
+	if wasDirty {
+		e.pendingWB++
+	}
+	for _, l := range e.listeners {
+		l.BlockGated(set, way, e.eventIdx, e.now)
+	}
+}
+
+// gateICache is the instruction cache twin (Figure 18 configurations);
+// instruction blocks are never dirty.
+func (e *engine) gateICache(set, way int) {
+	if _, gated := e.ic.Gate(set, way); gated && e.icTracker != nil {
+		e.icTracker.BlockGated(set, way, e.eventIdx, e.now)
+	}
+}
+
+// -------------------------------------------------------------- energy --
+
+// flush advances simulated time by dt with the given dynamic energies,
+// integrating leakage, MCU power and the harvest, then services the
+// voltage monitor and the predictors.
+func (e *engine) flush(dt, dcDyn, icDyn, memDyn float64) {
+	// Drain queued gating writebacks gradually (up to two per flush — the
+	// writeback buffer empties in the background while execution runs).
+	for k := 0; k < 2 && e.pendingWB > 0; k++ {
+		e.pendingWB--
+		memDyn += e.mem.Write.Energy
+	}
+	if dt <= 0 {
+		return
+	}
+
+	dcLeak := e.dcLeakPower() * dt
+	icLeak := e.icLeakPower() * dt
+	memLeak := e.mem.Leak * dt
+	mcu := e.mcuPower * dt
+
+	e.res.Energy.DCacheDynamic += dcDyn
+	e.res.Energy.DCacheLeak += dcLeak
+	e.res.Energy.ICacheDynamic += icDyn
+	e.res.Energy.ICacheLeak += icLeak
+	e.res.Energy.Memory += memDyn + memLeak
+	e.res.Energy.MCU += mcu
+
+	load := dcDyn + icDyn + memDyn + dcLeak + icLeak + memLeak + mcu
+	e.cap.Step(dt, e.src.Power(e.now), load/dt)
+	e.now += dt
+	e.res.ActiveTime += dt
+
+	cycles := uint64(dt/e.cycleTime + 0.5)
+	e.pred.Tick(cycles)
+	if e.icPred != nil {
+		e.icPred.Tick(cycles)
+	}
+
+	if e.profile != nil && e.now >= e.nextZombieSample {
+		e.profile.Sample(e.now, e.cap.Voltage(), e.dc.LiveBlocks())
+		e.nextZombieSample = e.now + zombieSampleEvery
+	}
+
+	v := e.cap.Voltage()
+	if e.cfg.VoltageSampler != nil {
+		e.cfg.VoltageSampler(e.now, v, true)
+	}
+	if ckpt, _ := e.mon.Observe(v); ckpt {
+		e.powerFailure()
+		return
+	}
+	e.pred.OnVoltage(v)
+	if e.icPred != nil {
+		e.icPred.OnVoltage(v)
+	}
+	if e.now > e.cfg.MaxSimTime {
+		e.truncated = true
+	}
+}
+
+// advanceRaw progresses time/energy outside normal execution (checkpoint
+// and restore): caches leak, the core is halted, the monitor is not
+// consulted (the hardware sequence is atomic).
+func (e *engine) advanceRaw(dt, energyJ float64, bucket *float64) {
+	dcLeak := e.dcLeakPower() * dt
+	icLeak := e.icLeakPower() * dt
+	e.res.Energy.DCacheLeak += dcLeak
+	e.res.Energy.ICacheLeak += icLeak
+	*bucket += energyJ
+	load := energyJ + dcLeak + icLeak
+	if dt > 0 {
+		e.cap.Step(dt, e.src.Power(e.now), load/dt)
+	} else {
+		e.cap.Drain(load)
+	}
+	e.now += dt
+	e.res.ActiveTime += dt
+}
+
+// dcLeakPower is the data cache's current leakage draw.
+func (e *engine) dcLeakPower() float64 {
+	blocks := float64(e.dc.Config().Blocks())
+	frac := float64(e.dc.PoweredBlocks()) / blocks
+	return e.dcModel.LeakPower * e.cfg.DCacheLeakFactor * frac
+}
+
+// icLeakPower is the instruction cache's current leakage draw.
+func (e *engine) icLeakPower() float64 {
+	if e.icSRAM != nil {
+		blocks := float64(e.ic.Config().Blocks())
+		return e.icSRAM.LeakPower * float64(e.ic.PoweredBlocks()) / blocks
+	}
+	return e.icNVM.Leak
+}
+
+// ----------------------------------------------------------- execution --
+
+// ifetch services one instruction cache block fetch, accumulating into the
+// scratch fields consumed by the caller's flush.
+func (e *engine) ifetch(blockAddr uint32) {
+	res := e.ic.Access(uint64(blockAddr), false)
+	if e.icTracker != nil {
+		e.notifyIC(res, uint64(blockAddr))
+	}
+	if e.icSRAM != nil {
+		e.fLat += e.icSRAM.AccessLatency
+		e.fDyn += e.icSRAM.AccessEnergy
+		if !res.Hit {
+			e.fLat += e.mem.Read.Latency + e.icSRAM.AccessLatency
+			e.fDyn += e.icSRAM.AccessEnergy
+			e.fMemE += e.mem.Read.Energy
+		}
+	} else {
+		if res.Hit {
+			e.fLat += e.icNVM.Hit.Latency
+			e.fDyn += e.icNVM.Hit.Energy
+		} else {
+			e.fLat += e.icNVM.Miss.Latency + e.mem.Read.Latency + e.icNVM.Write.Latency
+			e.fDyn += e.icNVM.Miss.Energy + e.icNVM.Write.Energy
+			e.fMemE += e.mem.Read.Energy
+		}
+	}
+	if e.icPred != nil {
+		e.icPred.AfterAccess(res)
+	}
+}
+
+func (e *engine) notifyIC(res cache.AccessResult, addr uint64) {
+	t := e.icTracker
+	if res.WrongKill {
+		t.BlockWrongKill(res.Set, res.Way, e.eventIdx, e.now)
+	}
+	if res.Evicted {
+		t.BlockEvicted(res.Set, res.Way, e.eventIdx, e.now)
+	}
+	if res.Filled {
+		t.BlockFilled(res.Set, res.Way, addr, e.eventIdx, e.now)
+	} else if res.Hit {
+		t.BlockHit(res.Set, res.Way, e.eventIdx, e.now)
+	}
+}
+
+// execTicks runs n compute instructions, in chunks small enough for the
+// voltage monitor to keep pace with the capacitor.
+func (e *engine) execTicks(n int) {
+	const chunk = 32
+	for n > 0 && !e.truncated {
+		k := n
+		if k > chunk {
+			k = chunk
+		}
+		e.fLat, e.fDyn, e.fMemE = 0, 0, 0
+		e.fetch.Step(k, e.ifetch)
+		e.instrsDone += uint64(k)
+		e.flush(float64(k)*e.cycleTime+e.fLat, 0, e.fDyn, e.fMemE)
+		n -= k
+	}
+}
+
+// execBranch handles Enter/Leave (one branch instruction plus the PC
+// redirect).
+func (e *engine) execBranch(enter bool, region int) {
+	e.fLat, e.fDyn, e.fMemE = 0, 0, 0
+	if enter {
+		e.fetch.Enter(region, e.ifetch)
+	} else {
+		e.fetch.Leave(e.ifetch)
+	}
+	e.instrsDone++
+	e.flush(e.cycleTime+e.fLat, 0, e.fDyn, e.fMemE)
+}
+
+// execMem runs one load or store.
+func (e *engine) execMem(addr uint64, write bool) {
+	e.fLat, e.fDyn, e.fMemE = 0, 0, 0
+	e.fetch.Step(1, e.ifetch)
+	e.instrsDone++
+
+	res := e.dc.Access(addr, write)
+	lat := e.fLat + e.dcModel.AccessLatency
+	dcDyn := e.dcModel.AccessEnergy
+	memE := e.fMemE
+	if !res.Hit {
+		// Miss: read the block from memory and write it into the array.
+		lat += e.mem.Read.Latency + e.dcModel.AccessLatency
+		dcDyn += e.dcModel.AccessEnergy
+		memE += e.mem.Read.Energy
+		if res.Evicted && res.EvictedDirty {
+			lat += e.mem.Write.Latency
+			memE += e.mem.Write.Energy
+		}
+	}
+
+	blockAddr := addr &^ uint64(e.cfg.BlockBytes-1)
+	for _, l := range e.listeners {
+		if res.WrongKill {
+			l.BlockWrongKill(res.Set, res.Way, e.eventIdx, e.now)
+		}
+		if res.Evicted {
+			l.BlockEvicted(res.Set, res.Way, e.eventIdx, e.now)
+		}
+		if res.Filled {
+			l.BlockFilled(res.Set, res.Way, blockAddr, e.eventIdx, e.now)
+		} else if res.Hit {
+			l.BlockHit(res.Set, res.Way, e.eventIdx, e.now)
+		}
+	}
+	e.pred.AfterAccess(res)
+
+	e.flush(float64(1)*e.cycleTime+lat, dcDyn, e.fDyn, memE)
+}
+
+// -------------------------------------------------------- power events --
+
+// powerFailure executes the JIT checkpoint, the outage, hibernation, and
+// the restore, leaving the engine running in the next power cycle.
+func (e *engine) powerFailure() {
+	e.res.Checkpoints++
+	if len(e.res.OutageTimes) < 4096 {
+		e.res.OutageTimes = append(e.res.OutageTimes, e.now)
+	}
+	e.pred.OnCheckpoint()
+	if e.icPred != nil {
+		e.icPred.OnCheckpoint()
+	}
+
+	// Queued gating writebacks must complete before power-down.
+	if e.pendingWB > 0 {
+		e.advanceRaw(float64(e.pendingWB)*e.mem.Write.Latency,
+			float64(e.pendingWB)*e.mem.Write.Energy, &e.res.Energy.Memory)
+		e.pendingWB = 0
+	}
+
+	plan, kept := checkpoint.PlanSave(e.dc, e.filter, e.cfg.Checkpoint)
+	e.advanceRaw(plan.Latency, plan.Energy, &e.res.Energy.Checkpoint)
+	e.res.CheckpointBlocks += plan.Blocks
+
+	keptIdx := make([]bool, e.dc.Sets()*e.dc.Ways())
+	for _, sw := range kept {
+		keptIdx[sw[0]*e.dc.Ways()+sw[1]] = true
+	}
+
+	// Every valid block that is not checkpointed is lost: close its
+	// generation (zombie bookkeeping) and train SDBP with its final use
+	// count.
+	tr, _ := e.pred.(trainer)
+	if c, ok := e.filter.(trainer); ok {
+		tr = c
+	}
+	for s := 0; s < e.dc.Sets(); s++ {
+		for w := 0; w < e.dc.Ways(); w++ {
+			b := e.dc.Block(s, w)
+			if !b.Valid || keptIdx[s*e.dc.Ways()+w] {
+				continue
+			}
+			if tr != nil && !b.Gated {
+				tr.Train(e.dc.BlockAddr(s, b.Tag), b.Uses)
+			}
+			for _, l := range e.listeners {
+				l.BlockLostAtOutage(s, w, e.eventIdx, e.now)
+			}
+		}
+	}
+	if e.profile != nil {
+		e.profile.FlushCycle(true)
+	}
+	e.dc.Outage(func(s, w int, _ *cache.Block) bool { return keptIdx[s*e.dc.Ways()+w] })
+
+	// The SRAM instruction cache is volatile and is not checkpointed (its
+	// contents are clean); the default ReRAM I-cache survives outages.
+	if e.icSRAM != nil {
+		if e.icTracker != nil {
+			for s := 0; s < e.ic.Sets(); s++ {
+				for w := 0; w < e.ic.Ways(); w++ {
+					if e.ic.Block(s, w).Valid {
+						e.icTracker.BlockLostAtOutage(s, w, e.eventIdx, e.now)
+					}
+				}
+			}
+		}
+		e.ic.Outage(nil)
+	}
+
+	e.restoreBlocks = plan.Blocks
+	e.hibernate()
+}
+
+// hibernate advances time with the system off until the restore threshold
+// is reached, then pays the restoration cost and resumes.
+func (e *engine) hibernate() {
+	for {
+		e.cap.Step(energy.TraceResolution, e.src.Power(e.now), 0)
+		e.now += energy.TraceResolution
+		e.res.OffTime += energy.TraceResolution
+		if e.cfg.VoltageSampler != nil {
+			e.cfg.VoltageSampler(e.now, e.cap.Voltage(), false)
+		}
+		if _, restore := e.mon.Observe(e.cap.Voltage()); restore {
+			break
+		}
+		if e.now > e.cfg.MaxSimTime {
+			e.truncated = true
+			return
+		}
+	}
+	rplan := checkpoint.PlanRestore(e.restoreBlocks, e.cfg.Checkpoint)
+	e.advanceRaw(rplan.Latency, rplan.Energy, &e.res.Energy.Checkpoint)
+	e.res.RestoredBlocks += e.restoreBlocks
+	e.res.PowerCycles++
+	e.pred.OnReboot()
+	if e.icPred != nil {
+		e.icPred.OnReboot()
+	}
+}
+
+// ------------------------------------------------------------ main loop --
+
+// run replays the whole trace and finalizes the result.
+func (e *engine) run() (*Result, error) {
+	events := e.trace.Events
+	for i := range events {
+		if e.truncated {
+			break
+		}
+		e.eventIdx = uint64(i)
+		ev := events[i]
+		switch ev.Op {
+		case workload.OpTick:
+			e.execTicks(int(ev.Arg))
+		case workload.OpEnter:
+			e.execBranch(true, int(ev.Arg))
+		case workload.OpLeave:
+			e.execBranch(false, 0)
+		case workload.OpLoad:
+			e.execMem(uint64(ev.Arg), false)
+		case workload.OpStore:
+			e.execMem(uint64(ev.Arg), true)
+		default:
+			return nil, fmt.Errorf("sim: unknown trace op %d", ev.Op)
+		}
+		if e.eventAware != nil {
+			e.eventAware.AfterEvent(uint64(i))
+		}
+	}
+
+	e.tracker.FlushOpen(e.now)
+	if e.profile != nil {
+		e.profile.FlushCycle(false)
+	}
+
+	e.res.WallTime = e.now
+	e.res.Instructions = e.instrsDone
+	e.res.DCacheStats = *e.dc.Stats()
+	e.res.ICacheStats = *e.ic.Stats()
+	e.res.Prediction = e.tracker.Counts()
+	e.res.GatedBlockSeconds = e.tracker.GatedTime()
+	e.res.Truncated = e.truncated
+	_, _, leaked, _ := e.cap.Totals()
+	e.res.Energy.CapacitorLeak = leaked
+	if e.edbp != nil {
+		g, wk, down, rst := e.edbp.Stats()
+		e.res.EDBP = &EDBPStats{Gated: g, WrongKills: wk, StepsDown: down, Resets: rst, FinalFPR: e.edbp.FPR()}
+	}
+	return &e.res, nil
+}

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"edbp/internal/cache"
+	"edbp/internal/metrics"
+)
+
+// EnergyBreakdown buckets consumed energy (joules) the way the paper's
+// Figure 7 does: data cache, instruction cache, main memory,
+// checkpoint/restoration, and "others" (MCU computation + capacitor
+// leakage).
+type EnergyBreakdown struct {
+	DCacheDynamic float64
+	DCacheLeak    float64
+	ICacheDynamic float64
+	ICacheLeak    float64
+	Memory        float64
+	Checkpoint    float64
+	MCU           float64
+	CapacitorLeak float64
+}
+
+// DCache returns the total data cache energy.
+func (e EnergyBreakdown) DCache() float64 { return e.DCacheDynamic + e.DCacheLeak }
+
+// ICache returns the total instruction cache energy.
+func (e EnergyBreakdown) ICache() float64 { return e.ICacheDynamic + e.ICacheLeak }
+
+// Others returns the paper's "others" bucket.
+func (e EnergyBreakdown) Others() float64 { return e.MCU + e.CapacitorLeak }
+
+// Total returns all consumed energy.
+func (e EnergyBreakdown) Total() float64 {
+	return e.DCache() + e.ICache() + e.Memory + e.Checkpoint + e.Others()
+}
+
+// Result is everything one simulation run produced.
+type Result struct {
+	Config Config
+
+	// WallTime is the simulated end-to-end duration including recharge
+	// hibernation; performance comparisons use it (speedup = baseline
+	// wall time / scheme wall time). ActiveTime excludes hibernation.
+	WallTime   float64
+	ActiveTime float64
+	OffTime    float64
+
+	Energy EnergyBreakdown
+
+	Instructions uint64
+	DCacheStats  cache.Stats
+	ICacheStats  cache.Stats
+
+	// Prediction is the zombie-aware classification (data cache).
+	Prediction metrics.Counts
+	// GatedBlockSeconds integrates how long blocks stayed powered off —
+	// the deactivation-duration lens of Section VI-C.
+	GatedBlockSeconds float64
+
+	PowerCycles int // completed outage/restore round trips
+	Checkpoints int
+	// OutageTimes records when each power failure struck (simulated
+	// seconds, capped at 4096 entries) — examples and diagnostics use it.
+	OutageTimes []float64
+	// CheckpointBlocks counts blocks written to NV twins over the run.
+	CheckpointBlocks int
+	// RestoredBlocks counts blocks restored after outages.
+	RestoredBlocks int
+
+	// ZombieProfile is non-nil when CollectZombieProfile was set.
+	ZombieProfile *metrics.ZombieProfile
+
+	// EDBP carries the core predictor's registers when the scheme
+	// includes EDBP.
+	EDBP *EDBPStats
+
+	// Truncated is set when the run hit MaxSimTime before completing the
+	// workload (energy starvation); metrics then cover the partial run.
+	Truncated bool
+}
+
+// EDBPStats snapshots EDBP's architectural state after the run.
+type EDBPStats struct {
+	Gated      uint64
+	WrongKills uint64
+	StepsDown  uint64
+	Resets     uint64
+	FinalFPR   float64
+}
+
+// AvgPower returns total energy over wall time (Figure 9's red line).
+func (r *Result) AvgPower() float64 {
+	if r.WallTime == 0 {
+		return 0
+	}
+	return r.Energy.Total() / r.WallTime
+}
+
+// Speedup returns base.WallTime / r.WallTime, the paper's performance
+// metric (normalized to the baseline scheme).
+func (r *Result) Speedup(base *Result) float64 {
+	if r.WallTime == 0 {
+		return 0
+	}
+	return base.WallTime / r.WallTime
+}
+
+// EnergyVs returns r's total energy normalized to base's (1.0 = equal;
+// lower is better).
+func (r *Result) EnergyVs(base *Result) float64 {
+	bt := base.Energy.Total()
+	if bt == 0 {
+		return 0
+	}
+	return r.Energy.Total() / bt
+}
+
+// String summarises the run.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s: wall=%.3fs (active %.3fs, off %.3fs), E=%.3fmJ, cycles=%d",
+		r.Config.App, r.Config.Scheme, r.WallTime, r.ActiveTime, r.OffTime,
+		r.Energy.Total()*1e3, r.PowerCycles)
+	fmt.Fprintf(&b, ", D$ miss=%.2f%%", 100*r.DCacheStats.MissRate())
+	c := r.Prediction
+	if c.Total() > 0 {
+		fmt.Fprintf(&b, ", cov=%.1f%% acc=%.1f%%", 100*c.Coverage(), 100*c.Accuracy())
+	}
+	if r.Truncated {
+		b.WriteString(" [TRUNCATED]")
+	}
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"fmt"
+
+	"edbp/internal/predictor"
+	"edbp/internal/workload"
+)
+
+// Run executes one simulation according to cfg and returns its result.
+//
+// For Scheme == Ideal it performs the two-pass oracle protocol: a baseline
+// recording pass builds the perfect gating schedule, then the replay pass
+// produces the reported result.
+func Run(cfg Config) (*Result, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	trace := cfg.Trace
+	if trace == nil {
+		app, err := workload.ByName(cfg.App)
+		if err != nil {
+			return nil, err
+		}
+		trace = app.Record(cfg.Scale)
+		cfg.Trace = trace
+	}
+	if cfg.App == "" {
+		cfg.App = trace.Name
+	}
+
+	if cfg.Scheme == Ideal {
+		return runIdeal(cfg, trace)
+	}
+
+	e, err := newEngine(cfg, trace, nil)
+	if err != nil {
+		return nil, err
+	}
+	return e.run()
+}
+
+// runIdeal drives the two-pass oracle.
+func runIdeal(cfg Config, trace *workload.Trace) (*Result, error) {
+	// Pass 1: baseline with a recorder listening to block lifecycles.
+	passCfg := cfg
+	passCfg.Scheme = Baseline
+	passCfg.CollectZombieProfile = false
+	dcCfg := passCfg.dcacheConfig()
+	rec := predictor.NewOracleRecorder(dcCfg.Sets(), dcCfg.Ways)
+	e1, err := newEngine(passCfg, trace, nil, rec)
+	if err != nil {
+		return nil, err
+	}
+	base, err := e1.run()
+	if err != nil {
+		return nil, fmt.Errorf("sim: ideal recording pass: %w", err)
+	}
+
+	// Pass 2: replay with the oracle schedule. Dirty dead blocks are gated
+	// too: their writeback is not an extra cost but the same writeback an
+	// eventual eviction would pay, moved earlier — while the leakage and
+	// the per-outage checkpoint/restore of the dead block are pure
+	// savings.
+	oracle := predictor.NewIdeal(rec, base.WallTime, 0)
+
+	e2, err := newEngine(cfg, trace, oracle)
+	if err != nil {
+		return nil, err
+	}
+	return e2.run()
+}

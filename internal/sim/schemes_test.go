@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"testing"
+
+	"edbp/internal/nvm"
+	"edbp/internal/predictor"
+)
+
+// TestEverySchemeRuns drives each scheme end-to-end on the shared trace
+// and checks the cross-scheme invariants that hold regardless of tuning.
+func TestEverySchemeRuns(t *testing.T) {
+	base := run(t, testConfig(Baseline))
+	for _, s := range Schemes {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			r := run(t, testConfig(s))
+			if r.Truncated {
+				t.Fatal("truncated")
+			}
+			if r.Instructions != base.Instructions {
+				t.Fatalf("executed %d instructions, baseline %d", r.Instructions, base.Instructions)
+			}
+			// Demand accesses never change across schemes: gating turns
+			// hits into misses but not accesses into non-accesses.
+			if r.DCacheStats.Accesses() != base.DCacheStats.Accesses() {
+				t.Fatalf("accesses %d != baseline %d", r.DCacheStats.Accesses(), base.DCacheStats.Accesses())
+			}
+			// Gating schemes can only add misses relative to baseline.
+			if s.gates() && r.DCacheStats.Misses < base.DCacheStats.Misses {
+				t.Fatalf("gating scheme %v lost misses: %d < %d", s, r.DCacheStats.Misses, base.DCacheStats.Misses)
+			}
+			if r.Energy.Total() <= 0 || r.WallTime <= 0 {
+				t.Fatal("empty result")
+			}
+		})
+	}
+}
+
+// TestCombinedSchemesCarryEDBP verifies the engine finds the EDBP instance
+// inside every combined stack (stats must be populated).
+func TestCombinedSchemesCarryEDBP(t *testing.T) {
+	for _, s := range []Scheme{EDBP, DecayEDBP, AMCEDBP, CountingEDBP, RefTraceEDBP} {
+		r := run(t, testConfig(s))
+		if r.EDBP == nil {
+			t.Errorf("%v: EDBP stats not found in the stack", s)
+		}
+	}
+	for _, s := range []Scheme{Baseline, Decay, AMC, Counting, RefTrace, SDBP} {
+		r := run(t, testConfig(s))
+		if r.EDBP != nil {
+			t.Errorf("%v: spurious EDBP stats", s)
+		}
+	}
+}
+
+// TestSDBPCheckpointsMoreCleanBlocks: SDBP's whole point is keeping
+// predicted-live clean blocks across outages, so it must checkpoint at
+// least as many blocks as the dirty-only baseline.
+func TestSDBPCheckpointsMore(t *testing.T) {
+	base := run(t, testConfig(Baseline))
+	sdbp := run(t, testConfig(SDBP))
+	perCkptBase := float64(base.CheckpointBlocks) / float64(max(base.Checkpoints, 1))
+	perCkptSDBP := float64(sdbp.CheckpointBlocks) / float64(max(sdbp.Checkpoints, 1))
+	if perCkptSDBP < perCkptBase {
+		t.Fatalf("SDBP checkpoints %.1f blocks/outage, baseline %.1f — filter not engaged",
+			perCkptSDBP, perCkptBase)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestDecayConfigOverride verifies predictor knobs flow through Config.
+func TestDecayConfigOverride(t *testing.T) {
+	cfg := testConfig(Decay)
+	dcfg := predictor.DefaultDecay()
+	dcfg.Interval = 1 << 30 // effectively never
+	dcfg.MinInterval = dcfg.Interval
+	dcfg.MaxInterval = dcfg.Interval * 2
+	cfg.DecayCfg = &dcfg
+	never := run(t, cfg)
+	base := run(t, testConfig(Baseline))
+	// With an unreachable decay window the scheme degenerates to the
+	// baseline (modulo the gate-invalid power mode).
+	if never.Prediction.TP > 0 && never.GatedBlockSeconds > 0 {
+		t.Fatalf("decay with an unreachable window still gated (%.4f bs)", never.GatedBlockSeconds)
+	}
+	_ = base
+}
+
+// TestOracleNoWrongKills: the ideal predictor must (almost) never cause
+// wrong-kill misses — its whole premise is perfect knowledge. Pass-2
+// divergence can cause a stray handful; bound them tightly.
+func TestOracleNoWrongKills(t *testing.T) {
+	r := run(t, testConfig(Ideal))
+	if limit := r.DCacheStats.Accesses() / 1000; r.DCacheStats.GatedMisses > limit {
+		t.Fatalf("oracle caused %d wrong-kill misses (limit %d)", r.DCacheStats.GatedMisses, limit)
+	}
+}
+
+// TestSeedChangesOutcome: different energy trace seeds must change wall
+// time (the traces are genuinely different) but not instruction counts.
+func TestSeedChangesOutcome(t *testing.T) {
+	a := run(t, testConfig(Baseline))
+	cfg := testConfig(Baseline)
+	cfg.SourceSeed = 7
+	b := run(t, cfg)
+	if a.WallTime == b.WallTime {
+		t.Fatal("different seeds produced identical wall times")
+	}
+	if a.Instructions != b.Instructions {
+		t.Fatal("seed changed the executed instruction count")
+	}
+}
+
+// TestNVMTechAffectsMissPenalty: STT-RAM's expensive accesses must make
+// the same run slower than ReRAM (Figure 13's mechanism).
+func TestNVMTechAffectsMissPenalty(t *testing.T) {
+	reram := run(t, testConfig(Baseline))
+	cfg := testConfig(Baseline)
+	cfg.MemTech = nvm.STTRAM
+	stt := run(t, cfg)
+	if !(stt.Energy.Memory > reram.Energy.Memory) {
+		t.Fatalf("STT-RAM memory energy %g not above ReRAM %g", stt.Energy.Memory, reram.Energy.Memory)
+	}
+}

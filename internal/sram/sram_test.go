@@ -1,0 +1,108 @@
+package sram
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableIILeakAnchor(t *testing.T) {
+	// Table II: the 4 kB 4-way data cache leaks 1.22 mW.
+	if got := TableIILeak(4096); math.Abs(got-1.22e-3) > 1e-9 {
+		t.Fatalf("TableIILeak(4096) = %g, want 1.22e-3", got)
+	}
+}
+
+func TestTableIEndpoints(t *testing.T) {
+	// The raw model is fitted to Table I: 0.09 mW at 256 B and 3.54 mW at
+	// 16 kB.
+	if got := LeakPower(256); math.Abs(got-0.09e-3) > 1e-9 {
+		t.Errorf("LeakPower(256) = %g, want 0.09e-3", got)
+	}
+	if got := LeakPower(16384); math.Abs(got-3.54e-3) > 1e-9 {
+		t.Errorf("LeakPower(16384) = %g, want 3.54e-3", got)
+	}
+}
+
+func TestLeakMonotonic(t *testing.T) {
+	prev := 0.0
+	for _, b := range []int{256, 512, 1024, 2048, 4096, 8192, 16384} {
+		got := LeakPower(b)
+		if got <= prev {
+			t.Fatalf("leak not monotonic at %d bytes: %g <= %g", b, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestModelAnchors(t *testing.T) {
+	// Table II: 4 kB 4-way accesses in 5.30 ns at 1.05 nJ.
+	m, err := New(Config{Bytes: 4096, Ways: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.AccessLatency-5.30e-9) > 1e-15 {
+		t.Errorf("access latency = %g, want 5.30e-9", m.AccessLatency)
+	}
+	if math.Abs(m.AccessEnergy-1.05e-9) > 1e-15 {
+		t.Errorf("access energy = %g, want 1.05e-9", m.AccessEnergy)
+	}
+}
+
+func TestAssociativityCost(t *testing.T) {
+	// Figure 12's premise: 8-way accesses cost more than 4-way.
+	w4, _ := New(Config{Bytes: 4096, Ways: 4})
+	w8, _ := New(Config{Bytes: 4096, Ways: 8})
+	w1, _ := New(Config{Bytes: 4096, Ways: 1})
+	if !(w8.AccessEnergy > w4.AccessEnergy) {
+		t.Error("8-way must out-cost 4-way per access")
+	}
+	if !(w1.AccessEnergy < w4.AccessEnergy) {
+		t.Error("direct-mapped must under-cost 4-way per access")
+	}
+}
+
+func TestCapacityCost(t *testing.T) {
+	small, _ := New(Config{Bytes: 256, Ways: 4})
+	big, _ := New(Config{Bytes: 16384, Ways: 4})
+	if !(small.AccessEnergy < big.AccessEnergy) {
+		t.Error("access energy must grow with capacity")
+	}
+	// sqrt scaling: 64× capacity → 8× cost.
+	if r := big.AccessLatency / small.AccessLatency; math.Abs(r-8) > 1e-9 {
+		t.Errorf("16kB/256B latency ratio = %g, want 8", r)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Bytes: 0, Ways: 4},
+		{Bytes: -4096, Ways: 4},
+		{Bytes: 4096, Ways: 0},
+		{Bytes: 3000, Ways: 4}, // not a power of two
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestStaticEnergyRatio(t *testing.T) {
+	m, _ := New(Config{Bytes: 4096, Ways: 4})
+	// With no accesses, everything is static.
+	if got := m.StaticEnergyRatio(0); got != 1 {
+		t.Errorf("ratio with zero accesses = %g, want 1", got)
+	}
+	// Higher access rates dilute the static share.
+	lo := m.StaticEnergyRatio(1e6)
+	hi := m.StaticEnergyRatio(1e8)
+	if !(hi < lo) {
+		t.Errorf("static ratio must fall with access rate: %g !< %g", hi, lo)
+	}
+	// Table I's trend: at a fixed access rate, bigger caches have a
+	// larger static share.
+	big, _ := New(Config{Bytes: 16384, Ways: 4})
+	if !(big.StaticEnergyRatio(1e7) > m.StaticEnergyRatio(1e7)) {
+		t.Error("static share must grow with capacity at fixed access rate")
+	}
+}

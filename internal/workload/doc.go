@@ -1,0 +1,59 @@
+// The twenty applications
+//
+// The paper evaluates EDBP on "20 applications from Mediabench and
+// MiBench". This package implements the corresponding algorithms as real
+// Go kernels computing genuine results (the test suite verifies several
+// against the standard library or independently-written references):
+//
+// MiBench automotive/network:
+//
+//   - basicmath — integer square roots (bit-by-bit method), Newton cubic
+//     steps, fixed-point degree→radian conversion; compute-bound, tiny
+//     working set, the suite's lowest load/store ratio.
+//   - bitcount — three genuine counting methods (shift-and-mask, byte
+//     table lookup, Kernighan's clear-lowest-bit) over a 4 kB ring.
+//   - qsort — median-of-three Hoare quicksort with insertion-sort leaves
+//     over a 44 kB array; deep, swap-heavy data traffic.
+//   - susan — SUSAN-style 5×5 USAN-weighted smoothing with the original's
+//     brightness LUT over a grayscale image.
+//   - dijkstra — repeated single-source shortest paths on a dense
+//     adjacency matrix (O(V²) scan variant, like MiBench's).
+//   - patricia — Patricia-trie inserts and lookups over random IPv4-like
+//     keys; the suite's pointer-chasing workload.
+//
+// MiBench security/telecom:
+//
+//   - sha — real SHA-1 (verified against an independent FIPS-180
+//     reference) with the W-schedule in memory.
+//   - crc32 — table-driven IEEE CRC-32 over a streaming buffer (verified
+//     against hash/crc32).
+//   - rijndael — AES-128 ECB encryption with the FIPS-197 test key
+//     (verified against crypto/aes), S-box and round keys in memory.
+//   - stringsearch — Boyer–Moore–Horspool over a cached text corpus
+//     (match counts verified against strings.Count).
+//   - fft / ifft — in-place radix-2 fixed-point FFT with Q15 twiddles;
+//     the inverse runs the conjugate transform. Deliberately
+//     cache-unfriendly: 6 kB of arrays against the 4 kB cache.
+//   - adpcm_c / adpcm_d — IMA ADPCM encode/decode with the reference
+//     step tables (round-trip tracking verified in tests).
+//
+// Mediabench:
+//
+//   - gsm — the GSM 06.10 full-rate encoder front end: offset
+//     compensation, preemphasis, autocorrelation, Schur reflection
+//     coefficients, and the long-term-prediction lag search.
+//   - g721 — the G.721 ADPCM pipeline: two-pole/six-zero adaptive
+//     predictor with quantiser scale adaptation, per sample.
+//   - cjpeg / djpeg — 8×8 separable DCT + quantisation (and the inverse)
+//     over image blocks with the standard JPEG luminance table.
+//   - mpeg2 — exhaustive ±3 motion estimation over 16×16 macroblocks with
+//     subsampled SAD and a planted true motion the tests recover.
+//   - pegwit — public-key field arithmetic: Curve25519-style 255-bit
+//     pseudo-Mersenne multiplication driving a square-and-multiply ladder
+//     (verified against math/big).
+//
+// Each kernel issues its loads and stores through Mem, declares its hot
+// functions as code regions (driving the instruction-cache stream), and
+// accounts for its ALU work with Tick calls, so the recorded trace carries
+// the locality, reuse distances and load/store mix of the real algorithm.
+package workload

@@ -1,0 +1,485 @@
+package workload
+
+import "edbp/internal/xrand"
+
+// This file implements the MiBench "automotive" and "network" kernels:
+// basicmath, bitcount, qsort, susan, dijkstra and patricia. Each is the
+// real algorithm operating on deterministic synthetic inputs; the Tick
+// calls account for the ALU/branch instructions between memory accesses.
+
+func init() {
+	register("basicmath", MiBench, runBasicmath)
+	register("bitcount", MiBench, runBitcount)
+	register("qsort", MiBench, runQsort)
+	register("susan", MiBench, runSusan)
+	register("dijkstra", MiBench, runDijkstra)
+	register("patricia", MiBench, runPatricia)
+}
+
+// isqrt computes the integer square root with the classic bit-by-bit
+// method (the same algorithm MiBench's basicmath uses), charging ticks for
+// the shift/compare work.
+func isqrt(m *Mem, x uint32) uint32 {
+	var root, bit uint32 = 0, 1 << 30
+	for bit > x {
+		bit >>= 2
+		m.Tick(2)
+	}
+	for bit != 0 {
+		if x >= root+bit {
+			x -= root + bit
+			root = root>>1 + bit
+		} else {
+			root >>= 1
+		}
+		bit >>= 2
+		m.Tick(5)
+	}
+	return root
+}
+
+func runBasicmath(m *Mem, scale float64) uint32 {
+	// Like MiBench's basicmath, operands are generated in the driver loop
+	// and results cycle through a small buffer — the workload is compute-
+	// bound with a compact working set.
+	n := iters(24000, scale)
+	const ring = 512
+	in := m.Alloc(ring * 4)
+	out := m.Alloc(ring * 4)
+	rng := xrand.New(0xba51c)
+	for i := 0; i < ring; i++ {
+		m.Store32(in+uint32(i*4), rng.Uint32()%1_000_000)
+	}
+
+	main := m.NewRegion("basicmath.main", 320)
+	sqrtR := m.NewRegion("basicmath.isqrt", 160)
+	cubic := m.NewRegion("basicmath.cubic", 280)
+
+	var sum uint32
+	m.Enter(main)
+	for i := 0; i < n; i++ {
+		x := m.Load32(in+uint32(i%ring)*4) + uint32(i)*2654435761
+		x %= 1_000_000
+		m.Tick(3)
+		m.Enter(sqrtR)
+		r := isqrt(m, x)
+		m.Leave()
+		// Solve x³ + ax² + bx + c with one Newton step from r (integer
+		// approximation of the cubic-root part of basicmath).
+		m.Enter(cubic)
+		a, b, c := x%17, x%29, x%41
+		y := r + 1
+		f := y*y*y + a*y*y + b*y + c
+		d := 3*y*y + 2*a*y + b
+		if d != 0 {
+			y -= f / d
+		}
+		m.Tick(14)
+		m.Leave()
+		// Degree→radian style fixed-point conversion.
+		rad := (x % 360) * 31416 / 1800
+		m.Tick(4)
+		sum = sum*31 + r + y + rad
+		m.Store32(out+uint32(i%ring)*4, sum)
+	}
+	m.Leave()
+	return sum
+}
+
+var bitcountTable = func() [256]uint8 {
+	var t [256]uint8
+	for i := 1; i < 256; i++ {
+		t[i] = t[i/2] + uint8(i&1)
+	}
+	return t
+}()
+
+func runBitcount(m *Mem, scale float64) uint32 {
+	// MiBench bitcount counts bits of values produced by its driver loop;
+	// only the lookup table and a small sample buffer live in memory.
+	n := iters(17000, scale)
+	const ring = 1024
+	data := m.Alloc(ring * 4)
+	table := m.Alloc(256)
+	for i := 0; i < 256; i++ {
+		m.Store8(table+uint32(i), bitcountTable[i])
+	}
+	rng := xrand.New(0xb17c)
+	for i := 0; i < ring; i++ {
+		m.Store32(data+uint32(i*4), rng.Uint32())
+	}
+
+	shift := m.NewRegion("bitcount.shift", 120)
+	nibble := m.NewRegion("bitcount.table", 140)
+	kern := m.NewRegion("bitcount.kernighan", 100)
+
+	var total uint32
+	// Method 1: shift-and-mask over every word.
+	m.Enter(shift)
+	for i := 0; i < n; i++ {
+		w := m.Load32(data+uint32(i%ring)*4) ^ uint32(i)*0x9e3779b9
+		m.Tick(2)
+		c := uint32(0)
+		for w != 0 {
+			c += w & 1
+			w >>= 1
+			m.Tick(3)
+		}
+		total += c
+	}
+	m.Leave()
+	// Method 2: byte-table lookups.
+	m.Enter(nibble)
+	for i := 0; i < n; i++ {
+		w := m.Load32(data+uint32(i%ring)*4) ^ uint32(i)*0x85ebca6b
+		m.Tick(2)
+		c := uint32(m.Load8(table+uint32(w&0xff))) +
+			uint32(m.Load8(table+uint32((w>>8)&0xff))) +
+			uint32(m.Load8(table+uint32((w>>16)&0xff))) +
+			uint32(m.Load8(table+uint32(w>>24)))
+		m.Tick(6)
+		total = total*3 + c
+	}
+	m.Leave()
+	// Method 3: Kernighan clears the lowest set bit.
+	m.Enter(kern)
+	for i := 0; i < n; i++ {
+		w := m.Load32(data+uint32(i%ring)*4) ^ uint32(i)*0xc2b2ae35
+		m.Tick(2)
+		c := uint32(0)
+		for w != 0 {
+			w &= w - 1
+			c++
+			m.Tick(2)
+		}
+		total += c << 1
+	}
+	m.Leave()
+	return total
+}
+
+func runQsort(m *Mem, scale float64) uint32 {
+	n := iters(11000, scale)
+	arr := m.Alloc(n * 4)
+	rng := xrand.New(0x9507)
+	for i := 0; i < n; i++ {
+		m.Store32(arr+uint32(i*4), rng.Uint32())
+	}
+
+	part := m.NewRegion("qsort.partition", 220)
+	ins := m.NewRegion("qsort.insertion", 160)
+
+	at := func(i int) uint32 { return arr + uint32(i*4) }
+
+	var sortRange func(lo, hi int)
+	sortRange = func(lo, hi int) {
+		for hi-lo > 12 {
+			m.Enter(part)
+			// Median-of-three pivot, Hoare partition.
+			mid := lo + (hi-lo)/2
+			a, b, c := m.Load32(at(lo)), m.Load32(at(mid)), m.Load32(at(hi-1))
+			pivot := a
+			if (a <= b) == (b <= c) {
+				pivot = b
+			} else if (b <= a) == (a <= c) {
+				pivot = a
+			} else {
+				pivot = c
+			}
+			m.Tick(8)
+			i, j := lo, hi-1
+			for {
+				for m.Load32(at(i)) < pivot {
+					i++
+					m.Tick(2)
+				}
+				for m.Load32(at(j)) > pivot {
+					j--
+					m.Tick(2)
+				}
+				if i >= j {
+					break
+				}
+				vi, vj := m.Load32(at(i)), m.Load32(at(j))
+				m.Store32(at(i), vj)
+				m.Store32(at(j), vi)
+				i++
+				j--
+				m.Tick(4)
+			}
+			m.Leave()
+			// Recurse into the smaller half, iterate over the larger.
+			if j-lo < hi-(j+1) {
+				sortRange(lo, j+1)
+				lo = j + 1
+			} else {
+				sortRange(j+1, hi)
+				hi = j + 1
+			}
+		}
+		m.Enter(ins)
+		for i := lo + 1; i < hi; i++ {
+			v := m.Load32(at(i))
+			j := i
+			for j > lo {
+				w := m.Load32(at(j - 1))
+				if w <= v {
+					break
+				}
+				m.Store32(at(j), w)
+				j--
+				m.Tick(3)
+			}
+			m.Store32(at(j), v)
+			m.Tick(2)
+		}
+		m.Leave()
+	}
+	sortRange(0, n)
+
+	var sum uint32
+	for i := 0; i < n; i += 7 {
+		sum = sum*31 + m.Load32(at(i))
+	}
+	return sum
+}
+
+func runSusan(m *Mem, scale float64) uint32 {
+	// SUSAN smoothing: a 5×5 USAN-weighted filter over a grayscale image,
+	// with the brightness LUT the original uses.
+	side := iters(120, scale)
+	if side < 8 {
+		side = 8
+	}
+	img := m.Alloc(side * side)
+	out := m.Alloc(side * side)
+	lut := m.Alloc(512)
+	rng := xrand.New(0x5a5a)
+	for i := 0; i < side*side; i++ {
+		m.Store8(img+uint32(i), uint8(rng.Uint32()))
+	}
+	for d := -255; d <= 255; d++ {
+		// exp(-(d/20)²) in Q7, computed with an integer approximation.
+		q := d * d / 400
+		v := 128 / (1 + q)
+		m.Store8(lut+uint32(d+255), uint8(v))
+	}
+
+	smooth := m.NewRegion("susan.smooth", 420)
+	m.Enter(smooth)
+	var sum uint32
+	for y := 2; y < side-2; y++ {
+		for x := 2; x < side-2; x++ {
+			center := m.Load8(img + uint32(y*side+x))
+			var acc, wsum uint32
+			for dy := -2; dy <= 2; dy++ {
+				for dx := -2; dx <= 2; dx++ {
+					p := m.Load8(img + uint32((y+dy)*side+(x+dx)))
+					w := uint32(m.Load8(lut + uint32(int(p)-int(center)+255)))
+					acc += w * uint32(p)
+					wsum += w
+					m.Tick(3)
+				}
+			}
+			v := uint8(acc / wsum)
+			m.Store8(out+uint32(y*side+x), v)
+			sum = sum*31 + uint32(v)
+			m.Tick(5)
+		}
+	}
+	m.Leave()
+	return sum
+}
+
+func runDijkstra(m *Mem, scale float64) uint32 {
+	v := iters(32, scale)
+	if v < 8 {
+		v = 8
+	}
+	const inf = 1 << 30
+	adj := m.Alloc(v * v * 4)
+	dist := m.Alloc(v * 4)
+	visited := m.Alloc(v * 4)
+	rng := xrand.New(0xd135)
+	for i := 0; i < v; i++ {
+		for j := 0; j < v; j++ {
+			w := uint32(inf)
+			if i != j && rng.Intn(100) < 22 {
+				w = uint32(1 + rng.Intn(96))
+			}
+			m.Store32(adj+uint32((i*v+j)*4), w)
+		}
+	}
+
+	outer := m.NewRegion("dijkstra.outer", 260)
+	relax := m.NewRegion("dijkstra.relax", 200)
+
+	sources := iters(150, scale)
+	if sources < 1 {
+		sources = 1
+	}
+	var sum uint32
+	for s := 0; s < sources; s++ {
+		src := (s * 37) % v
+		m.Enter(outer)
+		for i := 0; i < v; i++ {
+			m.Store32(dist+uint32(i*4), inf)
+			m.Store32(visited+uint32(i*4), 0)
+		}
+		m.Store32(dist+uint32(src*4), 0)
+		for iter := 0; iter < v; iter++ {
+			// Find the nearest unvisited vertex.
+			best, bestD := -1, uint32(inf)
+			for i := 0; i < v; i++ {
+				if m.Load32(visited+uint32(i*4)) == 0 {
+					d := m.Load32(dist + uint32(i*4))
+					if d < bestD {
+						best, bestD = i, d
+					}
+				}
+				m.Tick(3)
+			}
+			if best < 0 || bestD == inf {
+				break
+			}
+			m.Store32(visited+uint32(best*4), 1)
+			m.Enter(relax)
+			for j := 0; j < v; j++ {
+				w := m.Load32(adj + uint32((best*v+j)*4))
+				if w != inf {
+					nd := bestD + w
+					if nd < m.Load32(dist+uint32(j*4)) {
+						m.Store32(dist+uint32(j*4), nd)
+					}
+					m.Tick(2)
+				}
+				m.Tick(2)
+			}
+			m.Leave()
+		}
+		m.Leave()
+		for i := 0; i < v; i += 3 {
+			sum = sum*31 + m.Load32(dist+uint32(i*4))
+		}
+	}
+	return sum
+}
+
+// patricia node layout: 4 words — key, bit index, left child, right child
+// (child pointers are node addresses; 0 means "points back up", which we
+// encode as self-reference like the original).
+func runPatricia(m *Mem, scale float64) uint32 {
+	nInsert := iters(6000, scale)
+	nLookup := iters(14000, scale)
+	const nodeBytes = 16
+	pool := m.Alloc((nInsert + 1) * nodeBytes)
+	next := uint32(0)
+	alloc := func() uint32 {
+		a := pool + next*nodeBytes
+		next++
+		return a
+	}
+
+	bitOf := func(key uint32, b uint32) uint32 {
+		if b >= 32 {
+			return 0
+		}
+		return (key >> (31 - b)) & 1
+	}
+
+	// Head node (bit 0, key 0, both children self).
+	head := alloc()
+	m.Store32(head, 0)
+	m.Store32(head+4, 0)
+	m.Store32(head+8, head)
+	m.Store32(head+12, head)
+
+	search := m.NewRegion("patricia.search", 180)
+	insert := m.NewRegion("patricia.insert", 300)
+
+	// search walks from head until a back/upward edge is taken.
+	walk := func(key uint32) uint32 {
+		m.Enter(search)
+		p := head
+		q := m.Load32(head + 8)
+		for {
+			pb := m.Load32(q + 4)
+			ppb := m.Load32(p + 4)
+			if q == p || pb <= ppb && p != head {
+				break
+			}
+			var nextq uint32
+			if bitOf(key, pb) == 0 {
+				nextq = m.Load32(q + 8)
+			} else {
+				nextq = m.Load32(q + 12)
+			}
+			m.Tick(4)
+			if nextq == q {
+				break
+			}
+			p = q
+			q = nextq
+		}
+		m.Leave()
+		return q
+	}
+
+	rng := xrand.New(0x9a77)
+	keys := make([]uint32, nInsert)
+	for i := range keys {
+		keys[i] = rng.Uint32()
+	}
+
+	for _, key := range keys {
+		found := walk(key)
+		if m.Load32(found) == key {
+			continue
+		}
+		m.Enter(insert)
+		// First differing bit between key and found key.
+		fk := m.Load32(found)
+		var b uint32
+		for b = 0; b < 32 && bitOf(key, b) == bitOf(fk, b); b++ {
+			m.Tick(2)
+		}
+		n := alloc()
+		m.Store32(n, key)
+		m.Store32(n+4, b)
+		if bitOf(key, b) == 0 {
+			m.Store32(n+8, n)
+			m.Store32(n+12, found)
+		} else {
+			m.Store32(n+8, found)
+			m.Store32(n+12, n)
+		}
+		// Splice below head's left child chain (simplified re-rooting that
+		// preserves the pointer-chasing access pattern).
+		old := m.Load32(head + 8)
+		m.Store32(head+8, n)
+		if bitOf(key, b) == 0 {
+			m.Store32(n+12, old)
+		} else {
+			m.Store32(n+8, old)
+		}
+		m.Tick(10)
+		m.Leave()
+	}
+
+	var hits uint32
+	rng2 := xrand.New(0x9a78)
+	for i := 0; i < nLookup; i++ {
+		var key uint32
+		if i%2 == 0 {
+			key = keys[rng2.Intn(len(keys))]
+		} else {
+			key = rng2.Uint32()
+		}
+		q := walk(key)
+		if m.Load32(q) == key {
+			hits++
+		}
+		m.Tick(3)
+	}
+	return hits*2654435761 + next
+}

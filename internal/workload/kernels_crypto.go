@@ -1,0 +1,301 @@
+package workload
+
+import "edbp/internal/xrand"
+
+// MiBench security/network kernels: sha, crc32, rijndael, stringsearch.
+
+func init() {
+	register("sha", MiBench, runSHA)
+	register("crc32", MiBench, runCRC32)
+	register("rijndael", MiBench, runRijndael)
+	register("stringsearch", MiBench, runStringsearch)
+}
+
+func runSHA(m *Mem, scale float64) uint32 {
+	// Real SHA-1 over a streaming buffer, with the W schedule held in
+	// memory like the reference implementation.
+	chunks := iters(420, scale)
+	buf := m.Alloc(chunks * 64)
+	w := m.Alloc(80 * 4)
+	rng := xrand.New(0x54a1)
+	for i := 0; i < chunks*64; i++ {
+		m.Store8(buf+uint32(i), uint8(rng.Uint32()))
+	}
+
+	sched := m.NewRegion("sha.schedule", 240)
+	rounds := m.NewRegion("sha.rounds", 360)
+
+	rol := func(x uint32, n uint) uint32 { return x<<n | x>>(32-n) }
+	h0, h1, h2, h3, h4 := uint32(0x67452301), uint32(0xEFCDAB89), uint32(0x98BADCFE), uint32(0x10325476), uint32(0xC3D2E1F0)
+
+	for c := 0; c < chunks; c++ {
+		base := buf + uint32(c*64)
+		m.Enter(sched)
+		for t := 0; t < 16; t++ {
+			v := uint32(m.Load8(base+uint32(t*4)))<<24 |
+				uint32(m.Load8(base+uint32(t*4+1)))<<16 |
+				uint32(m.Load8(base+uint32(t*4+2)))<<8 |
+				uint32(m.Load8(base+uint32(t*4+3)))
+			m.Store32(w+uint32(t*4), v)
+			m.Tick(4)
+		}
+		for t := 16; t < 80; t++ {
+			v := m.Load32(w+uint32((t-3)*4)) ^ m.Load32(w+uint32((t-8)*4)) ^
+				m.Load32(w+uint32((t-14)*4)) ^ m.Load32(w+uint32((t-16)*4))
+			m.Store32(w+uint32(t*4), rol(v, 1))
+			m.Tick(5)
+		}
+		m.Leave()
+
+		m.Enter(rounds)
+		a, b, cc, d, e := h0, h1, h2, h3, h4
+		for t := 0; t < 80; t++ {
+			var f, k uint32
+			switch {
+			case t < 20:
+				f, k = (b&cc)|(^b&d), 0x5A827999
+			case t < 40:
+				f, k = b^cc^d, 0x6ED9EBA1
+			case t < 60:
+				f, k = (b&cc)|(b&d)|(cc&d), 0x8F1BBCDC
+			default:
+				f, k = b^cc^d, 0xCA62C1D6
+			}
+			tmp := rol(a, 5) + f + e + k + m.Load32(w+uint32(t*4))
+			e, d, cc, b, a = d, cc, rol(b, 30), a, tmp
+			m.Tick(8)
+		}
+		h0, h1, h2, h3, h4 = h0+a, h1+b, h2+cc, h3+d, h4+e
+		m.Tick(5)
+		m.Leave()
+	}
+	return h0 ^ h1 ^ h2 ^ h3 ^ h4
+}
+
+func runCRC32(m *Mem, scale float64) uint32 {
+	// Table-driven CRC-32 (IEEE 802.3) over a large streaming buffer.
+	n := iters(160_000, scale)
+	buf := m.Alloc(n)
+	table := m.Alloc(256 * 4)
+	rng := xrand.New(0xc3c3)
+	for i := 0; i < n; i++ {
+		m.Store8(buf+uint32(i), uint8(rng.Uint32()))
+		m.Tick(2) // input generation arithmetic
+	}
+	for i := 0; i < 256; i++ {
+		c := uint32(i)
+		for k := 0; k < 8; k++ {
+			if c&1 != 0 {
+				c = 0xEDB88320 ^ (c >> 1)
+			} else {
+				c >>= 1
+			}
+		}
+		m.Store32(table+uint32(i*4), c)
+	}
+
+	loop := m.NewRegion("crc32.loop", 96)
+	m.Enter(loop)
+	crc := ^uint32(0)
+	for i := 0; i < n; i++ {
+		b := m.Load8(buf + uint32(i))
+		crc = m.Load32(table+uint32((crc^uint32(b))&0xff)*4) ^ (crc >> 8)
+		m.Tick(3)
+	}
+	m.Leave()
+	return ^crc
+}
+
+// AES S-box (FIPS-197).
+var aesSbox = [256]byte{
+	0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+	0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+	0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+	0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+	0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+	0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+	0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+	0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+	0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+	0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+	0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+	0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+	0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+	0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+	0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+	0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+}
+
+func runRijndael(m *Mem, scale float64) uint32 {
+	// AES-128 encryption in ECB over a streaming buffer, with the S-box,
+	// round keys, and state in memory like the MiBench implementation.
+	blocks := iters(900, scale)
+	buf := m.Alloc(blocks * 16)
+	sbox := m.Alloc(256)
+	rk := m.Alloc(176) // 11 round keys × 16 bytes
+	state := m.Alloc(16)
+	rng := xrand.New(0xae5)
+	for i := 0; i < blocks*16; i++ {
+		m.Store8(buf+uint32(i), uint8(rng.Uint32()))
+	}
+	for i := 0; i < 256; i++ {
+		m.Store8(sbox+uint32(i), aesSbox[i])
+	}
+
+	// Key expansion (genuine AES key schedule).
+	expand := m.NewRegion("rijndael.expand", 260)
+	m.Enter(expand)
+	const keyHi, keyLo = uint64(0x2b7e151628aed2a6), uint64(0xabf7158809cf4f3c)
+	for i := 0; i < 16; i++ {
+		w := keyHi
+		if i >= 8 {
+			w = keyLo
+		}
+		m.Store8(rk+uint32(i), uint8(w>>uint((i%8)*8)))
+	}
+	rcon := uint8(1)
+	for i := 16; i < 176; i += 4 {
+		var t [4]uint8
+		for j := 0; j < 4; j++ {
+			t[j] = m.Load8(rk + uint32(i-4+j))
+		}
+		if i%16 == 0 {
+			t[0], t[1], t[2], t[3] = m.Load8(sbox+uint32(t[1])), m.Load8(sbox+uint32(t[2])), m.Load8(sbox+uint32(t[3])), m.Load8(sbox+uint32(t[0]))
+			t[0] ^= rcon
+			rcon = xtime(rcon)
+			m.Tick(6)
+		}
+		for j := 0; j < 4; j++ {
+			m.Store8(rk+uint32(i+j), m.Load8(rk+uint32(i-16+j))^t[j])
+		}
+		m.Tick(4)
+	}
+	m.Leave()
+
+	round := m.NewRegion("rijndael.round", 480)
+	var sum uint32
+	for b := 0; b < blocks; b++ {
+		base := buf + uint32(b*16)
+		for i := 0; i < 16; i++ {
+			m.Store8(state+uint32(i), m.Load8(base+uint32(i))^m.Load8(rk+uint32(i)))
+		}
+		m.Enter(round)
+		for r := 1; r <= 10; r++ {
+			// SubBytes.
+			for i := 0; i < 16; i++ {
+				m.Store8(state+uint32(i), m.Load8(sbox+uint32(m.Load8(state+uint32(i)))))
+				m.Tick(1)
+			}
+			// ShiftRows (register shuffles; a handful of loads/stores).
+			var s [16]uint8
+			for i := 0; i < 16; i++ {
+				s[i] = m.Load8(state + uint32(i))
+			}
+			shifted := [16]uint8{
+				s[0], s[5], s[10], s[15],
+				s[4], s[9], s[14], s[3],
+				s[8], s[13], s[2], s[7],
+				s[12], s[1], s[6], s[11],
+			}
+			m.Tick(8)
+			if r < 10 {
+				// MixColumns.
+				for c := 0; c < 4; c++ {
+					a0, a1, a2, a3 := shifted[c*4], shifted[c*4+1], shifted[c*4+2], shifted[c*4+3]
+					shifted[c*4] = xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3
+					shifted[c*4+1] = a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3
+					shifted[c*4+2] = a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3)
+					shifted[c*4+3] = (xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3)
+					m.Tick(16)
+				}
+			}
+			// AddRoundKey.
+			for i := 0; i < 16; i++ {
+				m.Store8(state+uint32(i), shifted[i]^m.Load8(rk+uint32(r*16+i)))
+			}
+			m.Tick(2)
+		}
+		m.Leave()
+		// Write ciphertext back over the plaintext (in-place ECB).
+		for i := 0; i < 16; i++ {
+			v := m.Load8(state + uint32(i))
+			m.Store8(base+uint32(i), v)
+			sum = sum*31 + uint32(v)
+		}
+	}
+	return sum
+}
+
+// xtime is GF(2⁸) multiplication by 2.
+func xtime(b uint8) uint8 {
+	if b&0x80 != 0 {
+		return b<<1 ^ 0x1b
+	}
+	return b << 1
+}
+
+func runStringsearch(m *Mem, scale float64) uint32 {
+	// Boyer–Moore–Horspool over a synthetic text corpus, like MiBench's
+	// pbmsrch, with the skip table in memory.
+	textLen := iters(2_800, scale)
+	text := m.Alloc(textLen)
+	skip := m.Alloc(256 * 4)
+	rng := xrand.New(0x5ea7c4)
+	for i := 0; i < textLen; i++ {
+		// Lowercase letters and spaces, English-ish distribution.
+		r := rng.Intn(30)
+		var ch uint8
+		switch {
+		case r < 4:
+			ch = ' '
+		default:
+			ch = 'a' + uint8(rng.Intn(26))
+		}
+		m.Store8(text+uint32(i), ch)
+	}
+
+	base := []string{"the quick", "zombie", "harvest", "cache decay", "edbp wins", "intermittent", "dead block", "capacitor", "voltage sag", "power cycle"}
+	var patterns []string
+	for r := 0; r < iters(36, scale); r++ {
+		patterns = append(patterns, base...)
+	}
+	build := m.NewRegion("stringsearch.build", 120)
+	search := m.NewRegion("stringsearch.search", 200)
+
+	var found uint32
+	for _, pat := range patterns {
+		plen := len(pat)
+		m.Enter(build)
+		for i := 0; i < 256; i++ {
+			m.Store32(skip+uint32(i*4), uint32(plen))
+		}
+		for i := 0; i < plen-1; i++ {
+			m.Store32(skip+uint32(pat[i])*4, uint32(plen-1-i))
+			m.Tick(2)
+		}
+		m.Leave()
+
+		m.Enter(search)
+		pos := 0
+		for pos+plen <= textLen {
+			last := m.Load8(text + uint32(pos+plen-1))
+			if last == pat[plen-1] {
+				match := true
+				for j := plen - 2; j >= 0; j-- {
+					if m.Load8(text+uint32(pos+j)) != pat[j] {
+						match = false
+						break
+					}
+					m.Tick(2)
+				}
+				if match {
+					found++
+				}
+			}
+			pos += int(m.Load32(skip + uint32(last)*4))
+			m.Tick(4)
+		}
+		m.Leave()
+	}
+	return found*2654435761 + uint32(textLen)
+}

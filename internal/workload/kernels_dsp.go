@@ -1,0 +1,486 @@
+package workload
+
+import (
+	"math"
+
+	"edbp/internal/xrand"
+)
+
+// MiBench telecom kernels: fft, ifft, adpcm_c (encode), adpcm_d (decode),
+// gsm (full-rate encoder front end) and g721 (ADPCM codec).
+
+func init() {
+	register("fft", MiBench, func(m *Mem, s float64) uint32 { return runFFT(m, s, false) })
+	register("ifft", MiBench, func(m *Mem, s float64) uint32 { return runFFT(m, s, true) })
+	register("adpcm_c", MiBench, runADPCMEncode)
+	register("adpcm_d", MiBench, runADPCMDecode)
+	register("gsm", Mediabench, runGSM)
+	register("g721", Mediabench, runG721)
+}
+
+// sinQ15 is a 1024-entry full-cycle sine table in Q15. math.Sin in Go is
+// a pure-software implementation, bit-identical across platforms, so the
+// table — and with it every recorded trace — is fully deterministic.
+var sinQ15 = func() [1024]int32 {
+	var t [1024]int32
+	for i := range t {
+		t[i] = int32(math.Round(32767 * math.Sin(2*math.Pi*float64(i)/1024)))
+	}
+	return t
+}()
+
+// runFFT is a real in-place radix-2 fixed-point FFT (Q15 twiddles) of the
+// size MiBench's fft uses, over several waves. inverse runs the conjugate
+// transform (MiBench's ifft invocation).
+func runFFT(m *Mem, scale float64, inverse bool) uint32 {
+	const n = 512
+	waves := iters(13, scale)
+	re := m.Alloc(n * 4)
+	im := m.Alloc(n * 4)
+	tw := m.Alloc(n * 4) // sin(2πi/n) table, Q15
+	for i := 0; i < n; i++ {
+		m.StoreI32(tw+uint32(i*4), sinQ15[(i*(1024/n))%1024])
+	}
+
+	bitrev := m.NewRegion("fft.bitrev", 140)
+	butterfly := m.NewRegion("fft.butterfly", 320)
+
+	var sum uint32
+	rng := xrand.New(0xff7)
+	for w := 0; w < waves; w++ {
+		for i := 0; i < n; i++ {
+			m.StoreI32(re+uint32(i*4), int32(rng.Uint32()%16384)-8192)
+			m.StoreI32(im+uint32(i*4), 0)
+		}
+
+		// Bit-reversal permutation.
+		m.Enter(bitrev)
+		for i, j := 0, 0; i < n; i++ {
+			if i < j {
+				ri, rj := m.LoadI32(re+uint32(i*4)), m.LoadI32(re+uint32(j*4))
+				m.StoreI32(re+uint32(i*4), rj)
+				m.StoreI32(re+uint32(j*4), ri)
+				ii, ij := m.LoadI32(im+uint32(i*4)), m.LoadI32(im+uint32(j*4))
+				m.StoreI32(im+uint32(i*4), ij)
+				m.StoreI32(im+uint32(j*4), ii)
+				m.Tick(4)
+			}
+			k := n / 2
+			for k <= j && k > 0 {
+				j -= k
+				k /= 2
+				m.Tick(2)
+			}
+			j += k
+			m.Tick(2)
+		}
+		m.Leave()
+
+		// Danielson–Lanczos passes.
+		m.Enter(butterfly)
+		for size := 2; size <= n; size *= 2 {
+			half := size / 2
+			step := n / size
+			for i := 0; i < n; i += size {
+				for j := 0; j < half; j++ {
+					ang := j * step
+					wi := int64(m.LoadI32(tw + uint32(ang*4)))           // sin
+					wr := int64(m.LoadI32(tw + uint32(((ang+n/4)%n)*4))) // cos = sin(x+π/2)
+					if inverse {
+						wi = -wi
+					}
+					a, b := i+j, i+j+half
+					br := int64(m.LoadI32(re + uint32(b*4)))
+					bi := int64(m.LoadI32(im + uint32(b*4)))
+					tr := (wr*br - wi*bi) >> 15
+					ti := (wr*bi + wi*br) >> 15
+					ar := int64(m.LoadI32(re + uint32(a*4)))
+					ai := int64(m.LoadI32(im + uint32(a*4)))
+					m.StoreI32(re+uint32(a*4), int32((ar+tr)>>1))
+					m.StoreI32(im+uint32(a*4), int32((ai+ti)>>1))
+					m.StoreI32(re+uint32(b*4), int32((ar-tr)>>1))
+					m.StoreI32(im+uint32(b*4), int32((ai-ti)>>1))
+					m.Tick(12)
+				}
+			}
+		}
+		m.Leave()
+
+		for i := 0; i < n; i += 16 {
+			sum = sum*31 + uint32(m.LoadI32(re+uint32(i*4))) + uint32(m.LoadI32(im+uint32(i*4)))
+		}
+	}
+	return sum
+}
+
+// IMA ADPCM step table (the table MiBench's adpcm uses).
+var imaStep = [89]int32{
+	7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+	50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230,
+	253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658, 724, 796, 876, 963,
+	1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066, 2272, 2499, 2749, 3024, 3327,
+	3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630, 9493, 10442,
+	11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
+	32767,
+}
+
+var imaIndexAdjust = [8]int32{-1, -1, -1, -1, 2, 4, 6, 8}
+
+// synthPCM writes a deterministic speech-like PCM signal.
+func synthPCM(m *Mem, base uint32, n int, seed uint64) {
+	rng := xrand.New(seed)
+	phase := 0
+	amp := int32(4000)
+	for i := 0; i < n; i++ {
+		phase = (phase + 23 + int(rng.Uint32()%7)) % 1024
+		v := (sinQ15[phase] * amp) >> 15
+		v += int32(rng.Uint32()%512) - 256
+		if i%400 == 0 {
+			amp = 1500 + int32(rng.Uint32()%6000)
+		}
+		m.Store16(base+uint32(i*2), uint16(int16(v)))
+	}
+}
+
+func runADPCMEncode(m *Mem, scale float64) uint32 {
+	n := iters(70_000, scale)
+	in := m.Alloc(n * 2)
+	out := m.Alloc(n/2 + 1)
+	stepT := m.Alloc(89 * 4)
+	synthPCM(m, in, n, 0xadc0de)
+	for i, s := range imaStep {
+		m.StoreI32(stepT+uint32(i*4), s)
+	}
+
+	enc := m.NewRegion("adpcm.encode", 300)
+	m.Enter(enc)
+	var valpred, index int32
+	var outByte uint8
+	var sum uint32
+	for i := 0; i < n; i++ {
+		val := int32(int16(m.Load16(in + uint32(i*2))))
+		step := m.LoadI32(stepT + uint32(index*4))
+		diff := val - valpred
+		var code int32
+		if diff < 0 {
+			code = 8
+			diff = -diff
+		}
+		var vpdiff = step >> 3
+		if diff >= step {
+			code |= 4
+			diff -= step
+			vpdiff += step
+		}
+		if diff >= step>>1 {
+			code |= 2
+			diff -= step >> 1
+			vpdiff += step >> 1
+		}
+		if diff >= step>>2 {
+			code |= 1
+			vpdiff += step >> 2
+		}
+		if code&8 != 0 {
+			valpred -= vpdiff
+		} else {
+			valpred += vpdiff
+		}
+		if valpred > 32767 {
+			valpred = 32767
+		} else if valpred < -32768 {
+			valpred = -32768
+		}
+		index += imaIndexAdjust[code&7]
+		if index < 0 {
+			index = 0
+		} else if index > 88 {
+			index = 88
+		}
+		m.Tick(16)
+		if i%2 == 0 {
+			outByte = uint8(code)
+		} else {
+			outByte |= uint8(code) << 4
+			m.Store8(out+uint32(i/2), outByte)
+			sum = sum*31 + uint32(outByte)
+		}
+	}
+	m.Leave()
+	return sum
+}
+
+func runADPCMDecode(m *Mem, scale float64) uint32 {
+	n := iters(70_000, scale) // output samples
+	in := m.Alloc(n/2 + 1)
+	out := m.Alloc(n * 2)
+	stepT := m.Alloc(89 * 4)
+	rng := xrand.New(0xdec0de)
+	for i := 0; i < n/2+1; i++ {
+		m.Store8(in+uint32(i), uint8(rng.Uint32()))
+	}
+	for i, s := range imaStep {
+		m.StoreI32(stepT+uint32(i*4), s)
+	}
+
+	dec := m.NewRegion("adpcm.decode", 260)
+	m.Enter(dec)
+	var valpred, index int32
+	var sum uint32
+	for i := 0; i < n; i++ {
+		var code int32
+		b := m.Load8(in + uint32(i/2))
+		if i%2 == 0 {
+			code = int32(b & 0xf)
+		} else {
+			code = int32(b >> 4)
+		}
+		step := m.LoadI32(stepT + uint32(index*4))
+		vpdiff := step >> 3
+		if code&4 != 0 {
+			vpdiff += step
+		}
+		if code&2 != 0 {
+			vpdiff += step >> 1
+		}
+		if code&1 != 0 {
+			vpdiff += step >> 2
+		}
+		if code&8 != 0 {
+			valpred -= vpdiff
+		} else {
+			valpred += vpdiff
+		}
+		if valpred > 32767 {
+			valpred = 32767
+		} else if valpred < -32768 {
+			valpred = -32768
+		}
+		index += imaIndexAdjust[code&7]
+		if index < 0 {
+			index = 0
+		} else if index > 88 {
+			index = 88
+		}
+		m.Store16(out+uint32(i*2), uint16(int16(valpred)))
+		m.Tick(12)
+		sum = sum*31 + uint32(uint16(valpred))
+	}
+	m.Leave()
+	return sum
+}
+
+func runGSM(m *Mem, scale float64) uint32 {
+	// The front end of the GSM 06.10 full-rate encoder: per 160-sample
+	// frame, preprocessing, autocorrelation (9 lags), reflection
+	// coefficients by Schur recursion, and long-term-prediction lag search
+	// over the previous frame — the encoder's dominant loops.
+	frames := iters(46, scale)
+	const flen = 160
+	pcm := m.Alloc((frames + 1) * flen * 2)
+	ac := m.Alloc(9 * 4)
+	refl := m.Alloc(8 * 4)
+	synthPCM(m, pcm, (frames+1)*flen, 0x95b)
+
+	pre := m.NewRegion("gsm.preprocess", 160)
+	autoc := m.NewRegion("gsm.autocorr", 220)
+	schur := m.NewRegion("gsm.schur", 260)
+	ltp := m.NewRegion("gsm.ltp", 240)
+
+	var sum uint32
+	for f := 1; f <= frames; f++ {
+		base := pcm + uint32(f*flen*2)
+		// Offset compensation + preemphasis.
+		m.Enter(pre)
+		var z1, mp int32
+		for i := 0; i < flen; i++ {
+			s := int32(int16(m.Load16(base + uint32(i*2))))
+			so := s - z1
+			z1 = s - (so >> 2)
+			v := so - (mp*28180)>>15
+			mp = so
+			m.Store16(base+uint32(i*2), uint16(int16(clamp16(v))))
+			m.Tick(7)
+		}
+		m.Leave()
+
+		// Autocorrelation for lags 0..8.
+		m.Enter(autoc)
+		for k := 0; k <= 8; k++ {
+			var acc int64
+			for i := k; i < flen; i++ {
+				a := int64(int16(m.Load16(base + uint32(i*2))))
+				b := int64(int16(m.Load16(base + uint32((i-k)*2))))
+				acc += a * b
+				m.Tick(3)
+			}
+			m.StoreI32(ac+uint32(k*4), int32(acc>>10))
+		}
+		m.Leave()
+
+		// Schur recursion → 8 reflection coefficients.
+		m.Enter(schur)
+		var p, k [9]int32
+		for i := 0; i <= 8; i++ {
+			p[i] = m.LoadI32(ac + uint32(i*4))
+		}
+		for i := 0; i < 8; i++ {
+			if p[0] == 0 {
+				k[i] = 0
+			} else {
+				k[i] = -div32(p[i+1], p[0])
+			}
+			for j := 8 - i - 1; j >= 1; j-- {
+				p[j] = p[j] + mulQ15(k[i], p[j+1])
+				m.Tick(4)
+			}
+			p[0] = p[0] + mulQ15(k[i], p[1])
+			m.StoreI32(refl+uint32(i*4), k[i])
+			m.Tick(8)
+		}
+		m.Leave()
+
+		// LTP lag search against the previous frame (subsampled, like the
+		// standard's 40-sample subframes).
+		m.Enter(ltp)
+		prev := pcm + uint32((f-1)*flen*2)
+		var bestLag, bestCorr int32
+		for lag := int32(40); lag <= 120; lag += 2 {
+			var corr int64
+			for i := 0; i < 40; i++ {
+				a := int64(int16(m.Load16(base + uint32(i*2))))
+				b := int64(int16(m.Load16(prev + uint32((int32(flen)-lag+int32(i))*2))))
+				corr += a * b
+				m.Tick(3)
+			}
+			if int32(corr>>12) > bestCorr {
+				bestCorr = int32(corr >> 12)
+				bestLag = lag
+			}
+			m.Tick(3)
+		}
+		m.Leave()
+
+		sum = sum*31 + uint32(bestLag) + uint32(m.LoadI32(refl))
+	}
+	return sum
+}
+
+func clamp16(v int32) int32 {
+	if v > 32767 {
+		return 32767
+	}
+	if v < -32768 {
+		return -32768
+	}
+	return v
+}
+
+func mulQ15(a, b int32) int32 { return int32((int64(a) * int64(b)) >> 15) }
+
+func div32(num, den int32) int32 {
+	if den == 0 {
+		return 0
+	}
+	q := (int64(num) << 15) / int64(den)
+	return int32(clamp16(int32(q>>1))) * 2
+}
+
+func runG721(m *Mem, scale float64) uint32 {
+	// G.721 32 kbit/s ADPCM: the adaptive predictor with two poles and six
+	// zeros, quantizer scale adaptation — the per-sample pipeline of the
+	// Mediabench g721 encoder.
+	n := iters(26_000, scale)
+	in := m.Alloc(n * 2)
+	bz := m.Alloc(6 * 4) // zero coefficients
+	dq := m.Alloc(6 * 4) // past quantized differences
+	synthPCM(m, in, n, 0x721)
+
+	enc := m.NewRegion("g721.encode", 420)
+	m.Enter(enc)
+	var a1, a2 int32 // pole coefficients
+	var sr0, sr1 int32
+	var yl int32 = 34816 // scale factor state
+	var sum uint32
+	for i := 0; i < n; i++ {
+		sl := int32(int16(m.Load16(in+uint32(i*2)))) >> 2
+
+		// Signal estimate: poles + zeros.
+		sezi := int32(0)
+		for j := 0; j < 6; j++ {
+			sezi += mulQ15(m.LoadI32(bz+uint32(j*4)), m.LoadI32(dq+uint32(j*4)))
+			m.Tick(4)
+		}
+		sei := sezi + mulQ15(a1, sr0) + mulQ15(a2, sr1)
+		d := sl - sei>>1
+
+		// 4-bit quantization against the adaptive scale.
+		y := yl >> 6
+		var dqm int32
+		if d < 0 {
+			dqm = -d
+		} else {
+			dqm = d
+		}
+		var code int32
+		step := y >> 2
+		if step < 1 {
+			step = 1
+		}
+		code = dqm / step
+		if code > 7 {
+			code = 7
+		}
+		if d < 0 {
+			code |= 8
+		}
+		m.Tick(10)
+
+		// Inverse quantize and update predictor state.
+		dqv := (code & 7) * step
+		if code&8 != 0 {
+			dqv = -dqv
+		}
+		srNew := sei>>1 + dqv
+		// Pole adaptation (leaky).
+		a1 += (sgn(dqv) * sgn(sr0) << 7) - a1>>8
+		a2 += (sgn(dqv) * sgn(sr1) << 6) - a2>>8
+		if a1 > 30000 {
+			a1 = 30000
+		} else if a1 < -30000 {
+			a1 = -30000
+		}
+		// Zero adaptation.
+		for j := 5; j > 0; j-- {
+			m.StoreI32(dq+uint32(j*4), m.LoadI32(dq+uint32((j-1)*4)))
+			c := m.LoadI32(bz + uint32(j*4))
+			c += (sgn(dqv) * sgn(m.LoadI32(dq+uint32(j*4))) << 7) - c>>8
+			m.StoreI32(bz+uint32(j*4), c)
+			m.Tick(6)
+		}
+		m.StoreI32(dq, dqv)
+		sr1, sr0 = sr0, srNew
+		// Scale factor adaptation.
+		yl += (code&7)<<5 - yl>>6
+		if yl < 544 {
+			yl = 544
+		} else if yl > 5120<<6 {
+			yl = 5120 << 6
+		}
+		m.Tick(10)
+		sum = sum*31 + uint32(code)
+	}
+	m.Leave()
+	return sum
+}
+
+func sgn(v int32) int32 {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,344 @@
+package workload
+
+import "edbp/internal/xrand"
+
+// Mediabench kernels: cjpeg (DCT + quantization), djpeg (dequantization +
+// IDCT), mpeg2 (motion estimation) and pegwit (public-key field
+// arithmetic).
+
+func init() {
+	register("cjpeg", Mediabench, runCjpeg)
+	register("djpeg", Mediabench, runDjpeg)
+	register("mpeg2", Mediabench, runMpeg2)
+	register("pegwit", Mediabench, runPegwit)
+}
+
+// jpegQTable is the standard JPEG luminance quantization table.
+var jpegQTable = [64]int32{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// dctCos is cos((2i+1)·u·π/16) in Q13 for the 8-point DCT basis.
+var dctCos = [8][8]int32{}
+
+func init() {
+	// Integer-only generation: cos(k·π/16)·2^13 constants.
+	c := [32]int32{
+		8192, 8035, 7568, 6811, 5793, 4551, 3135, 1598,
+		0, -1598, -3135, -4551, -5793, -6811, -7568, -8035,
+		-8192, -8035, -7568, -6811, -5793, -4551, -3135, -1598,
+		0, 1598, 3135, 4551, 5793, 6811, 7568, 8035,
+	}
+	for i := 0; i < 8; i++ {
+		for u := 0; u < 8; u++ {
+			dctCos[i][u] = c[((2*i+1)*u)%32]
+		}
+	}
+}
+
+func runCjpeg(m *Mem, scale float64) uint32 {
+	side := iters(112, scale)
+	side &^= 7 // multiple of 8
+	if side < 16 {
+		side = 16
+	}
+	img := m.Alloc(side * side)
+	coef := m.Alloc(64 * 4) // per-block DCT coefficients
+	tmp := m.Alloc(64 * 4)
+	qt := m.Alloc(64 * 4)
+	rng := xrand.New(0xc19e9)
+	for i := 0; i < side*side; i++ {
+		// Smooth-ish image: neighbours correlate, as photos do.
+		base := uint8(128 + 64*((i/side)%3) - 32*((i%side)%5))
+		m.Store8(img+uint32(i), base+uint8(rng.Intn(32)))
+	}
+	for i, q := range jpegQTable {
+		m.StoreI32(qt+uint32(i*4), q)
+	}
+
+	dctR := m.NewRegion("cjpeg.dct", 420)
+	quantR := m.NewRegion("cjpeg.quant", 160)
+
+	var sum uint32
+	for by := 0; by < side; by += 8 {
+		for bx := 0; bx < side; bx += 8 {
+			// Separable 2D DCT: rows into tmp, then columns into coef.
+			m.Enter(dctR)
+			for y := 0; y < 8; y++ {
+				for u := 0; u < 8; u++ {
+					var acc int64
+					for x := 0; x < 8; x++ {
+						p := int64(m.Load8(img+uint32((by+y)*side+bx+x))) - 128
+						acc += p * int64(dctCos[x][u])
+						m.Tick(3)
+					}
+					m.StoreI32(tmp+uint32((y*8+u)*4), int32(acc>>11))
+				}
+			}
+			for u := 0; u < 8; u++ {
+				for v := 0; v < 8; v++ {
+					var acc int64
+					for y := 0; y < 8; y++ {
+						acc += int64(m.LoadI32(tmp+uint32((y*8+u)*4))) * int64(dctCos[y][v])
+						m.Tick(3)
+					}
+					m.StoreI32(coef+uint32((v*8+u)*4), int32(acc>>13))
+				}
+			}
+			m.Leave()
+
+			// Quantize and accumulate an entropy proxy.
+			m.Enter(quantR)
+			for i := 0; i < 64; i++ {
+				c := m.LoadI32(coef + uint32(i*4))
+				q := m.LoadI32(qt + uint32(i*4))
+				v := c / q
+				m.StoreI32(coef+uint32(i*4), v)
+				if v != 0 {
+					sum = sum*31 + uint32(v)
+				}
+				m.Tick(3)
+			}
+			m.Leave()
+		}
+	}
+	return sum
+}
+
+func runDjpeg(m *Mem, scale float64) uint32 {
+	side := iters(112, scale)
+	side &^= 7
+	if side < 16 {
+		side = 16
+	}
+	out := m.Alloc(side * side)
+	coef := m.Alloc(64 * 4)
+	tmp := m.Alloc(64 * 4)
+	qt := m.Alloc(64 * 4)
+	rng := xrand.New(0xd19e9)
+	for i, q := range jpegQTable {
+		m.StoreI32(qt+uint32(i*4), q)
+	}
+
+	idctR := m.NewRegion("djpeg.idct", 420)
+	deqR := m.NewRegion("djpeg.dequant", 140)
+
+	var sum uint32
+	for by := 0; by < side; by += 8 {
+		for bx := 0; bx < side; bx += 8 {
+			// Synthesize sparse quantized coefficients (JPEG blocks are
+			// mostly zero past the DC corner) and dequantize.
+			m.Enter(deqR)
+			for i := 0; i < 64; i++ {
+				var v int32
+				if i == 0 {
+					v = int32(rng.Intn(256)) - 128
+				} else if i < 16 && rng.Intn(4) == 0 {
+					v = int32(rng.Intn(32)) - 16
+				}
+				m.StoreI32(coef+uint32(i*4), v*m.LoadI32(qt+uint32(i*4)))
+				m.Tick(2)
+			}
+			m.Leave()
+
+			m.Enter(idctR)
+			for v := 0; v < 8; v++ {
+				for y := 0; y < 8; y++ {
+					var acc int64
+					for u := 0; u < 8; u++ {
+						acc += int64(m.LoadI32(coef+uint32((v*8+u)*4))) * int64(dctCos[y][u])
+						m.Tick(3)
+					}
+					m.StoreI32(tmp+uint32((v*8+y)*4), int32(acc>>13))
+				}
+			}
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					var acc int64
+					for v := 0; v < 8; v++ {
+						acc += int64(m.LoadI32(tmp+uint32((v*8+x)*4))) * int64(dctCos[y][v])
+						m.Tick(3)
+					}
+					p := int32(acc>>11)/16 + 128
+					if p < 0 {
+						p = 0
+					} else if p > 255 {
+						p = 255
+					}
+					m.Store8(out+uint32((by+y)*side+bx+x), uint8(p))
+					sum = sum*31 + uint32(p)
+				}
+			}
+			m.Leave()
+		}
+	}
+	return sum
+}
+
+func runMpeg2(m *Mem, scale float64) uint32 {
+	// Motion estimation: for each 16×16 macroblock of the current frame,
+	// full-search the ±3 window in the reference frame for the minimum
+	// SAD — the mpeg2 encoder's dominant loop.
+	side := iters(96, scale)
+	side &^= 15
+	if side < 32 {
+		side = 32
+	}
+	ref := m.Alloc(side * side)
+	cur := m.Alloc(side * side)
+	rng := xrand.New(0x3e93)
+	for i := 0; i < side*side; i++ {
+		m.Store8(ref+uint32(i), uint8(rng.Uint32()))
+	}
+	// Current frame = reference shifted by (2,1) plus noise, so the search
+	// has a true optimum to find.
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			sy, sx := y+1, x+2
+			var v uint8
+			if sy < side && sx < side {
+				v = m.Load8(ref + uint32(sy*side+sx))
+			}
+			m.Store8(cur+uint32(y*side+x), v+uint8(rng.Intn(8)))
+		}
+	}
+
+	sadR := m.NewRegion("mpeg2.sad", 260)
+	searchR := m.NewRegion("mpeg2.search", 200)
+
+	var motion uint32
+	for by := 8; by+24 <= side; by += 16 {
+		for bx := 8; bx+24 <= side; bx += 16 {
+			m.Enter(searchR)
+			best := int32(1 << 30)
+			var bestDx, bestDy int32
+			for dy := -3; dy <= 3; dy++ {
+				for dx := -3; dx <= 3; dx++ {
+					m.Enter(sadR)
+					var sad int32
+					for y := 0; y < 16 && sad < best; y += 1 {
+						for x := 0; x < 16; x += 2 { // subsampled SAD, as encoders do
+							a := int32(m.Load8(cur + uint32((by+y)*side+bx+x)))
+							b := int32(m.Load8(ref + uint32((by+y+dy)*side+bx+x+dx)))
+							d := a - b
+							if d < 0 {
+								d = -d
+							}
+							sad += d
+							m.Tick(4)
+						}
+					}
+					m.Leave()
+					if sad < best {
+						best = sad
+						bestDx, bestDy = int32(dx), int32(dy)
+					}
+					m.Tick(3)
+				}
+			}
+			m.Leave()
+			motion = motion*31 + uint32(bestDx+8) + uint32(bestDy+8)<<4 + uint32(best)<<8
+		}
+	}
+	return motion
+}
+
+// runPegwit models pegwit's elliptic-curve public-key core: 255-bit
+// pseudo-Mersenne field arithmetic (Curve25519-style: p = 2²⁵⁵−19) with
+// schoolbook limb multiplication, driving a square-and-multiply ladder.
+// All limbs live in memory, as the C implementation's arrays do.
+func runPegwit(m *Mem, scale float64) uint32 {
+	const limbs = 8 // 8 × 32-bit
+	a := m.Alloc(limbs * 4)
+	b := m.Alloc(limbs * 4)
+	prod := m.Alloc(limbs * 2 * 4)
+	res := m.Alloc(limbs * 4)
+
+	rng := xrand.New(0x9e9)
+	for i := 0; i < limbs; i++ {
+		m.Store32(a+uint32(i*4), rng.Uint32())
+		m.Store32(res+uint32(i*4), 0)
+	}
+	m.Store32(res, 1)
+	m.Store32(a+uint32((limbs-1)*4), m.Load32(a+uint32((limbs-1)*4))&0x7fffffff)
+
+	mulR := m.NewRegion("pegwit.fieldmul", 380)
+	redR := m.NewRegion("pegwit.reduce", 220)
+
+	// fieldMul computes dst = x·y mod 2²⁵⁵−19 into dst.
+	fieldMul := func(dst, x, y uint32) {
+		m.Enter(mulR)
+		for i := 0; i < limbs*2; i++ {
+			m.Store32(prod+uint32(i*4), 0)
+		}
+		for i := 0; i < limbs; i++ {
+			xi := uint64(m.Load32(x + uint32(i*4)))
+			var carry uint64
+			for j := 0; j < limbs; j++ {
+				yj := uint64(m.Load32(y + uint32(j*4)))
+				cur := uint64(m.Load32(prod+uint32((i+j)*4))) + xi*yj&0xffffffff + carry
+				carry = xi*yj>>32 + cur>>32
+				m.Store32(prod+uint32((i+j)*4), uint32(cur))
+				m.Tick(6)
+			}
+			hi := uint64(m.Load32(prod+uint32((i+limbs)*4))) + carry
+			m.Store32(prod+uint32((i+limbs)*4), uint32(hi))
+			m.Tick(3)
+		}
+		m.Leave()
+
+		// Reduce: fold the high 256 bits back with ×38 (2·19, since the
+		// boundary sits at bit 255 not 256 — the standard 25519 fold).
+		m.Enter(redR)
+		var carry uint64
+		for i := 0; i < limbs; i++ {
+			lo := uint64(m.Load32(prod + uint32(i*4)))
+			hi := uint64(m.Load32(prod + uint32((i+limbs)*4)))
+			cur := lo + hi*38 + carry
+			m.Store32(dst+uint32(i*4), uint32(cur))
+			carry = cur >> 32
+			m.Tick(5)
+		}
+		// Propagate the final carry once more through ×38.
+		for carry != 0 {
+			cur := uint64(m.Load32(dst)) + carry*38
+			m.Store32(dst, uint32(cur))
+			carry = cur >> 32
+			for i := 1; i < limbs && carry != 0; i++ {
+				c2 := uint64(m.Load32(dst+uint32(i*4))) + carry
+				m.Store32(dst+uint32(i*4), uint32(c2))
+				carry = c2 >> 32
+			}
+			m.Tick(6)
+		}
+		m.Leave()
+	}
+
+	bits := iters(340, scale)
+	exp := xrand.New(0xe4b)
+	for i := 0; i < bits; i++ {
+		// Square...
+		for j := 0; j < limbs; j++ {
+			m.Store32(b+uint32(j*4), m.Load32(a+uint32(j*4)))
+		}
+		fieldMul(a, a, b)
+		// ...and conditionally multiply.
+		if exp.Next()&1 != 0 {
+			fieldMul(res, res, a)
+		}
+		m.Tick(4)
+	}
+
+	var sum uint32
+	for i := 0; i < limbs; i++ {
+		sum = sum*31 + m.Load32(res+uint32(i*4))
+	}
+	return sum
+}

@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Suite identifies which benchmark suite an application comes from.
+type Suite string
+
+// The two suites the paper evaluates (Section VI-A2).
+const (
+	MiBench    Suite = "MiBench"
+	Mediabench Suite = "Mediabench"
+)
+
+// App is one benchmark application.
+type App struct {
+	Name  string
+	Suite Suite
+	// run executes the kernel against m at the given scale (a multiplier
+	// on the input size / outer iterations; 1.0 is the evaluation default)
+	// and returns a checksum of the computed result.
+	run func(m *Mem, scale float64) uint32
+}
+
+// Record executes the application and returns its trace. Scale values in
+// (0, 1) shrink the run for fast tests; 1.0 reproduces the evaluation
+// configuration.
+func (a App) Record(scale float64) *Trace {
+	if scale <= 0 {
+		scale = 1
+	}
+	m := NewMem()
+	sum := a.run(m, scale)
+	return m.Finish(a.Name, sum)
+}
+
+var registry = map[string]App{}
+
+func register(name string, suite Suite, run func(m *Mem, scale float64) uint32) {
+	if _, dup := registry[name]; dup {
+		panic("workload: duplicate app " + name)
+	}
+	registry[name] = App{Name: name, Suite: suite, run: run}
+}
+
+// Apps returns all registered applications sorted by name.
+func Apps() []App {
+	out := make([]App, 0, len(registry))
+	for _, a := range registry {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns the sorted application names.
+func Names() []string {
+	apps := Apps()
+	names := make([]string, len(apps))
+	for i, a := range apps {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// ByName looks an application up by its exact name.
+func ByName(name string) (App, error) {
+	a, ok := registry[name]
+	if !ok {
+		return App{}, fmt.Errorf("workload: unknown app %q (have %v)", name, Names())
+	}
+	return a, nil
+}
+
+// iters scales a baseline iteration count, never below 1.
+func iters(base int, scale float64) int {
+	n := int(float64(base) * scale)
+	if n < 1 {
+		return 1
+	}
+	return n
+}

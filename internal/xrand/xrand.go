@@ -1,0 +1,48 @@
+// Package xrand is a tiny deterministic PRNG (SplitMix64) shared by trace
+// and workload generation. Using our own generator — rather than
+// math/rand — pins every synthetic input across Go releases, so recorded
+// traces and golden checksums never drift.
+package xrand
+
+import "math"
+
+// Rand is a SplitMix64 generator. The zero value is a valid generator
+// seeded with 0; prefer New.
+type Rand struct{ s uint64 }
+
+// New returns a generator with the given seed.
+func New(seed uint64) *Rand { return &Rand{s: seed} }
+
+// Next returns the next 64 random bits.
+func (r *Rand) Next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint32 returns 32 random bits.
+func (r *Rand) Uint32() uint32 { return uint32(r.Next() >> 32) }
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Float returns a uniform float64 in [0, 1).
+func (r *Rand) Float() float64 {
+	return float64(r.Next()>>11) / (1 << 53)
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *Rand) Exp(mean float64) float64 {
+	u := r.Float()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -mean * math.Log(1-u)
+}

@@ -1,0 +1,112 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("sequence diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestKnownSequence(t *testing.T) {
+	// SplitMix64 reference value for seed 0: pins the generator across
+	// refactors, because recorded workload checksums depend on it.
+	if got := New(0).Next(); got != 0xe220a8397b1dcdaf {
+		t.Fatalf("SplitMix64(0) first output = %#x, want 0xe220a8397b1dcdaf", got)
+	}
+}
+
+func TestFloatRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := New(seed)
+		for i := 0; i < 100; i++ {
+			f := r.Float()
+			if f < 0 || f >= 1 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n uint16) bool {
+		bound := int(n%1000) + 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(bound)
+			if v < 0 || v >= bound {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(7)
+	const n = 200000
+	const mean = 3.5
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Exp(mean)
+		if v < 0 {
+			t.Fatalf("negative exponential sample %g", v)
+		}
+		sum += v
+	}
+	got := sum / n
+	if math.Abs(got-mean) > 0.05*mean {
+		t.Fatalf("exponential mean = %g, want ≈ %g", got, mean)
+	}
+}
+
+func TestUint32Coverage(t *testing.T) {
+	// All four bytes of Uint32 should vary.
+	r := New(9)
+	var or, and uint32 = 0, 0xffffffff
+	for i := 0; i < 1000; i++ {
+		v := r.Uint32()
+		or |= v
+		and &= v
+	}
+	if or != 0xffffffff {
+		t.Fatalf("some bits never set: OR = %#x", or)
+	}
+	if and != 0 {
+		t.Fatalf("some bits always set: AND = %#x", and)
+	}
+}
