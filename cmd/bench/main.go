@@ -1,0 +1,95 @@
+// Command bench snapshots the simulator's per-event cost into
+// BENCH_engine.json, the number the benchmark-regression harness tracks
+// across commits. One measurement is a full sim.Run (event loop, outages,
+// hibernation) per scheme on the crc32 kernel; the JSON records ns/event,
+// allocs/event and events/sec.
+//
+// Usage:
+//
+//	go run ./cmd/bench [-out BENCH_engine.json] [-app crc32] [-scale 0.25]
+//
+// Compare against a previous snapshot with any JSON diff; the benchmark
+// unit tests (go test ./internal/sim -bench .) remain the profiling-grade
+// view of the same numbers.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+
+	"edbp/internal/sim"
+	"edbp/internal/workload"
+)
+
+// entry is one scheme's measurement.
+type entry struct {
+	Scheme       string  `json:"scheme"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	AllocsPerEvt float64 `json:"allocs_per_event"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Runs         int     `json:"runs"`
+}
+
+// report is the BENCH_engine.json schema.
+type report struct {
+	App     string  `json:"app"`
+	Scale   float64 `json:"scale"`
+	Events  int     `json:"events_per_run"`
+	GoMaxP  int     `json:"gomaxprocs"`
+	Results []entry `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_engine.json", "output path")
+	app := flag.String("app", "crc32", "workload kernel")
+	scale := flag.Float64("scale", 0.25, "input scale")
+	flag.Parse()
+
+	// Record (or fetch) the kernel once; every scheme below replays it.
+	trace, err := workload.Cached(*app, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep := report{App: *app, Scale: *scale, Events: len(trace.Events), GoMaxP: runtime.GOMAXPROCS(0)}
+	for _, scheme := range []sim.Scheme{sim.Baseline, sim.EDBP, sim.DecayEDBP} {
+		cfg := sim.Default(*app, scheme)
+		cfg.Scale = *scale
+		cfg.Trace = trace
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		events := int64(r.N) * int64(len(trace.Events))
+		rep.Results = append(rep.Results, entry{
+			Scheme:       scheme.String(),
+			NsPerEvent:   float64(r.T.Nanoseconds()) / float64(events),
+			AllocsPerEvt: float64(r.MemAllocs) / float64(events),
+			EventsPerSec: float64(events) / r.T.Seconds(),
+			Runs:         r.N,
+		})
+		fmt.Printf("%-12s %8.2f ns/event  %8.4f allocs/event  %12.0f events/s  (%d runs)\n",
+			scheme, rep.Results[len(rep.Results)-1].NsPerEvent,
+			rep.Results[len(rep.Results)-1].AllocsPerEvt,
+			rep.Results[len(rep.Results)-1].EventsPerSec, r.N)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -133,6 +133,7 @@ func printJSON(r *sim.Result) {
 		WallSeconds, ActiveSeconds       float64
 		Instructions                     uint64
 		PowerCycles, Checkpoints         int
+		Outages                          int
 		CheckpointBlocks, RestoredBlocks int
 		DCacheMissRate, ICacheMissRate   float64
 		WrongKillMisses                  uint64
@@ -144,7 +145,7 @@ func printJSON(r *sim.Result) {
 		App: r.Config.App, Scheme: r.Config.Scheme.String(), Trace: r.Config.TraceKind.String(),
 		WallSeconds: r.WallTime, ActiveSeconds: r.ActiveTime,
 		Instructions: r.Instructions,
-		PowerCycles:  r.PowerCycles, Checkpoints: r.Checkpoints,
+		PowerCycles:  r.PowerCycles, Checkpoints: r.Checkpoints, Outages: r.Outages,
 		CheckpointBlocks: r.CheckpointBlocks, RestoredBlocks: r.RestoredBlocks,
 		DCacheMissRate: r.DCacheStats.MissRate(), ICacheMissRate: r.ICacheStats.MissRate(),
 		WrongKillMisses:   r.DCacheStats.GatedMisses,

@@ -51,7 +51,10 @@ func main() {
 		apps = []workload.App{a}
 	}
 	for _, a := range apps {
-		tr := a.Record(*scale)
+		tr, err := workload.Cached(a.Name, *scale)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-14s %-10s instr=%8d ld/st=%5.1f%% loads=%8d stores=%7d data=%7dB events=%8d regions=%2d checksum=%08x\n",
 			tr.Name, a.Suite, tr.Instructions, 100*tr.LoadStoreRatio(), tr.Loads, tr.Stores,
 			tr.DataBytes, len(tr.Events), len(tr.Regions), tr.Checksum)

@@ -234,11 +234,10 @@ func RunAll(c Config, schemes ...Scheme) ([]*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	app, err := workload.ByName(cfg.App)
+	cfg.Trace, err = workload.Cached(cfg.App, cfg.Scale)
 	if err != nil {
 		return nil, err
 	}
-	cfg.Trace = app.Record(cfg.Scale)
 	out := make([]*Result, len(schemes))
 	for i, s := range schemes {
 		run := cfg

@@ -128,6 +128,15 @@ type Cache struct {
 	stats  Stats
 
 	powered int // number of leaking blocks under the configured PowerMode
+
+	// Hot-path shortcuts. Block size and set count are validated powers of
+	// two, so indexing reduces to shifts and masks (hardware division is an
+	// order of magnitude slower and Access runs twice per simulated event).
+	blockShift uint
+	setShift   uint
+	setMask    uint64
+	alwaysOn   bool       // cfg.Power == AlwaysOn: the powered count never changes
+	lru        *lruPolicy // non-nil for the default LRU policy: direct calls
 }
 
 // New constructs a cache. All blocks start invalid; under GateInvalid they
@@ -141,13 +150,28 @@ func New(cfg Config) (*Cache, error) {
 		return nil, err
 	}
 	c := &Cache{
-		cfg:    cfg,
-		sets:   cfg.Sets(),
-		blocks: make([]Block, cfg.Blocks()),
-		policy: pol,
+		cfg:        cfg,
+		sets:       cfg.Sets(),
+		blocks:     make([]Block, cfg.Blocks()),
+		policy:     pol,
+		blockShift: log2(uint64(cfg.BlockBytes)),
+		setShift:   log2(uint64(cfg.Sets())),
+		setMask:    uint64(cfg.Sets()) - 1,
+		alwaysOn:   cfg.Power == AlwaysOn,
 	}
+	c.lru, _ = pol.(*lruPolicy)
 	c.recountPowered()
 	return c, nil
+}
+
+// log2 of a power of two.
+func log2(v uint64) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
 }
 
 // Config returns the cache configuration.
@@ -186,32 +210,31 @@ func (c *Cache) LiveBlocks() int {
 	return n
 }
 
-// Index maps a byte address to (set, tag).
+// Index maps a byte address to (set, tag). Block size and set count are
+// powers of two, so this is exact shift/mask arithmetic.
 func (c *Cache) Index(addr uint64) (set int, tag uint64) {
-	blockAddr := addr / uint64(c.cfg.BlockBytes)
-	return int(blockAddr % uint64(c.sets)), blockAddr / uint64(c.sets)
+	blockAddr := addr >> c.blockShift
+	return int(blockAddr & c.setMask), blockAddr >> c.setShift
 }
 
 // BlockAddr reconstructs the block-aligned byte address of (set, tag).
 func (c *Cache) BlockAddr(set int, tag uint64) uint64 {
-	return (tag*uint64(c.sets) + uint64(set)) * uint64(c.cfg.BlockBytes)
+	return (tag<<c.setShift | uint64(set)) << c.blockShift
 }
 
 // leakDelta updates the powered-block count when a block transitions.
 func (c *Cache) leakDelta(before, after Block) {
+	if c.alwaysOn {
+		return // every block always counts: the total cannot change
+	}
 	c.powered += c.leakUnit(after) - c.leakUnit(before)
 }
 
 func (c *Cache) leakUnit(b Block) int {
-	switch c.cfg.Power {
-	case AlwaysOn:
+	if c.alwaysOn || (b.Valid && !b.Gated) {
 		return 1
-	default: // GateInvalid
-		if b.Valid && !b.Gated {
-			return 1
-		}
-		return 0
 	}
+	return 0
 }
 
 func (c *Cache) recountPowered() {
@@ -245,6 +268,15 @@ func (c *Cache) Lookup(addr uint64) (way, gatedWay int) {
 // allocating on miss (write-allocate). The caller charges memory costs
 // based on the result.
 func (c *Cache) Access(addr uint64, write bool) AccessResult {
+	var res AccessResult
+	c.AccessTo(addr, write, &res)
+	return res
+}
+
+// AccessTo is Access writing its result into a caller-provided struct —
+// the simulator's event loop reuses one scratch result per cache, saving
+// two ~48-byte struct copies per event (return + notification call).
+func (c *Cache) AccessTo(addr uint64, write bool, res *AccessResult) {
 	set, tag := c.Index(addr)
 	base := set * c.cfg.Ways
 
@@ -270,8 +302,13 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 			c.stats.StoreHits++
 		}
 		c.stats.Hits++
-		c.policy.OnHit(set, hitWay)
-		return AccessResult{Hit: true, Set: set, Way: hitWay}
+		if c.lru != nil {
+			c.lru.OnHit(set, hitWay)
+		} else {
+			c.policy.OnHit(set, hitWay)
+		}
+		*res = AccessResult{Hit: true, Set: set, Way: hitWay}
+		return
 	}
 
 	// Miss path.
@@ -279,8 +316,10 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 	if write {
 		c.stats.StoreMisses++
 	}
-	c.policy.OnMiss(set)
-	res := AccessResult{Set: set}
+	if c.lru == nil { // LRU's OnMiss is a no-op
+		c.policy.OnMiss(set)
+	}
+	*res = AccessResult{Set: set}
 	if gatedWay >= 0 {
 		c.stats.GatedMisses++
 		res.WrongKill = true
@@ -298,7 +337,11 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 		}
 	}
 	if victim < 0 {
-		victim = c.policy.Victim(set)
+		if c.lru != nil {
+			victim = c.lru.Victim(set)
+		} else {
+			victim = c.policy.Victim(set)
+		}
 	}
 
 	vb := &c.blocks[base+victim]
@@ -325,8 +368,11 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 	c.stats.Fills++
 	res.Filled = true
 	res.Way = victim
-	c.policy.OnFill(set, victim)
-	return res
+	if c.lru != nil {
+		c.lru.OnFill(set, victim)
+	} else {
+		c.policy.OnFill(set, victim)
+	}
 }
 
 // Gate powers off the block at (set, way). It returns whether the block

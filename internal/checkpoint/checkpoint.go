@@ -76,7 +76,14 @@ type Plan struct {
 // keep is invoked for every live block; the returned slice of kept
 // (set, way) pairs aliases nothing in the cache.
 func PlanSave(c *cache.Cache, f Filter, costs Costs) (Plan, [][2]int) {
-	var kept [][2]int
+	return PlanSaveInto(c, f, costs, nil)
+}
+
+// PlanSaveInto is PlanSave appending into a caller-provided buffer
+// (typically scratch[:0] of a slice reused across outages), so steady-state
+// checkpointing does not allocate.
+func PlanSaveInto(c *cache.Cache, f Filter, costs Costs, buf [][2]int) (Plan, [][2]int) {
+	kept := buf
 	for s := 0; s < c.Sets(); s++ {
 		for w := 0; w < c.Ways(); w++ {
 			b := c.Block(s, w)

@@ -104,6 +104,22 @@ func (f *Fetcher) bounds() (base, end uint32) {
 // Step executes n instructions, invoking fetch for each new I-cache block
 // the PC enters.
 func (f *Fetcher) Step(n int, fetch func(blockAddr uint32)) {
+	if n == 1 {
+		// Single-instruction fast path (every load/store executes one):
+		// with take necessarily 1, the block-capacity arithmetic of the
+		// general loop reduces to advance-and-wrap.
+		blk := f.pc &^ (f.blockBytes - 1)
+		if blk != f.block {
+			f.block = blk
+			fetch(blk)
+		}
+		f.pc += 4
+		base, end := f.bounds()
+		if f.pc >= end {
+			f.pc = base
+		}
+		return
+	}
 	for n > 0 {
 		blk := f.pc &^ (f.blockBytes - 1)
 		if blk != f.block {

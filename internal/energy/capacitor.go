@@ -56,9 +56,27 @@ func (c CapacitorConfig) Validate() error {
 
 // Capacitor is the mutable state of the energy buffer during simulation.
 // The zero value is unusable; construct with NewCapacitor.
+//
+// The primary state is the stored energy, not the voltage: every simulation
+// event charges, leaks and drains the buffer, and all three are linear in
+// energy, so keeping E avoids the two ½CV² ↔ √(2E/C) conversions the
+// voltage representation pays per step. Voltage is derived on demand (one
+// sqrt per monitor query instead of two per step).
 type Capacitor struct {
-	cfg CapacitorConfig
-	v   float64 // current voltage
+	cfg  CapacitorConfig
+	e    float64 // stored energy (J)
+	eMax float64 // ½·C·VMax², the regulator clamp
+
+	// Small memo for the self-discharge factor exp(-2·dt/τ): the simulator
+	// steps with a handful of recurring dt values (hit/miss event
+	// latencies, tick chunks, the trace resolution during hibernation), so
+	// the transcendental is almost always reused. A ring of a few entries
+	// covers the working set; a single entry would thrash between the
+	// alternating hit and miss durations.
+	leakDts     [leakMemoSize]float64
+	leakFactors [leakMemoSize]float64
+	leakN       int // filled entries
+	leakIdx     int // next ring slot to overwrite
 
 	// Accumulated bookkeeping for the energy breakdown.
 	leaked    float64 // self-discharge losses (J)
@@ -72,33 +90,81 @@ func NewCapacitor(cfg CapacitorConfig) (*Capacitor, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Capacitor{cfg: cfg, v: cfg.VMax}, nil
+	c := &Capacitor{cfg: cfg}
+	c.eMax = 0.5 * cfg.Capacitance * cfg.VMax * cfg.VMax
+	c.e = c.eMax
+	return c, nil
 }
 
 // Config returns the immutable configuration.
 func (c *Capacitor) Config() CapacitorConfig { return c.cfg }
 
 // Voltage returns the current capacitor voltage in volts.
-func (c *Capacitor) Voltage() float64 { return c.v }
+func (c *Capacitor) Voltage() float64 {
+	// At the regulator clamp the voltage is exactly VMax by definition;
+	// the sqrt round-trip would lose the last ulp.
+	if c.e == c.eMax {
+		return c.cfg.VMax
+	}
+	return c.energyToVoltage(c.e)
+}
 
 // SetVoltage forces the voltage, clamped to [0, VMax]. Used by tests and by
 // the simulator when modelling a cold boot.
 func (c *Capacitor) SetVoltage(v float64) {
-	c.v = math.Max(0, math.Min(v, c.cfg.VMax))
+	v = math.Max(0, math.Min(v, c.cfg.VMax))
+	c.e = 0.5 * c.cfg.Capacitance * v * v
 }
 
 // Stored returns the total energy currently stored, ½CV².
-func (c *Capacitor) Stored() float64 {
-	return 0.5 * c.cfg.Capacitance * c.v * c.v
+func (c *Capacitor) Stored() float64 { return c.e }
+
+// EnergyAt converts a voltage to the energy stored at that voltage, ½CV².
+func (c *Capacitor) EnergyAt(v float64) float64 {
+	return 0.5 * c.cfg.Capacitance * v * v
+}
+
+// EnergyThreshold returns the smallest stored energy whose Voltage()
+// compares >= v. Voltage is monotone in the stored energy, so comparing
+// Stored() against the returned value is exactly equivalent to comparing
+// Voltage() >= v — it lets hot loops replace a per-step sqrt with a plain
+// comparison without changing any threshold-crossing decision.
+func (c *Capacitor) EnergyThreshold(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	if v > c.cfg.VMax {
+		// Even the regulator clamp stays below v: unreachable.
+		return math.Inf(1)
+	}
+	// Seed with the algebraic inverse, then walk ulps across the rounding
+	// error of the sqrt so the boundary matches Voltage() exactly.
+	e := 0.5 * c.cfg.Capacitance * v * v
+	for e < c.eMax && c.energyToVoltage(e) < v {
+		e = math.Nextafter(e, math.Inf(1))
+	}
+	if e >= c.eMax {
+		// Only the exact clamp point reports VMax (see Voltage).
+		return c.eMax
+	}
+	for {
+		down := math.Nextafter(e, 0)
+		if down > 0 && c.energyToVoltage(down) >= v {
+			e = down
+			continue
+		}
+		return e
+	}
 }
 
 // Usable returns the energy available above the brown-out voltage VMin:
 // ½C(V²−VMin²), or 0 when already below VMin.
 func (c *Capacitor) Usable() float64 {
-	if c.v <= c.cfg.VMin {
+	reserve := c.EnergyAt(c.cfg.VMin)
+	if c.e <= reserve {
 		return 0
 	}
-	return 0.5 * c.cfg.Capacitance * (c.v*c.v - c.cfg.VMin*c.cfg.VMin)
+	return c.e - reserve
 }
 
 // energyToVoltage converts a stored energy back to a voltage.
@@ -115,9 +181,11 @@ func (c *Capacitor) Drain(e float64) float64 {
 	if e <= 0 {
 		return 0
 	}
-	stored := c.Stored()
-	taken := math.Min(e, stored)
-	c.v = c.energyToVoltage(stored - taken)
+	taken := e
+	if taken > c.e {
+		taken = c.e
+	}
+	c.e -= taken
 	c.drained += taken
 	return taken
 }
@@ -129,25 +197,45 @@ func (c *Capacitor) Charge(e float64) {
 		return
 	}
 	c.harvested += e
-	max := 0.5 * c.cfg.Capacitance * c.cfg.VMax * c.cfg.VMax
-	stored := c.Stored() + e
-	if stored > max {
-		c.wasted += stored - max
-		stored = max
+	c.e += e
+	if c.e > c.eMax {
+		c.wasted += c.e - c.eMax
+		c.e = c.eMax
 	}
-	c.v = c.energyToVoltage(stored)
+}
+
+// leakMemoSize is the number of distinct step durations the decay memo
+// holds; simulation runs use well under this many.
+const leakMemoSize = 8
+
+// leakEnergyFactor returns exp(-2·dt/τ), the per-dt energy decay (energy
+// decays twice as fast as voltage: E ∝ V²), memoized per distinct dt.
+func (c *Capacitor) leakEnergyFactor(dt float64) float64 {
+	for i := 0; i < c.leakN; i++ {
+		if c.leakDts[i] == dt {
+			return c.leakFactors[i]
+		}
+	}
+	f := math.Exp(-2 * dt / c.cfg.LeakTau)
+	i := c.leakIdx
+	c.leakDts[i] = dt
+	c.leakFactors[i] = f
+	c.leakIdx = (i + 1) % leakMemoSize
+	if c.leakN < leakMemoSize {
+		c.leakN++
+	}
+	return f
 }
 
 // Leak applies self-discharge over dt seconds: V decays with time constant
 // LeakTau (exponential RC discharge). A LeakTau of 0 disables leakage.
 func (c *Capacitor) Leak(dt float64) {
-	if c.cfg.LeakTau <= 0 || dt <= 0 || c.v <= 0 {
+	if c.cfg.LeakTau <= 0 || dt <= 0 || c.e <= 0 {
 		return
 	}
-	before := c.Stored()
-	// Energy decays twice as fast as voltage: E ∝ V².
-	c.v *= math.Exp(-dt / c.cfg.LeakTau)
-	c.leaked += before - c.Stored()
+	after := c.e * c.leakEnergyFactor(dt)
+	c.leaked += c.e - after
+	c.e = after
 }
 
 // Step advances the capacitor by dt seconds with the given harvested input
@@ -160,6 +248,18 @@ func (c *Capacitor) Step(dt, harvestPower, loadPower float64) (delivered float64
 	c.Charge(harvestPower * dt)
 	c.Leak(dt)
 	return c.Drain(loadPower * dt)
+}
+
+// StepEnergy is Step with the load given directly in joules, the form the
+// simulator's flush already holds — it skips the load/dt ÷ then × dt
+// round-trip of Step and delivers exactly loadEnergy (capacitor permitting).
+func (c *Capacitor) StepEnergy(dt, harvestPower, loadEnergy float64) (delivered float64) {
+	if dt <= 0 {
+		return 0
+	}
+	c.Charge(harvestPower * dt)
+	c.Leak(dt)
+	return c.Drain(loadEnergy)
 }
 
 // Totals reports the accumulated energy bookkeeping in joules.

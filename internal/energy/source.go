@@ -223,6 +223,43 @@ func (t *Trace) Power(at float64) float64 {
 	return t.samples[i]
 }
 
+// Cursor returns an incremental reader over the trace. The simulation
+// engine queries power at (almost) monotonically increasing times, so the
+// cursor keeps the current period window and serves lookups with one
+// division and a rare window rebase, instead of Power's modulo per call.
+// Each consumer owns its cursor; the underlying Trace stays immutable and
+// may be shared across goroutines.
+func (t *Trace) Cursor() *Cursor { return &Cursor{t: t} }
+
+// Cursor is an incremental view over a Trace. Its Power is equivalent to
+// Trace.Power for every input (including NaN, negative, and the >1e12
+// fallback), verified exhaustively in tests.
+type Cursor struct {
+	t    *Trace
+	base int // sample index of the current period window start (a multiple of len(samples))
+}
+
+// Power reports the harvested power at time at, exactly as Trace.Power
+// does, but amortizes the period wrap for monotone queries.
+func (c *Cursor) Power(at float64) float64 {
+	if at < 0 || math.IsNaN(at) {
+		at = 0
+	}
+	if at > 1e12 {
+		// Same guard as Trace.Power: beyond any simulation horizon the
+		// integer index would overflow, so delegate to the float fallback.
+		return c.t.Power(at)
+	}
+	// Identical division to Trace.Power so both index the same sample for
+	// the same input; only the wrap differs (subtraction vs modulo).
+	i := int(at / c.t.dt)
+	n := len(c.t.samples)
+	if i < c.base || i-c.base >= n {
+		c.base = i - i%n
+	}
+	return c.t.samples[i-c.base]
+}
+
 // MeanPower returns the average power of one trace period, useful for
 // reporting and calibration.
 func (t *Trace) MeanPower() float64 {

@@ -1,0 +1,34 @@
+package energy
+
+import "sync"
+
+// traceCacheKey identifies one generated trace: the environment plus the
+// generator seed.
+type traceCacheKey struct {
+	kind TraceKind
+	seed uint64
+}
+
+// traceCacheEntry generates its trace exactly once, even under concurrent
+// first lookups from parallel experiment workers.
+type traceCacheEntry struct {
+	once sync.Once
+	tr   *Trace
+}
+
+var traceCache sync.Map // traceCacheKey -> *traceCacheEntry
+
+// CachedTrace returns the trace for (kind, seed), generating it at most
+// once per process. A Trace is immutable after generation (Power and
+// Cursor only read the sample array), so the shared pointer is safe to use
+// from any number of concurrent simulation runs. Generating a trace means
+// synthesizing tracePeriod/TraceResolution (100k) Markov-modulated
+// samples, which is worth sharing across the schemes × seeds × workers of
+// an experiment grid.
+func CachedTrace(kind TraceKind, seed uint64) *Trace {
+	key := traceCacheKey{kind: kind, seed: seed}
+	v, _ := traceCache.LoadOrStore(key, &traceCacheEntry{})
+	e := v.(*traceCacheEntry)
+	e.once.Do(func() { e.tr = NewTrace(kind, seed) })
+	return e.tr
+}

@@ -155,11 +155,13 @@ type traceSet struct {
 func newTraceSet(o Options) (*traceSet, error) {
 	ts := &traceSet{opts: o, traces: make(map[string]*workload.Trace, len(o.Apps))}
 	for _, name := range o.Apps {
-		app, err := workload.ByName(name)
+		// workload.Cached shares recordings process-wide, so successive
+		// experiments (and the sim layer itself) reuse the same kernels.
+		tr, err := workload.Cached(name, o.Scale)
 		if err != nil {
 			return nil, err
 		}
-		ts.traces[name] = app.Record(o.Scale)
+		ts.traces[name] = tr
 	}
 	return ts, nil
 }

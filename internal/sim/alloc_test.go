@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"testing"
+
+	"edbp/internal/energy"
+	"edbp/internal/workload"
+)
+
+// TestSteadyStateZeroAllocs asserts the event loop's tentpole property:
+// after warm-up, one memory event (execMem + flush) allocates nothing, on
+// both the baseline and the EDBP scheme.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	for _, scheme := range []Scheme{Baseline, EDBP} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			e := steadyEngineT(t, scheme)
+			// Warm up: fault in the working set, grow any lazy predictor
+			// state, and let the first outage (if any) size its scratch.
+			i := 0
+			next := func() {
+				e.execMem(uint64(i%2048)*4, i&3 == 0)
+				i++
+			}
+			for k := 0; k < 4096; k++ {
+				next()
+			}
+			if avg := testing.AllocsPerRun(2000, next); avg != 0 {
+				t.Errorf("steady-state execMem allocates %.2f times per event, want 0", avg)
+			}
+		})
+	}
+}
+
+// steadyEngineT is steadyEngine for plain tests.
+func steadyEngineT(t *testing.T, scheme Scheme) *engine {
+	t.Helper()
+	trace, err := workload.Cached("crc32", 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Default("crc32", scheme)
+	cfg.Trace = trace
+	cfg.Source = energy.ConstantSource{P: 1.0}
+	cfg.MaxSimTime = 1e18
+	cfg, err = cfg.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := newEngine(cfg, trace, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"edbp/internal/energy"
+	"edbp/internal/workload"
+)
+
+// runWithHibernate executes one full run with either the analytic
+// hibernation fast path (ref=false) or the original per-step stepper kept
+// as the golden reference (ref=true).
+func runWithHibernate(t *testing.T, kind energy.TraceKind, scheme Scheme, trace *workload.Trace, ref bool) *Result {
+	t.Helper()
+	cfg := Default("crc32", scheme)
+	cfg.Trace = trace
+	cfg.TraceKind = kind
+	cfg, err := cfg.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := newEngine(cfg, trace, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.refHibernate = ref
+	res, err := e.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestHibernateFastMatchesStepper replays full runs on every harvesting
+// trace and checks the analytic hibernation path against the original
+// stepper: identical outage/restore behaviour, not just approximately so.
+func TestHibernateFastMatchesStepper(t *testing.T) {
+	trace, err := workload.Cached("crc32", 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range energy.TraceKinds {
+		for _, scheme := range []Scheme{Baseline, EDBP} {
+			t.Run(kind.String()+"/"+scheme.String(), func(t *testing.T) {
+				fast := runWithHibernate(t, kind, scheme, trace, false)
+				gold := runWithHibernate(t, kind, scheme, trace, true)
+
+				if fast.PowerCycles != gold.PowerCycles {
+					t.Errorf("PowerCycles: fast %d, stepper %d", fast.PowerCycles, gold.PowerCycles)
+				}
+				if fast.Checkpoints != gold.Checkpoints {
+					t.Errorf("Checkpoints: fast %d, stepper %d", fast.Checkpoints, gold.Checkpoints)
+				}
+				if d := math.Abs(fast.OffTime - gold.OffTime); d > 1e-9 {
+					t.Errorf("OffTime: fast %g, stepper %g (|diff| %g > 1e-9)", fast.OffTime, gold.OffTime, d)
+				}
+				if fast.PowerCycles == 0 && kind != energy.Solar {
+					t.Errorf("expected at least one power cycle on %v", kind)
+				}
+			})
+		}
+	}
+}

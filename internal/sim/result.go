@@ -62,8 +62,16 @@ type Result struct {
 
 	PowerCycles int // completed outage/restore round trips
 	Checkpoints int
+	// Outages is the true total number of power failures, with no cap:
+	// use it for counting, and OutageTimes only for inspecting when the
+	// early failures struck.
+	Outages int
 	// OutageTimes records when each power failure struck (simulated
-	// seconds, capped at 4096 entries) — examples and diagnostics use it.
+	// seconds) — examples and diagnostics use it. It is a bounded sample:
+	// only the first outageSampleCap (4096) failures are recorded, so
+	// outage-heavy runs keep a fixed memory footprint; the timestamps of
+	// later failures are dropped. Compare len(OutageTimes) against Outages
+	// to detect truncation.
 	OutageTimes []float64
 	// CheckpointBlocks counts blocks written to NV twins over the run.
 	CheckpointBlocks int

@@ -19,11 +19,12 @@ func Run(cfg Config) (*Result, error) {
 	}
 	trace := cfg.Trace
 	if trace == nil {
-		app, err := workload.ByName(cfg.App)
+		// The process-wide cache records each (app, scale) kernel once,
+		// however many schemes/seeds replay it.
+		trace, err = workload.Cached(cfg.App, cfg.Scale)
 		if err != nil {
 			return nil, err
 		}
-		trace = app.Record(cfg.Scale)
 		cfg.Trace = trace
 	}
 	if cfg.App == "" {

@@ -1,0 +1,28 @@
+package sim
+
+import "testing"
+
+// TestRunSharesRecordedTrace is the acceptance check for the shared
+// kernel-recording cache: two Runs with the same (app, scale) must replay
+// the very same recorded trace rather than recording twice.
+func TestRunSharesRecordedTrace(t *testing.T) {
+	cfg1 := Default("dijkstra", Baseline)
+	cfg1.Scale = 0.125
+	cfg2 := Default("dijkstra", EDBP)
+	cfg2.Scale = 0.125
+
+	r1, err := Run(cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Config.Trace == nil || r2.Config.Trace == nil {
+		t.Fatal("Run should resolve Config.Trace through the cache")
+	}
+	if r1.Config.Trace != r2.Config.Trace {
+		t.Error("two Runs with the same (app, scale) recorded the kernel twice")
+	}
+}

@@ -1,0 +1,46 @@
+package workload
+
+import "sync"
+
+// traceKey identifies one recorded kernel: the application plus the input
+// scale. Scale is normalized the same way App.Record normalizes it, so
+// Cached("crc32", 0) and Cached("crc32", 1) share an entry.
+type traceKey struct {
+	name  string
+	scale float64
+}
+
+// traceEntry records its kernel exactly once, even under concurrent first
+// lookups from parallel experiment workers.
+type traceEntry struct {
+	once sync.Once
+	tr   *Trace
+	err  error
+}
+
+var traceCache sync.Map // traceKey -> *traceEntry
+
+// Cached returns the recorded trace for (name, scale), executing the
+// kernel at most once per process. A Trace is immutable after recording
+// (the simulator only reads it), so the shared pointer is safe to use from
+// any number of concurrent runs. Recording is the expensive part — the
+// kernel actually executes and journals every memory access — and an
+// experiment grid replays the same (app, scale) across schemes × seeds ×
+// workers, so sharing it pays the cost exactly once.
+func Cached(name string, scale float64) (*Trace, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	key := traceKey{name: name, scale: scale}
+	v, _ := traceCache.LoadOrStore(key, &traceEntry{})
+	e := v.(*traceEntry)
+	e.once.Do(func() {
+		app, err := ByName(name)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.tr = app.Record(scale)
+	})
+	return e.tr, e.err
+}
