@@ -2,11 +2,16 @@
 // BENCH_engine.json, the number the benchmark-regression harness tracks
 // across commits. One measurement is a full sim.Run (event loop, outages,
 // hibernation) per scheme on the crc32 kernel; the JSON records ns/event,
-// allocs/event and events/sec.
+// allocs/event and events/sec, stamped with the git commit and time so a
+// snapshot is attributable to the code that produced it.
+//
+// The EDBP+tracer row runs with a trace.Recorder attached — its delta over
+// the plain EDBP row is the enabled-telemetry overhead.
 //
 // Usage:
 //
 //	go run ./cmd/bench [-out BENCH_engine.json] [-app crc32] [-scale 0.25]
+//	go run ./cmd/bench -cpuprofile cpu.out -memprofile mem.out
 //
 // Compare against a previous snapshot with any JSON diff; the benchmark
 // unit tests (go test ./internal/sim -bench .) remain the profiling-grade
@@ -19,10 +24,15 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/exec"
 	"runtime"
+	"runtime/pprof"
+	"strings"
 	"testing"
+	"time"
 
 	"edbp/internal/sim"
+	"edbp/internal/trace"
 	"edbp/internal/workload"
 )
 
@@ -37,30 +47,68 @@ type entry struct {
 
 // report is the BENCH_engine.json schema.
 type report struct {
-	App     string  `json:"app"`
-	Scale   float64 `json:"scale"`
-	Events  int     `json:"events_per_run"`
-	GoMaxP  int     `json:"gomaxprocs"`
-	Results []entry `json:"results"`
+	Commit    string  `json:"commit,omitempty"`
+	Timestamp string  `json:"timestamp"`
+	App       string  `json:"app"`
+	Scale     float64 `json:"scale"`
+	Events    int     `json:"events_per_run"`
+	GoMaxP    int     `json:"gomaxprocs"`
+	Results   []entry `json:"results"`
+}
+
+// variant names one benchmark row: a scheme plus whether a trace recorder
+// is attached for the run.
+type variant struct {
+	name   string
+	scheme sim.Scheme
+	traced bool
 }
 
 func main() {
 	out := flag.String("out", "BENCH_engine.json", "output path")
 	app := flag.String("app", "crc32", "workload kernel")
 	scale := flag.Float64("scale", 0.25, "input scale")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark loop to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after the loop) to this file")
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	// Record (or fetch) the kernel once; every scheme below replays it.
-	trace, err := workload.Cached(*app, *scale)
+	tr, err := workload.Cached(*app, *scale)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	rep := report{App: *app, Scale: *scale, Events: len(trace.Events), GoMaxP: runtime.GOMAXPROCS(0)}
-	for _, scheme := range []sim.Scheme{sim.Baseline, sim.EDBP, sim.DecayEDBP} {
-		cfg := sim.Default(*app, scheme)
+	rep := report{
+		Commit:    gitCommit(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		App:       *app, Scale: *scale,
+		Events: len(tr.Events), GoMaxP: runtime.GOMAXPROCS(0),
+	}
+	variants := []variant{
+		{"NVSRAMCache", sim.Baseline, false},
+		{"EDBP", sim.EDBP, false},
+		{"EDBP+tracer", sim.EDBP, true},
+		{"CacheDecay+EDBP", sim.DecayEDBP, false},
+	}
+	for _, v := range variants {
+		cfg := sim.Default(*app, v.scheme)
 		cfg.Scale = *scale
-		cfg.Trace = trace
+		cfg.Trace = tr
+		if v.traced {
+			cfg.Recorder = trace.NewRecorder(trace.Options{Label: v.name})
+		}
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -69,16 +117,16 @@ func main() {
 				}
 			}
 		})
-		events := int64(r.N) * int64(len(trace.Events))
+		events := int64(r.N) * int64(len(tr.Events))
 		rep.Results = append(rep.Results, entry{
-			Scheme:       scheme.String(),
+			Scheme:       v.name,
 			NsPerEvent:   float64(r.T.Nanoseconds()) / float64(events),
 			AllocsPerEvt: float64(r.MemAllocs) / float64(events),
 			EventsPerSec: float64(events) / r.T.Seconds(),
 			Runs:         r.N,
 		})
-		fmt.Printf("%-12s %8.2f ns/event  %8.4f allocs/event  %12.0f events/s  (%d runs)\n",
-			scheme, rep.Results[len(rep.Results)-1].NsPerEvent,
+		fmt.Printf("%-16s %8.2f ns/event  %8.4f allocs/event  %12.0f events/s  (%d runs)\n",
+			v.name, rep.Results[len(rep.Results)-1].NsPerEvent,
 			rep.Results[len(rep.Results)-1].AllocsPerEvt,
 			rep.Results[len(rep.Results)-1].EventsPerSec, r.N)
 	}
@@ -92,4 +140,26 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// gitCommit resolves the short HEAD hash, or "" when git (or the repo)
+// is unavailable — the snapshot is still valid, just unattributed.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }

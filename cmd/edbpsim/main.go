@@ -4,6 +4,11 @@
 // Usage:
 //
 //	edbpsim -app crc32 -scheme edbp [-trace RFHome] [-scale 1.0] ...
+//	edbpsim -app crc32 -scheme edbp -trace-out run.json -trace-jsonl run.jsonl -sample-every 20
+//
+// -trace selects the harvested-energy trace; -trace-out / -trace-jsonl
+// record the run itself (Chrome trace_event for Perfetto, and a JSON
+// Lines stream for cmd/tracereport).
 package main
 
 import (
@@ -19,8 +24,57 @@ import (
 	"edbp/internal/energy"
 	"edbp/internal/nvm"
 	"edbp/internal/sim"
+	tracepkg "edbp/internal/trace"
 	"edbp/internal/workload"
 )
+
+// writeTraces exports the recorder to the requested formats. The JSONL
+// stream carries the zombie profile alongside the events so tracereport
+// can emit the Figure 4 CSV offline.
+func writeTraces(rec *tracepkg.Recorder, res *sim.Result, chromePath, jsonlPath string) {
+	if chromePath != "" {
+		f, err := os.Create(chromePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := bufio.NewWriter(f)
+		if err := rec.WriteChromeTrace(w); err != nil {
+			log.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote Chrome trace %s (open in Perfetto or chrome://tracing)", chromePath)
+	}
+	if jsonlPath != "" {
+		var profile []tracepkg.ProfilePoint
+		if res.ZombieProfile != nil {
+			for _, p := range res.ZombieProfile.Points() {
+				profile = append(profile, tracepkg.ProfilePoint{
+					Voltage: p.Voltage, ZombieRatio: p.ZombieRatio, Samples: p.Samples,
+				})
+			}
+		}
+		f, err := os.Create(jsonlPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := bufio.NewWriter(f)
+		if err := rec.WriteJSONL(w, profile); err != nil {
+			log.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote JSONL trace %s (summarise with cmd/tracereport)", jsonlPath)
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -45,6 +99,10 @@ func main() {
 		leakOff = flag.Bool("leak80off", false, "magically reduce data cache leakage by 80%")
 		asJSON  = flag.Bool("json", false, "emit the result as JSON instead of text")
 		vtrace  = flag.String("vtrace", "", "write a time,voltage,state CSV of the capacitor to this file")
+
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event file (load in Perfetto / chrome://tracing)")
+		traceJSONL = flag.String("trace-jsonl", "", "write the raw event/sample stream as JSON Lines (read with cmd/tracereport)")
+		sampleUS   = flag.Float64("sample-every", 20, "telemetry gauge sampling period in µs (with -trace-out/-trace-jsonl)")
 	)
 	flag.Parse()
 
@@ -82,6 +140,18 @@ func main() {
 		log.Fatal(err)
 	}
 
+	var rec *tracepkg.Recorder
+	if *traceOut != "" || *traceJSONL != "" {
+		rec = tracepkg.NewRecorder(tracepkg.Options{
+			Label:       fmt.Sprintf("%s/%s/%s", *app, sch, cfg.TraceKind),
+			SampleEvery: *sampleUS * 1e-6,
+		})
+		cfg.Recorder = rec
+		// The JSONL export embeds the Figure 4 voltage-vs-zombie profile so
+		// tracereport can regenerate it without a second run.
+		cfg.CollectZombieProfile = true
+	}
+
 	if *vtrace != "" {
 		f, err := os.Create(*vtrace)
 		if err != nil {
@@ -109,6 +179,9 @@ func main() {
 	res, err := sim.Run(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if rec != nil {
+		writeTraces(rec, res, *traceOut, *traceJSONL)
 	}
 	if *asJSON {
 		printJSON(res)
@@ -231,8 +304,11 @@ func printResult(r *sim.Result) {
 			100*c.Coverage(), 100*c.Accuracy(), r.GatedBlockSeconds)
 	}
 	if r.EDBP != nil {
-		fmt.Printf("  edbp           gated=%d sample wrong kills=%d steps-down=%d resets=%d final FPR=%.3f\n",
-			r.EDBP.Gated, r.EDBP.WrongKills, r.EDBP.StepsDown, r.EDBP.Resets, r.EDBP.FinalFPR)
+		fmt.Printf("  %s\n", r.EDBP)
+	}
+	if s := r.TraceSummary; s != nil {
+		fmt.Printf("  trace          %d events (%d dropped), %d samples, %d power cycles recorded\n",
+			s.Events, s.Dropped, s.Samples, len(s.AllCycles()))
 	}
 	if r.ZombieProfile != nil {
 		fmt.Println("  zombie ratio by voltage:")

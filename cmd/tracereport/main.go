@@ -1,0 +1,159 @@
+// Command tracereport summarises a JSONL trace written by
+// edbpsim -trace-jsonl: a per-power-cycle table, an event-kind histogram,
+// and (with -profile) the Figure 4 voltage-vs-zombie CSV embedded in the
+// stream by the live run.
+//
+// Usage:
+//
+//	tracereport run.jsonl
+//	tracereport -cycles 50 -profile fig4.csv run.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"edbp/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracereport: ")
+
+	var (
+		cycles  = flag.Int("cycles", 20, "power cycles to list individually (0 = totals only)")
+		profile = flag.String("profile", "", "write the voltage-vs-zombie profile (Figure 4) as CSV to this file")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: tracereport [-cycles N] [-profile out.csv] run.jsonl")
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := trace.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if d.Label != "" {
+		fmt.Printf("run: %s\n", d.Label)
+	}
+	fmt.Printf("recorded: %d cycles, %d events (%d dropped), %d samples (gauges every %.0f µs)\n\n",
+		cycleCount(d), d.TotalEvents, d.Dropped, len(d.Samples), d.SampleEveryUS)
+
+	printCycles(d, *cycles)
+	printKinds(d)
+
+	if *profile != "" {
+		if err := writeProfile(d, *profile); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func cycleCount(d *trace.Dump) int {
+	n := len(d.Cycles)
+	if d.Rest != nil {
+		n++ // the overflow fold bucket stands in for everything past MaxCycles
+	}
+	return n
+}
+
+// printCycles renders the per-power-cycle table: the first n cycles row by
+// row, then a totals row covering the whole run (including any cycles
+// folded into the overflow bucket).
+func printCycles(d *trace.Dump, n int) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "cycle\ton ms\tckpts\tckpt blk\trestored\tgated\twrong\tsweeps\tlvl\tzombie FN\t")
+
+	var tot trace.CycleStats
+	add := func(c *trace.CycleStats) {
+		tot.Checkpoints += c.Checkpoints
+		tot.CheckpointBlocks += c.CheckpointBlocks
+		tot.RestoredBlocks += c.RestoredBlocks
+		tot.BlocksGated += c.BlocksGated
+		tot.WrongKills += c.WrongKills
+		tot.Sweeps += c.Sweeps
+		tot.StepsDown += c.StepsDown
+		tot.Resets += c.Resets
+		tot.Counts.ZombieFN += c.Counts.ZombieFN
+		if c.MaxLevel > tot.MaxLevel {
+			tot.MaxLevel = c.MaxLevel
+		}
+	}
+
+	shown := 0
+	for i := range d.Cycles {
+		c := &d.Cycles[i]
+		add(c)
+		if shown < n {
+			fmt.Fprintf(w, "%d\t%.3f\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t\n",
+				c.Index, c.OnDuration()*1e3, c.Checkpoints, c.CheckpointBlocks,
+				c.RestoredBlocks, c.BlocksGated, c.WrongKills, c.Sweeps,
+				c.MaxLevel, c.Counts.ZombieFN)
+			shown++
+		}
+	}
+	if d.Rest != nil {
+		add(d.Rest)
+	}
+	if hidden := cycleCount(d) - shown; hidden > 0 {
+		fmt.Fprintf(w, "…\t(%d more)\t\t\t\t\t\t\t\t\t\n", hidden)
+	}
+	fmt.Fprintf(w, "total\t\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t\n",
+		tot.Checkpoints, tot.CheckpointBlocks, tot.RestoredBlocks,
+		tot.BlocksGated, tot.WrongKills, tot.Sweeps, tot.MaxLevel,
+		tot.Counts.ZombieFN)
+	w.Flush()
+	fmt.Println()
+}
+
+func printKinds(d *trace.Dump) {
+	if len(d.ByKind) == 0 {
+		return
+	}
+	kinds := make([]string, 0, len(d.ByKind))
+	for k := range d.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool {
+		if d.ByKind[kinds[i]] != d.ByKind[kinds[j]] {
+			return d.ByKind[kinds[i]] > d.ByKind[kinds[j]]
+		}
+		return kinds[i] < kinds[j]
+	})
+	fmt.Println("events by kind:")
+	for _, k := range kinds {
+		fmt.Printf("  %-16s %d\n", k, d.ByKind[k])
+	}
+	fmt.Println()
+}
+
+// writeProfile emits the Figure 4 CSV from the profile records the live
+// run embedded in the stream.
+func writeProfile(d *trace.Dump, path string) error {
+	if len(d.Profile) == 0 {
+		return fmt.Errorf("trace has no profile records — re-run edbpsim with -trace-jsonl (it collects the zombie profile automatically)")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(f, "voltage,zombie_ratio,samples")
+	for _, p := range d.Profile {
+		fmt.Fprintf(f, "%.4f,%.6f,%.0f\n", p.Voltage, p.ZombieRatio, p.Samples)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d profile points)\n", path, len(d.Profile))
+	return nil
+}

@@ -183,8 +183,15 @@ type Result struct {
 
 	// ZombieProfile is populated when Config.ZombieProfile was set.
 	ZombieProfile []ZombiePoint
-	// OutageTimes lists when power failures struck (capped).
+	// Outages is the true number of power failures over the run.
+	Outages int
+	// OutageTimes lists when power failures struck. Recording stops after
+	// the first 4096 failures; OutageTimesTruncated reports whether that
+	// cap was hit (Outages always keeps the full count).
 	OutageTimes []float64
+	// OutageTimesTruncated is set when OutageTimes was capped and holds
+	// only a prefix of the run's failures.
+	OutageTimesTruncated bool
 
 	// Truncated flags a run aborted for energy starvation.
 	Truncated bool
@@ -333,9 +340,10 @@ func wrap(c Config, r *sim.Result) *Result {
 		CacheMissRate:     r.DCacheStats.MissRate(),
 		PowerCycles:       r.PowerCycles,
 		GatedBlockSeconds: r.GatedBlockSeconds,
-		OutageTimes:       r.OutageTimes,
+		Outages:           r.Outages,
 		Truncated:         r.Truncated,
 	}
+	out.OutageTimes, out.OutageTimesTruncated = r.OutageSample()
 	if r.ZombieProfile != nil {
 		for _, p := range r.ZombieProfile.Points() {
 			out.ZombieProfile = append(out.ZombieProfile, ZombiePoint{Voltage: p.Voltage, ZombieRatio: p.ZombieRatio})

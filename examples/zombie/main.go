@@ -27,9 +27,13 @@ func main() {
 	}
 
 	fmt.Printf("susan on RFHome: %d power failures over %.1f ms\n\n",
-		r.PowerCycles, r.WallSeconds*1e3)
+		r.Outages, r.WallSeconds*1e3)
 
 	fmt.Println("first power cycles (outage timeline):")
+	if r.OutageTimesTruncated {
+		fmt.Printf("  (timeline capped: %d of %d failures recorded)\n",
+			len(r.OutageTimes), r.Outages)
+	}
 	prev := 0.0
 	for i, t := range r.OutageTimes {
 		if i >= 8 {

@@ -137,6 +137,13 @@ type Cache struct {
 	setMask    uint64
 	alwaysOn   bool       // cfg.Power == AlwaysOn: the powered count never changes
 	lru        *lruPolicy // non-nil for the default LRU policy: direct calls
+
+	// Observation hooks (nil unless tracing is attached). gateHook fires
+	// only from Gate (a rare, predictor-driven path); wrongKillHook fires
+	// only on the gated-miss branch of AccessTo — the demand-access fast
+	// paths never consult them beyond one untaken nil check.
+	gateHook      func(set, way int, wasDirty bool)
+	wrongKillHook func(set, way int)
 }
 
 // New constructs a cache. All blocks start invalid; under GateInvalid they
@@ -208,6 +215,34 @@ func (c *Cache) LiveBlocks() int {
 		}
 	}
 	return n
+}
+
+// SetGateHook attaches an observer called whenever Gate actually powers a
+// block off (nil detaches).
+func (c *Cache) SetGateHook(fn func(set, way int, wasDirty bool)) { c.gateHook = fn }
+
+// SetWrongKillHook attaches an observer called when a demand miss finds a
+// gated copy of its block — a predictor wrong kill (nil detaches).
+func (c *Cache) SetWrongKillHook(fn func(set, way int)) { c.wrongKillHook = fn }
+
+// StateCounts scans the cache and returns how many blocks are live
+// (powered with usable data), gated (valid but powered off), and dirty
+// (live with unwritten data). It is O(blocks): meant for periodic
+// sampling, not per-access use.
+func (c *Cache) StateCounts() (live, gated, dirty int) {
+	for i := range c.blocks {
+		b := &c.blocks[i]
+		switch {
+		case b.Live():
+			live++
+			if b.Dirty {
+				dirty++
+			}
+		case b.Valid && b.Gated:
+			gated++
+		}
+	}
+	return live, gated, dirty
 }
 
 // Index maps a byte address to (set, tag). Block size and set count are
@@ -323,6 +358,9 @@ func (c *Cache) AccessTo(addr uint64, write bool, res *AccessResult) {
 	if gatedWay >= 0 {
 		c.stats.GatedMisses++
 		res.WrongKill = true
+		if c.wrongKillHook != nil {
+			c.wrongKillHook(set, gatedWay)
+		}
 	}
 
 	// Victim selection: reuse the gated copy's way first (it holds no live
@@ -390,6 +428,9 @@ func (c *Cache) Gate(set, way int) (wasDirty, gated bool) {
 	b.Gated = true
 	b.Dirty = false
 	c.leakDelta(before, *b)
+	if c.gateHook != nil {
+		c.gateHook(set, way, wasDirty)
+	}
 	return wasDirty, true
 }
 

@@ -1,0 +1,80 @@
+package cache
+
+import "testing"
+
+func TestGateAndWrongKillHooks(t *testing.T) {
+	c := mustCache(t, defaultConfig())
+
+	type gateEv struct {
+		set, way int
+		dirty    bool
+	}
+	var gates []gateEv
+	var kills [][2]int
+	c.SetGateHook(func(set, way int, wasDirty bool) {
+		gates = append(gates, gateEv{set, way, wasDirty})
+	})
+	c.SetWrongKillHook(func(set, way int) {
+		kills = append(kills, [2]int{set, way})
+	})
+
+	// Fill one clean and one dirty block in set 0.
+	addrClean := c.BlockAddr(0, 1)
+	addrDirty := c.BlockAddr(0, 2)
+	resClean := c.Access(addrClean, false)
+	resDirty := c.Access(addrDirty, true)
+
+	// Gating fires the hook with the dirty flag.
+	c.Gate(0, resClean.Way)
+	c.Gate(0, resDirty.Way)
+	if len(gates) != 2 {
+		t.Fatalf("gate hook fired %d times, want 2", len(gates))
+	}
+	if gates[0].dirty || !gates[1].dirty {
+		t.Fatalf("gate hook dirty flags = %+v", gates)
+	}
+	// Gating a non-live block is a no-op and must not fire.
+	c.Gate(0, resClean.Way)
+	if len(gates) != 2 {
+		t.Fatal("gate hook fired for an already-gated block")
+	}
+
+	// Re-demanding the gated block is a wrong kill.
+	res := c.Access(addrClean, false)
+	if !res.WrongKill {
+		t.Fatal("expected a wrong-kill miss")
+	}
+	if len(kills) != 1 || kills[0] != [2]int{0, resClean.Way} {
+		t.Fatalf("wrong-kill hook log = %v", kills)
+	}
+
+	// Detach both; nothing fires anymore.
+	c.SetGateHook(nil)
+	c.SetWrongKillHook(nil)
+	c.Access(c.BlockAddr(0, 3), false)
+	c.Gate(0, res.Way)
+	if len(gates) != 2 || len(kills) != 1 {
+		t.Fatal("detached hooks still invoked")
+	}
+}
+
+func TestStateCounts(t *testing.T) {
+	c := mustCache(t, defaultConfig())
+	if l, g, d := c.StateCounts(); l != 0 || g != 0 || d != 0 {
+		t.Fatalf("empty cache StateCounts = %d/%d/%d", l, g, d)
+	}
+
+	// 3 live blocks, one of them dirty; then gate a clean one.
+	r1 := c.Access(c.BlockAddr(1, 1), false)
+	c.Access(c.BlockAddr(2, 1), false)
+	c.Access(c.BlockAddr(3, 1), true)
+	c.Gate(1, r1.Way)
+
+	live, gated, dirty := c.StateCounts()
+	if live != 2 || gated != 1 || dirty != 1 {
+		t.Fatalf("StateCounts = live %d, gated %d, dirty %d; want 2, 1, 1", live, gated, dirty)
+	}
+	if live != c.LiveBlocks() {
+		t.Fatalf("StateCounts live %d != LiveBlocks %d", live, c.LiveBlocks())
+	}
+}

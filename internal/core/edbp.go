@@ -119,11 +119,25 @@ func (c Config) Validate(ways int) error {
 	return nil
 }
 
+// Sink observes EDBP's internal decisions for tracing: aggressiveness
+// level changes and threshold adaptation steps. All callbacks fire on rare
+// events (threshold crossings, reboots), never per access.
+type Sink interface {
+	// GatingLevel reports a level change; v is the voltage that caused it
+	// (0 for the reboot reset).
+	GatingLevel(old, level int, v float64)
+	// ThresholdAdapt reports one adaptation action at reboot: stepDown is
+	// true for the conservative 50 mV step, false for a reset to the
+	// initial ladder. fpr is the cycle's measured false positive rate.
+	ThresholdAdapt(stepDown bool, fpr float64)
+}
+
 // EDBP is the zombie block predictor. It implements predictor.Predictor.
 type EDBP struct {
 	cfg     Config
 	initial []float64 // pristine thresholds for adaptation resets
 	env     predictor.Env
+	sink    Sink
 
 	level int // current aggressiveness: # thresholds crossed (0 = off)
 
@@ -162,6 +176,9 @@ func (e *EDBP) Attach(env predictor.Env) {
 	e.rankBuf = make([]int, 0, env.Cache.Ways())
 }
 
+// SetSink attaches a decision observer (nil detaches).
+func (e *EDBP) SetSink(s Sink) { e.sink = s }
+
 // Level returns the current aggressiveness level (0 = inactive).
 func (e *EDBP) Level() int { return e.level }
 
@@ -190,6 +207,9 @@ func (e *EDBP) OnVoltage(v float64) {
 		return
 	}
 	rising := level > e.level
+	if e.sink != nil {
+		e.sink.GatingLevel(e.level, level, v)
+	}
 	e.level = level
 	if rising && level > 0 {
 		c := e.env.Cache
@@ -313,6 +333,9 @@ func (e *EDBP) OnReboot() {
 			}
 			if stepped {
 				e.adaptationsDn++
+				if e.sink != nil {
+					e.sink.ThresholdAdapt(true, e.rFPR)
+				}
 			}
 		} else {
 			// Healthy rate: reset to the initial ladder if it was lowered.
@@ -325,10 +348,16 @@ func (e *EDBP) OnReboot() {
 			}
 			if reset {
 				e.adaptationsRst++
+				if e.sink != nil {
+					e.sink.ThresholdAdapt(false, e.rFPR)
+				}
 			}
 		}
 	}
 	e.rWrongKill, e.rTotal = 0, 0
 	e.buffer = e.buffer[:0]
+	if e.level != 0 && e.sink != nil {
+		e.sink.GatingLevel(e.level, 0, 0)
+	}
 	e.level = 0
 }

@@ -1,0 +1,77 @@
+package core
+
+import "testing"
+
+type sinkLog struct {
+	levels [][2]int
+	volts  []float64
+	adapts []bool
+	fprs   []float64
+}
+
+func (l *sinkLog) GatingLevel(old, level int, v float64) {
+	l.levels = append(l.levels, [2]int{old, level})
+	l.volts = append(l.volts, v)
+}
+
+func (l *sinkLog) ThresholdAdapt(stepDown bool, fpr float64) {
+	l.adapts = append(l.adapts, stepDown)
+	l.fprs = append(l.fprs, fpr)
+}
+
+func TestSinkObservesLevelsAndAdaptation(t *testing.T) {
+	e, c := testEDBP(t, 4, nil)
+	log := &sinkLog{}
+	e.SetSink(log)
+
+	// Fill the sample set (set 0) with clean blocks.
+	var addrs []uint64
+	for i := 1; i <= 4; i++ {
+		a := c.BlockAddr(0, uint64(i))
+		c.Access(a, false)
+		addrs = append(addrs, a)
+	}
+
+	// Crash through the whole ladder: one 0 -> 3 level event, voltage
+	// attached.
+	e.OnVoltage(3.0)
+	if len(log.levels) != 1 || log.levels[0] != [2]int{0, 3} {
+		t.Fatalf("level events = %v, want [[0 3]]", log.levels)
+	}
+	if log.volts[0] != 3.0 {
+		t.Fatalf("level voltage = %g", log.volts[0])
+	}
+	if e.Level() != 3 {
+		t.Fatalf("level = %d", e.Level())
+	}
+
+	// Re-demand a gated sample-set block: a wrong kill for adaptation.
+	res := c.Access(addrs[0], false)
+	if !res.WrongKill {
+		t.Fatal("expected wrong-kill on the gated block")
+	}
+	e.AfterAccess(res)
+
+	// Reboot: 1 wrong kill out of 3 gated (the non-MRU blocks) is an FPR
+	// of 1/3 > ref -> step-down, plus the level reset event.
+	e.OnReboot()
+	if len(log.adapts) != 1 || !log.adapts[0] {
+		t.Fatalf("adapt events = %v, want [true]", log.adapts)
+	}
+	if got := log.fprs[0]; got < 0.33 || got > 0.34 {
+		t.Fatalf("adapt FPR = %g, want 1/3", got)
+	}
+	if len(log.levels) != 2 || log.levels[1] != [2]int{3, 0} {
+		t.Fatalf("level events after reboot = %v", log.levels)
+	}
+
+	// Next cycle: gate again with no wrong kills -> reset adaptation.
+	for _, a := range addrs {
+		c.Access(a, false)
+	}
+	e.OnVoltage(3.0)
+	e.OnReboot()
+	if len(log.adapts) != 2 || log.adapts[1] {
+		t.Fatalf("adapt events = %v, want [true false]", log.adapts)
+	}
+}

@@ -51,12 +51,20 @@ func (s State) String() string {
 	return "off"
 }
 
+// MonitorSink observes the monitor's threshold crossings. checkpoint is
+// true for the Vckpt (power failing) edge and false for the Vrst (power
+// restored) edge; v is the voltage that triggered it.
+type MonitorSink interface {
+	MonitorEdge(checkpoint bool, v float64)
+}
+
 // Monitor is the voltage comparator with hysteresis. It mirrors the
 // dedicated low-power monitor circuit of JIT-checkpointing systems
 // (Hibernus, QuickRecall): the simulator polls it after every event.
 type Monitor struct {
 	cfg   MonitorConfig
 	state State
+	sink  MonitorSink
 }
 
 // NewMonitor returns a monitor in the On state.
@@ -69,6 +77,11 @@ func (m *Monitor) Config() MonitorConfig { return m.cfg }
 
 // State returns the current power state.
 func (m *Monitor) State() State { return m.state }
+
+// SetSink attaches an edge observer (nil detaches). Observe only consults
+// it on the rare threshold crossings, so the steady-state cost of an
+// attached sink is zero.
+func (m *Monitor) SetSink(s MonitorSink) { m.sink = s }
 
 // Observe updates the monitor with the current capacitor voltage and
 // reports whether a transition happened:
@@ -84,11 +97,17 @@ func (m *Monitor) Observe(v float64) (checkpoint, restore bool) {
 	case On:
 		if v < m.cfg.VCkpt {
 			m.state = Off
+			if m.sink != nil {
+				m.sink.MonitorEdge(true, v)
+			}
 			return true, false
 		}
 	case Off:
 		if v >= m.cfg.VRst {
 			m.state = On
+			if m.sink != nil {
+				m.sink.MonitorEdge(false, v)
+			}
 			return false, true
 		}
 	}

@@ -83,6 +83,45 @@ func TestMonitorConfigValidate(t *testing.T) {
 	}
 }
 
+type edgeLog struct {
+	checkpoints []float64
+	restores    []float64
+}
+
+func (l *edgeLog) MonitorEdge(checkpoint bool, v float64) {
+	if checkpoint {
+		l.checkpoints = append(l.checkpoints, v)
+	} else {
+		l.restores = append(l.restores, v)
+	}
+}
+
+func TestMonitorSinkSeesEdgesOnly(t *testing.T) {
+	m := NewMonitor(DefaultMonitor())
+	log := &edgeLog{}
+	m.SetSink(log)
+
+	m.Observe(3.3)  // On, no edge
+	m.Observe(3.19) // On -> Off
+	m.Observe(3.0)  // Off, no edge
+	m.Observe(3.41) // Off -> On
+	m.Observe(3.5)  // On, no edge
+
+	if len(log.checkpoints) != 1 || log.checkpoints[0] != 3.19 {
+		t.Fatalf("checkpoint edges = %v, want [3.19]", log.checkpoints)
+	}
+	if len(log.restores) != 1 || log.restores[0] != 3.41 {
+		t.Fatalf("restore edges = %v, want [3.41]", log.restores)
+	}
+
+	// Detach: further edges are unobserved.
+	m.SetSink(nil)
+	m.Observe(3.0)
+	if len(log.checkpoints) != 1 {
+		t.Fatal("detached sink still invoked")
+	}
+}
+
 func TestStateString(t *testing.T) {
 	if On.String() != "on" || Off.String() != "off" {
 		t.Fatalf("state strings: %q %q", On.String(), Off.String())

@@ -108,6 +108,7 @@ func (a *AMC) Tick(cycles uint64) {
 func (a *AMC) sweep() {
 	c := a.env.Cache
 	ways := c.Ways()
+	gated := 0
 	for s := 0; s < c.Sets(); s++ {
 		for w := 0; w < ways; w++ {
 			b := c.Block(s, w)
@@ -116,8 +117,12 @@ func (a *AMC) sweep() {
 			}
 			if a.now-a.lastTouched[s*ways+w] >= a.intervalNow {
 				a.env.GateBlock(s, w)
+				gated++
 			}
 		}
+	}
+	if a.env.Trace != nil {
+		a.env.Trace.PredictorSweep(gated, a.intervalNow)
 	}
 }
 

@@ -118,6 +118,7 @@ func (d *Decay) Tick(cycles uint64) {
 func (d *Decay) globalTick() {
 	c := d.env.Cache
 	ways := c.Ways()
+	gated := 0
 	for s := 0; s < c.Sets(); s++ {
 		for w := 0; w < ways; w++ {
 			b := c.Block(s, w)
@@ -129,12 +130,16 @@ func (d *Decay) globalTick() {
 				if !d.cfg.CleanOnly || !b.Dirty {
 					d.env.GateBlock(s, w)
 					d.windowGates++
+					gated++
 					d.counters[i] = 0
 					continue
 				}
 			}
 			d.counters[i]++
 		}
+	}
+	if d.env.Trace != nil {
+		d.env.Trace.PredictorSweep(gated, d.intervalNow)
 	}
 	d.adapt()
 }

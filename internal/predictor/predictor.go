@@ -11,6 +11,16 @@ package predictor
 
 import "edbp/internal/cache"
 
+// Sink observes predictor-internal decisions for tracing. Predictors must
+// treat it as optional (nil when no observer is attached) and only consult
+// it on rare events, never per access.
+type Sink interface {
+	// PredictorSweep reports one global sweep of a time-based predictor
+	// (Cache Decay / AMC): the number of blocks it gated and the decay
+	// interval in force, in CPU cycles.
+	PredictorSweep(gated int, intervalCycles uint64)
+}
+
 // Env is everything a predictor may touch, supplied by the simulator at
 // attach time.
 type Env struct {
@@ -25,6 +35,8 @@ type Env struct {
 	// PC, when provided, reports the current instruction-fetch program
 	// counter; trace-based predictors (RefTrace) need it.
 	PC func() uint32
+	// Trace, when non-nil, observes predictor decisions (sweeps).
+	Trace Sink
 }
 
 // Predictor observes execution and deactivates cache blocks. All hooks are

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"edbp/internal/energy"
+	"edbp/internal/trace"
 	"edbp/internal/workload"
 )
 
@@ -31,8 +32,40 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestSteadyStateZeroAllocsTraced asserts the same property with a trace
+// recorder attached: the rings are preallocated, so steady-state recording
+// (clock updates plus periodic gauge samples) allocates nothing either.
+func TestSteadyStateZeroAllocsTraced(t *testing.T) {
+	for _, scheme := range []Scheme{Baseline, EDBP} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			rec := trace.NewRecorder(trace.Options{})
+			e := steadyEngineRec(t, scheme, rec)
+			i := 0
+			next := func() {
+				e.execMem(uint64(i%2048)*4, i&3 == 0)
+				i++
+			}
+			for k := 0; k < 4096; k++ {
+				next()
+			}
+			if avg := testing.AllocsPerRun(2000, next); avg != 0 {
+				t.Errorf("traced steady-state execMem allocates %.2f times per event, want 0", avg)
+			}
+			if rec.Summary().Samples == 0 {
+				t.Error("recorder took no samples — the traced path was not exercised")
+			}
+		})
+	}
+}
+
 // steadyEngineT is steadyEngine for plain tests.
 func steadyEngineT(t *testing.T, scheme Scheme) *engine {
+	t.Helper()
+	return steadyEngineRec(t, scheme, nil)
+}
+
+// steadyEngineRec is steadyEngineT with an optional trace recorder.
+func steadyEngineRec(t *testing.T, scheme Scheme, rec *trace.Recorder) *engine {
 	t.Helper()
 	trace, err := workload.Cached("crc32", 0.25)
 	if err != nil {
@@ -42,6 +75,7 @@ func steadyEngineT(t *testing.T, scheme Scheme) *engine {
 	cfg.Trace = trace
 	cfg.Source = energy.ConstantSource{P: 1.0}
 	cfg.MaxSimTime = 1e18
+	cfg.Recorder = rec
 	cfg, err = cfg.normalize()
 	if err != nil {
 		t.Fatal(err)

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"edbp/internal/energy"
+	tracepkg "edbp/internal/trace"
 	"edbp/internal/workload"
 )
 
@@ -44,6 +45,39 @@ func BenchmarkEngineSteadyState(b *testing.B) {
 		b.Run(scheme.String(), func(b *testing.B) {
 			e := steadyEngine(b, scheme)
 			// Warm up: fault in the working set and any lazy predictor state.
+			for i := 0; i < 4096; i++ {
+				e.execMem(uint64(i%2048)*4, i&3 == 0)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.execMem(uint64(i%2048)*4, i&3 == 0)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
+// BenchmarkEngineSteadyStateTraced is the steady-state benchmark with a
+// trace recorder attached — the enabled-tracer overhead measurement
+// (cmd/bench snapshots the disabled/enabled pair into BENCH_engine.json).
+func BenchmarkEngineSteadyStateTraced(b *testing.B) {
+	for _, scheme := range []Scheme{Baseline, EDBP} {
+		b.Run(scheme.String(), func(b *testing.B) {
+			trace := benchTrace(b)
+			cfg := Default("crc32", scheme)
+			cfg.Trace = trace
+			cfg.Source = energy.ConstantSource{P: 1.0}
+			cfg.MaxSimTime = 1e18
+			cfg.Recorder = tracepkg.NewRecorder(tracepkg.Options{})
+			cfg, err := cfg.normalize()
+			if err != nil {
+				b.Fatal(err)
+			}
+			e, err := newEngine(cfg, trace, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
 			for i := 0; i < 4096; i++ {
 				e.execMem(uint64(i%2048)*4, i&3 == 0)
 			}

@@ -17,6 +17,7 @@ import (
 	"edbp/internal/energy"
 	"edbp/internal/nvm"
 	"edbp/internal/predictor"
+	"edbp/internal/trace"
 	"edbp/internal/workload"
 )
 
@@ -167,6 +168,15 @@ type Config struct {
 
 	// CollectZombieProfile enables Figure 4 sampling (small overhead).
 	CollectZombieProfile bool
+
+	// Recorder, when non-nil, attaches the internal/trace observability
+	// layer: the run's power-cycle timeline, discrete events and periodic
+	// gauges are recorded into it and summarised in Result.TraceSummary.
+	// sim.Run resets the recorder at engine construction, so one Recorder
+	// can be reused across sequential runs. With Recorder nil, every
+	// instrumentation site is a single untaken branch (zero allocations —
+	// see alloc_test.go).
+	Recorder *trace.Recorder
 
 	// VoltageSampler, when non-nil, observes the capacitor voltage over
 	// simulated time: it is invoked after every simulation event while

@@ -12,15 +12,12 @@ import (
 	"edbp/internal/nvm"
 	"edbp/internal/predictor"
 	"edbp/internal/sram"
+	"edbp/internal/trace"
 	"edbp/internal/workload"
 )
 
 // zombieSampleEvery is the Figure 4 sampling period in simulated seconds.
 const zombieSampleEvery = 20e-6
-
-// outageSampleCap bounds Result.OutageTimes (see that field's doc);
-// Result.Outages always holds the true total.
-const outageSampleCap = 4096
 
 // engine is one simulation run's mutable state.
 type engine struct {
@@ -53,6 +50,12 @@ type engine struct {
 	icTracker *metrics.Tracker
 	listeners []metrics.Listener // data cache listeners (tracker + extras)
 	profile   *metrics.ZombieProfile
+
+	// rec is the attached trace recorder, nil for untraced runs. Every
+	// instrumentation site below nil-checks it (or a hook derived from it),
+	// so the disabled path costs one untaken branch and zero allocations
+	// (alloc_test.go pins this).
+	rec *trace.Recorder
 
 	// Hot-path shortcuts, all derived once in newEngine. The event loop
 	// runs tens of millions of times per Run, so the per-event costs of
@@ -268,6 +271,19 @@ func newEngine(cfg Config, trace *workload.Trace, predOverride predictor.Predict
 		e.res.ZombieProfile = e.profile
 	}
 
+	// Trace wiring. The assignments are guarded so that an absent recorder
+	// leaves every sink interface/func truly nil (a nil *Recorder stored in
+	// an interface would still dispatch).
+	var predSink predictor.Sink
+	if cfg.Recorder != nil {
+		e.rec = cfg.Recorder
+		e.rec.StartRun()
+		e.mon.SetSink(e.rec)
+		dc.SetGateHook(e.rec.BlockGated)
+		dc.SetWrongKillHook(e.rec.WrongKill)
+		predSink = e.rec
+	}
+
 	// Predictor stacks.
 	if predOverride != nil {
 		e.pred = predOverride
@@ -277,9 +293,12 @@ func newEngine(cfg Config, trace *workload.Trace, predOverride predictor.Predict
 			return nil, err
 		}
 	}
-	e.pred.Attach(predictor.Env{Cache: dc, GateBlock: e.gateDCache, ClockHz: cfg.CPU.ClockHz, PC: e.fetch.PC})
+	e.pred.Attach(predictor.Env{Cache: dc, GateBlock: e.gateDCache, ClockHz: cfg.CPU.ClockHz, PC: e.fetch.PC, Trace: predSink})
 	e.filter = checkpoint.DirtyOnly{}
 	probeScheme(e.pred, e)
+	if e.edbp != nil && e.rec != nil {
+		e.edbp.SetSink(e.rec)
+	}
 	_, e.predNone = e.pred.(predictor.None)
 	// Resolve the outage-training hook once instead of per power failure;
 	// a training checkpoint filter (SDBP) takes precedence over the
@@ -479,6 +498,9 @@ func (e *engine) flush(dt, dcDyn, icDyn, memDyn float64) {
 	if e.sampler != nil {
 		e.sampler(e.now, e.cap.Voltage(), true)
 	}
+	if e.rec != nil {
+		e.traceTick()
+	}
 	// Energy-domain equivalent of mon.Observe(Voltage()) returning a
 	// checkpoint edge: Stored() < eCkpt iff Voltage() < VCkpt (see
 	// energy.Capacitor.EnergyThreshold). During execution the monitor is
@@ -503,6 +525,33 @@ func (e *engine) flush(dt, dcDyn, icDyn, memDyn float64) {
 	}
 }
 
+// traceTick keeps the recorder's clock current and takes a gauge sample
+// when the cadence has elapsed. Only called with e.rec != nil; the
+// O(blocks) gauge scan runs at the sample cadence, not per flush.
+func (e *engine) traceTick() {
+	e.rec.SetNow(e.now)
+	if !e.rec.SampleDue(e.now) {
+		return
+	}
+	live, gated, dirty := e.dc.StateCounts()
+	s := trace.Sample{
+		Time:    e.now,
+		Voltage: e.cap.Voltage(),
+		Stored:  e.cap.Stored(),
+		Live:    int32(live),
+		Gated:   int32(gated),
+		Dirty:   int32(dirty),
+	}
+	if e.edbp != nil {
+		s.Level = int32(e.edbp.Level())
+		s.FPR = e.edbp.FPR()
+	}
+	if c := e.tracker.Counts(); c.Total() > 0 {
+		s.ZombieRatio = float64(c.ZombieFN) / float64(c.Total())
+	}
+	e.rec.AddSample(s)
+}
+
 // advanceRaw progresses time/energy outside normal execution (checkpoint
 // and restore): caches leak, the core is halted, the monitor is not
 // consulted (the hardware sequence is atomic).
@@ -520,6 +569,9 @@ func (e *engine) advanceRaw(dt, energyJ float64, bucket *float64) {
 	}
 	e.now += dt
 	e.res.ActiveTime += dt
+	if e.rec != nil {
+		e.rec.SetNow(e.now)
+	}
 }
 
 // dcLeakPower is the data cache's current leakage draw.
@@ -666,12 +718,12 @@ func (e *engine) execMem(addr uint64, write bool) {
 func (e *engine) powerFailure() {
 	e.res.Checkpoints++
 	e.res.Outages++
-	if len(e.res.OutageTimes) < outageSampleCap {
+	if len(e.res.OutageTimes) < OutageTimeCap {
 		if e.res.OutageTimes == nil {
 			// One up-front allocation instead of append growth: outage-heavy
 			// runs (RF traces) hit the cap, short runs waste nothing more
 			// than the old doubling schedule's final capacity.
-			e.res.OutageTimes = make([]float64, 0, outageSampleCap)
+			e.res.OutageTimes = make([]float64, 0, OutageTimeCap)
 		}
 		e.res.OutageTimes = append(e.res.OutageTimes, e.now)
 	}
@@ -691,6 +743,9 @@ func (e *engine) powerFailure() {
 	e.keptBuf = kept
 	e.advanceRaw(plan.Latency, plan.Energy, &e.res.Energy.Checkpoint)
 	e.res.CheckpointBlocks += plan.Blocks
+	if e.rec != nil {
+		e.rec.Checkpoint(plan.Blocks)
+	}
 
 	ways := e.dc.Ways()
 	keptIdx := e.keptIdx
@@ -743,6 +798,13 @@ func (e *engine) powerFailure() {
 		e.ic.Outage(nil)
 	}
 
+	// The cycle closes only after the outage teardown above classified
+	// every lost generation, so the per-cycle Counts delta includes this
+	// outage's zombies.
+	if e.rec != nil {
+		e.rec.EndCycle(e.tracker.Counts())
+	}
+
 	e.restoreBlocks = plan.Blocks
 	e.hibernate()
 }
@@ -763,6 +825,12 @@ func (e *engine) hibernate() {
 	e.advanceRaw(rplan.Latency, rplan.Energy, &e.res.Energy.Checkpoint)
 	e.res.RestoredBlocks += e.restoreBlocks
 	e.res.PowerCycles++
+	// Open the new cycle before OnReboot so EDBP's adaptation emissions
+	// (and the restore itself) are attributed to the cycle they shape.
+	if e.rec != nil {
+		e.rec.StartCycle()
+		e.rec.Restore(e.restoreBlocks)
+	}
 	e.pred.OnReboot()
 	if e.icPred != nil {
 		e.icPred.OnReboot()
@@ -788,6 +856,9 @@ func (e *engine) hibernateFast() bool {
 			e.sampler(e.now, e.cap.Voltage(), false)
 		}
 		if e.cap.Stored() >= e.eRst {
+			if e.rec != nil {
+				e.rec.SetNow(e.now)
+			}
 			e.mon.Observe(e.cap.Voltage()) // records the Off -> On edge
 			return true
 		}
@@ -808,6 +879,9 @@ func (e *engine) hibernateStepper() bool {
 		e.res.OffTime += energy.TraceResolution
 		if e.sampler != nil {
 			e.sampler(e.now, e.cap.Voltage(), false)
+		}
+		if e.rec != nil {
+			e.rec.SetNow(e.now)
 		}
 		if _, restore := e.mon.Observe(e.cap.Voltage()); restore {
 			return true
@@ -852,6 +926,11 @@ func (e *engine) run() (*Result, error) {
 	e.tracker.FlushOpen(e.now)
 	if e.profile != nil {
 		e.profile.FlushCycle(false)
+	}
+	if e.rec != nil {
+		e.rec.SetNow(e.now)
+		e.rec.FinishRun(e.tracker.Counts())
+		e.res.TraceSummary = e.rec.Summary()
 	}
 
 	e.res.WallTime = e.now

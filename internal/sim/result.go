@@ -6,7 +6,14 @@ import (
 
 	"edbp/internal/cache"
 	"edbp/internal/metrics"
+	"edbp/internal/trace"
 )
+
+// OutageTimeCap bounds Result.OutageTimes: only the first OutageTimeCap
+// power-failure timestamps are retained, so outage-heavy runs keep a fixed
+// memory footprint. Result.Outages always holds the true total; use
+// OutageSample to read the sample together with its truncation flag.
+const OutageTimeCap = 4096
 
 // EnergyBreakdown buckets consumed energy (joules) the way the paper's
 // Figure 7 does: data cache, instruction cache, main memory,
@@ -68,10 +75,10 @@ type Result struct {
 	Outages int
 	// OutageTimes records when each power failure struck (simulated
 	// seconds) — examples and diagnostics use it. It is a bounded sample:
-	// only the first outageSampleCap (4096) failures are recorded, so
+	// only the first OutageTimeCap (4096) failures are recorded, so
 	// outage-heavy runs keep a fixed memory footprint; the timestamps of
-	// later failures are dropped. Compare len(OutageTimes) against Outages
-	// to detect truncation.
+	// later failures are dropped. Read it through OutageSample, which also
+	// reports whether truncation happened.
 	OutageTimes []float64
 	// CheckpointBlocks counts blocks written to NV twins over the run.
 	CheckpointBlocks int
@@ -80,6 +87,10 @@ type Result struct {
 
 	// ZombieProfile is non-nil when CollectZombieProfile was set.
 	ZombieProfile *metrics.ZombieProfile
+
+	// TraceSummary is non-nil when Config.Recorder was attached: the
+	// per-power-cycle counter deltas and event tallies of the run.
+	TraceSummary *trace.Summary
 
 	// EDBP carries the core predictor's registers when the scheme
 	// includes EDBP.
@@ -97,6 +108,19 @@ type EDBPStats struct {
 	StepsDown  uint64
 	Resets     uint64
 	FinalFPR   float64
+}
+
+// String summarises the EDBP registers on one line.
+func (s *EDBPStats) String() string {
+	return fmt.Sprintf("edbp: gated=%d wrongKills=%d adapt(down=%d, reset=%d) fpr=%.3f",
+		s.Gated, s.WrongKills, s.StepsDown, s.Resets, s.FinalFPR)
+}
+
+// OutageSample returns the retained outage timestamps and whether the
+// sample is truncated (the run had more than OutageTimeCap power
+// failures; Outages holds the true count).
+func (r *Result) OutageSample() (times []float64, truncated bool) {
+	return r.OutageTimes, r.Outages > len(r.OutageTimes)
 }
 
 // AvgPower returns total energy over wall time (Figure 9's red line).

@@ -44,10 +44,14 @@ func Run(cfg Config) (*Result, error) {
 
 // runIdeal drives the two-pass oracle.
 func runIdeal(cfg Config, trace *workload.Trace) (*Result, error) {
-	// Pass 1: baseline with a recorder listening to block lifecycles.
+	// Pass 1: baseline with a recorder listening to block lifecycles. The
+	// trace recorder (if any) observes only the reported replay pass, so it
+	// is detached here — otherwise pass 2's StartRun would wipe pass 1's
+	// recording mid-Run and the summary would mix the two passes.
 	passCfg := cfg
 	passCfg.Scheme = Baseline
 	passCfg.CollectZombieProfile = false
+	passCfg.Recorder = nil
 	dcCfg := passCfg.dcacheConfig()
 	rec := predictor.NewOracleRecorder(dcCfg.Sets(), dcCfg.Ways)
 	e1, err := newEngine(passCfg, trace, nil, rec)

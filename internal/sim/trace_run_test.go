@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"edbp/internal/metrics"
+	"edbp/internal/trace"
+)
+
+// tracedRun executes one full RFHome run with a recorder attached.
+func tracedRun(t *testing.T, scheme Scheme) (*Result, *trace.Recorder) {
+	t.Helper()
+	rec := trace.NewRecorder(trace.Options{Label: "crc32/" + scheme.String()})
+	cfg := Default("crc32", scheme)
+	cfg.Scale = 0.25
+	cfg.Recorder = rec
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatalf("traced run truncated — test assumptions need a completing run")
+	}
+	return res, rec
+}
+
+// TestTraceCountersSumToResult is the tentpole acceptance check: a full
+// RFHome run's per-cycle trace counters must sum *exactly* to the
+// aggregate Result/metrics.Counts the simulator reports, and the event
+// tallies must match the aggregate counts one-for-one.
+func TestTraceCountersSumToResult(t *testing.T) {
+	for _, scheme := range []Scheme{EDBP, DecayEDBP} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			res, _ := tracedRun(t, scheme)
+			s := res.TraceSummary
+			if s == nil {
+				t.Fatal("Result.TraceSummary is nil with a recorder attached")
+			}
+
+			// Power-cycle structure: one cycle per outage plus the final
+			// powered cycle the workload finished in.
+			if want := res.Outages + 1; len(s.AllCycles()) != want {
+				t.Fatalf("cycles = %d, want %d (outages+1)", len(s.AllCycles()), want)
+			}
+			if res.Outages == 0 {
+				t.Fatal("run saw no outages — RFHome should force power cycling")
+			}
+
+			var sum trace.CycleStats
+			var counts metrics.Counts
+			for _, c := range s.AllCycles() {
+				sum.Checkpoints += c.Checkpoints
+				sum.CheckpointBlocks += c.CheckpointBlocks
+				sum.RestoredBlocks += c.RestoredBlocks
+				sum.BlocksGated += c.BlocksGated
+				sum.WrongKills += c.WrongKills
+				sum.StepsDown += c.StepsDown
+				sum.Resets += c.Resets
+				counts.TP += c.Counts.TP
+				counts.FP += c.Counts.FP
+				counts.TN += c.Counts.TN
+				counts.FN += c.Counts.FN
+				counts.ZombieFN += c.Counts.ZombieFN
+			}
+
+			// The zombie-aware classification — including the ZombieFN edge
+			// cases resolved at each outage teardown — must sum exactly.
+			if counts != res.Prediction {
+				t.Errorf("cycle Counts sum = %+v\nwant aggregate %+v", counts, res.Prediction)
+			}
+			if sum.Checkpoints != res.Checkpoints {
+				t.Errorf("checkpoints sum = %d, want %d", sum.Checkpoints, res.Checkpoints)
+			}
+			if sum.CheckpointBlocks != res.CheckpointBlocks {
+				t.Errorf("checkpoint blocks sum = %d, want %d", sum.CheckpointBlocks, res.CheckpointBlocks)
+			}
+			if sum.RestoredBlocks != res.RestoredBlocks {
+				t.Errorf("restored blocks sum = %d, want %d", sum.RestoredBlocks, res.RestoredBlocks)
+			}
+			if uint64(sum.WrongKills) != res.DCacheStats.GatedMisses {
+				t.Errorf("wrong kills sum = %d, want %d", sum.WrongKills, res.DCacheStats.GatedMisses)
+			}
+			if res.EDBP != nil {
+				if scheme == EDBP && uint64(sum.BlocksGated) != res.EDBP.Gated {
+					t.Errorf("blocks gated sum = %d, want EDBP.Gated %d", sum.BlocksGated, res.EDBP.Gated)
+				}
+				if uint64(sum.StepsDown) != res.EDBP.StepsDown {
+					t.Errorf("steps down sum = %d, want %d", sum.StepsDown, res.EDBP.StepsDown)
+				}
+				if uint64(sum.Resets) != res.EDBP.Resets {
+					t.Errorf("resets sum = %d, want %d", sum.Resets, res.EDBP.Resets)
+				}
+			}
+
+			// Event tallies against the run aggregates.
+			check := func(k trace.Kind, want uint64) {
+				t.Helper()
+				if got := s.Count(k); got != want {
+					t.Errorf("ByKind[%v] = %d, want %d", k, got, want)
+				}
+			}
+			check(trace.KindOutage, uint64(res.Outages))
+			check(trace.KindCheckpoint, uint64(res.Checkpoints))
+			check(trace.KindJITTrigger, uint64(res.Outages))
+			check(trace.KindRestore, uint64(res.PowerCycles))
+			check(trace.KindPowerGood, uint64(res.PowerCycles))
+			check(trace.KindCycleStart, uint64(res.PowerCycles)+1)
+			check(trace.KindWrongKill, res.DCacheStats.GatedMisses)
+			if scheme == DecayEDBP && s.Count(trace.KindSweep) == 0 {
+				t.Error("DecayEDBP run recorded no predictor sweeps")
+			}
+			if s.Count(trace.KindGateLevel) == 0 {
+				t.Error("no gating-level events — EDBP never engaged")
+			}
+		})
+	}
+}
+
+// TestTraceSamplesMonotone sanity-checks the gauge stream from a live run.
+func TestTraceSamplesMonotone(t *testing.T) {
+	res, rec := tracedRun(t, EDBP)
+	last := -1.0
+	n := 0
+	rec.Samples(func(s *trace.Sample) {
+		n++
+		if s.Time < last {
+			t.Fatalf("sample times regress: %g after %g", s.Time, last)
+		}
+		last = s.Time
+		if s.Voltage < res.Config.Capacitor.VMin-1e-9 || s.Voltage > res.Config.Capacitor.VMax+1e-9 {
+			t.Fatalf("sample voltage %g outside capacitor range", s.Voltage)
+		}
+		if s.Live < 0 || s.Gated < 0 || s.Dirty > s.Live {
+			t.Fatalf("inconsistent block gauges: %+v", s)
+		}
+	})
+	if n == 0 {
+		t.Fatal("run produced no samples")
+	}
+}
+
+// TestTraceExportsFromLiveRun drives the full export pipeline off a real
+// run: the JSONL stream must round-trip, and the Chrome trace must be
+// valid trace_event JSON (Perfetto's loader accepts exactly this shape).
+func TestTraceExportsFromLiveRun(t *testing.T) {
+	res, rec := tracedRun(t, EDBP)
+
+	var jl bytes.Buffer
+	if err := rec.WriteJSONL(&jl, nil); err != nil {
+		t.Fatal(err)
+	}
+	d, err := trace.ReadJSONL(bytes.NewReader(jl.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cycles) != len(res.TraceSummary.Cycles) {
+		t.Fatalf("JSONL cycles = %d, want %d", len(d.Cycles), len(res.TraceSummary.Cycles))
+	}
+
+	var ct bytes.Buffer
+	if err := rec.WriteChromeTrace(&ct); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(ct.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+}
