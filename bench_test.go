@@ -15,6 +15,7 @@ package edbp
 //	go run ./cmd/experiments -run fig8
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -36,12 +37,12 @@ func benchOptions() experiments.Options {
 
 // benchTable runs one experiment generator b.N times and reports a chosen
 // cell as a metric.
-func benchTable(b *testing.B, run func(experiments.Options) (*experiments.Table, error),
+func benchTable(b *testing.B, run func(context.Context, experiments.Options) (*experiments.Table, error),
 	metricRow, metricCol, metricName string) {
 	b.Helper()
 	var last *experiments.Table
 	for i := 0; i < b.N; i++ {
-		t, err := run(benchOptions())
+		t, err := run(context.Background(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}

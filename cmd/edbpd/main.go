@@ -1,0 +1,86 @@
+// Command edbpd serves the simulator as a batch HTTP service.
+//
+// Usage:
+//
+//	edbpd [-addr :8080] [-queue 64] [-workers N] [-run-timeout 15m]
+//
+// Endpoints:
+//
+//	POST /run        run one simulation synchronously; the body is a JSON
+//	                 config ({"app":"crc32","scheme":"edbp",...}), the
+//	                 response the Result JSON. With ?async=1 the job enters
+//	                 a bounded queue and the response is 202 + a job id.
+//	GET  /jobs/{id}  poll an async job: queued | running | done | failed.
+//	GET  /healthz    liveness; 503 once the server starts draining.
+//	GET  /metrics    Prometheus text: request/run/cache counters plus the
+//	                 internal/trace event aggregate over completed runs.
+//
+// Identical configs are answered from a sha256 config-hash result cache;
+// fresh runs share the process-wide workload and energy-trace memoization.
+// SIGTERM/SIGINT stops intake (healthz flips to 503), finishes queued
+// jobs, and exits 0 — a clean drain for rolling restarts.
+//
+// Example:
+//
+//	curl -s -X POST localhost:8080/run \
+//	    -d '{"app":"crc32","scheme":"edbp","scale":0.1}' | jq .wall_seconds
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("edbpd: ")
+
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		queue        = flag.Int("queue", 64, "async job queue depth (503 when full)")
+		workers      = flag.Int("workers", 2, "async queue worker goroutines")
+		runTimeout   = flag.Duration("run-timeout", 15*time.Minute, "per-run deadline, sync and async")
+		drainTimeout = flag.Duration("drain-timeout", time.Minute, "how long to wait for queued jobs on shutdown")
+	)
+	flag.Parse()
+
+	srv := newServer(serverOptions{
+		queueDepth: *queue,
+		workers:    *workers,
+		runTimeout: *runTimeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s", *addr)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("signal received; draining (up to %v)", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop intake and wait for queued jobs first, then close HTTP with the
+	// remaining budget so in-flight sync requests finish too.
+	if err := srv.Drain(dctx); err != nil {
+		log.Fatal(err)
+	}
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Printf("drained cleanly")
+}

@@ -1,0 +1,503 @@
+package main
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"edbp/internal/cache"
+	"edbp/internal/energy"
+	"edbp/internal/nvm"
+	"edbp/internal/sim"
+	tracepkg "edbp/internal/trace"
+)
+
+// runRequest is the POST /run body. Zero-valued fields select the paper's
+// Table II defaults, mirroring cmd/edbpsim's flags.
+type runRequest struct {
+	App    string  `json:"app"`
+	Scheme string  `json:"scheme"`
+	Trace  string  `json:"trace,omitempty"`
+	Scale  float64 `json:"scale,omitempty"`
+	Seed   uint64  `json:"seed,omitempty"`
+
+	CacheBytes int     `json:"cache_bytes,omitempty"`
+	CacheWays  int     `json:"cache_ways,omitempty"`
+	Policy     string  `json:"policy,omitempty"`
+	NVM        string  `json:"nvm,omitempty"`
+	MemMB      int64   `json:"mem_mb,omitempty"`
+	CapUF      float64 `json:"cap_uf,omitempty"`
+
+	ICacheSRAM    bool `json:"icache_sram,omitempty"`
+	PredictICache bool `json:"predict_icache,omitempty"`
+	Leak80Off     bool `json:"leak80off,omitempty"`
+}
+
+// normalize fills defaults so equivalent requests hash identically.
+func (r runRequest) normalize() runRequest {
+	if r.Scheme == "" {
+		r.Scheme = "edbp"
+	}
+	r.Scheme = strings.ToLower(r.Scheme)
+	if r.Trace == "" {
+		r.Trace = "RFHome"
+	}
+	if r.Scale == 0 {
+		r.Scale = 1.0
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.CacheBytes == 0 {
+		r.CacheBytes = 4096
+	}
+	if r.CacheWays == 0 {
+		r.CacheWays = 4
+	}
+	if r.Policy == "" {
+		r.Policy = "LRU"
+	}
+	if r.NVM == "" {
+		r.NVM = "ReRAM"
+	}
+	if r.MemMB == 0 {
+		r.MemMB = 16
+	}
+	if r.CapUF == 0 {
+		r.CapUF = 0.47
+	}
+	return r
+}
+
+// hash keys the result cache: sha256 over the canonical (normalized) JSON
+// encoding of the request.
+func (r runRequest) hash() string {
+	b, _ := json.Marshal(r)
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// config translates the request into a sim.Config.
+func (r runRequest) config() (sim.Config, error) {
+	if r.App == "" {
+		return sim.Config{}, fmt.Errorf("missing required field %q", "app")
+	}
+	sch, err := parseScheme(r.Scheme)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	cfg := sim.Default(r.App, sch)
+	cfg.Scale = r.Scale
+	cfg.SourceSeed = r.Seed
+	cfg.DCacheBytes = r.CacheBytes
+	cfg.DCacheWays = r.CacheWays
+	cfg.MemBytes = r.MemMB << 20
+	cfg.Capacitor.Capacitance = r.CapUF * 1e-6
+	cfg.ICacheSRAM = r.ICacheSRAM
+	cfg.PredictICache = r.PredictICache
+	if r.Leak80Off {
+		cfg.DCacheLeakFactor = 0.2
+	}
+	if cfg.TraceKind, err = energy.ParseTraceKind(r.Trace); err != nil {
+		return sim.Config{}, err
+	}
+	if cfg.DCachePolicy, err = cache.ParsePolicy(r.Policy); err != nil {
+		return sim.Config{}, err
+	}
+	if cfg.MemTech, err = nvm.ParseTech(r.NVM); err != nil {
+		return sim.Config{}, err
+	}
+	return cfg, nil
+}
+
+func parseScheme(s string) (sim.Scheme, error) {
+	switch strings.ToLower(s) {
+	case "baseline", "nvsramcache", "none":
+		return sim.Baseline, nil
+	case "sdbp":
+		return sim.SDBP, nil
+	case "decay", "cachedecay":
+		return sim.Decay, nil
+	case "amc":
+		return sim.AMC, nil
+	case "edbp":
+		return sim.EDBP, nil
+	case "decay+edbp", "combined":
+		return sim.DecayEDBP, nil
+	case "amc+edbp":
+		return sim.AMCEDBP, nil
+	case "counting":
+		return sim.Counting, nil
+	case "reftrace":
+		return sim.RefTrace, nil
+	case "counting+edbp":
+		return sim.CountingEDBP, nil
+	case "reftrace+edbp":
+		return sim.RefTraceEDBP, nil
+	case "ideal":
+		return sim.Ideal, nil
+	default:
+		return 0, fmt.Errorf("unknown scheme %q", s)
+	}
+}
+
+// runOutput is the Result JSON returned by POST /run and GET /jobs/{id}.
+// Field names are stable; cmd/edbpsim -json uses the same vocabulary.
+type runOutput struct {
+	App    string `json:"app"`
+	Scheme string `json:"scheme"`
+	Trace  string `json:"trace"`
+
+	WallSeconds   float64 `json:"wall_seconds"`
+	ActiveSeconds float64 `json:"active_seconds"`
+	OffSeconds    float64 `json:"off_seconds"`
+	Instructions  uint64  `json:"instructions"`
+
+	PowerCycles int `json:"power_cycles"`
+	Checkpoints int `json:"checkpoints"`
+	Outages     int `json:"outages"`
+
+	DCacheMissRate float64 `json:"dcache_miss_rate"`
+	ICacheMissRate float64 `json:"icache_miss_rate"`
+
+	EnergyTotalJ      float64 `json:"energy_total_j"`
+	EnergyDCacheJ     float64 `json:"energy_dcache_j"`
+	EnergyICacheJ     float64 `json:"energy_icache_j"`
+	EnergyMemoryJ     float64 `json:"energy_memory_j"`
+	EnergyCheckpointJ float64 `json:"energy_checkpoint_j"`
+
+	Coverage float64 `json:"coverage"`
+	Accuracy float64 `json:"accuracy"`
+
+	Truncated bool `json:"truncated"`
+	CacheHit  bool `json:"cache_hit"`
+}
+
+func output(req runRequest, res *sim.Result) *runOutput {
+	e := res.Energy
+	return &runOutput{
+		App:            res.Config.App,
+		Scheme:         res.Config.Scheme.String(),
+		Trace:          res.Config.TraceKind.String(),
+		WallSeconds:    res.WallTime,
+		ActiveSeconds:  res.ActiveTime,
+		OffSeconds:     res.OffTime,
+		Instructions:   res.Instructions,
+		PowerCycles:    res.PowerCycles,
+		Checkpoints:    res.Checkpoints,
+		Outages:        res.Outages,
+		DCacheMissRate: res.DCacheStats.MissRate(),
+		ICacheMissRate: res.ICacheStats.MissRate(),
+
+		EnergyTotalJ:      e.Total(),
+		EnergyDCacheJ:     e.DCache(),
+		EnergyICacheJ:     e.ICache(),
+		EnergyMemoryJ:     e.Memory,
+		EnergyCheckpointJ: e.Checkpoint,
+
+		Coverage:  res.Prediction.Coverage(),
+		Accuracy:  res.Prediction.Accuracy(),
+		Truncated: res.Truncated,
+	}
+}
+
+// job tracks one async run through the bounded queue.
+type job struct {
+	ID     string     `json:"id"`
+	Status string     `json:"status"` // queued | running | done | failed
+	Result *runOutput `json:"result,omitempty"`
+	Error  string     `json:"error,omitempty"`
+	req    runRequest
+	mu     sync.Mutex
+	done   chan struct{}
+}
+
+func (j *job) snapshot() job {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return job{ID: j.ID, Status: j.Status, Result: j.Result, Error: j.Error}
+}
+
+func (j *job) finish(out *runOutput, err error) {
+	j.mu.Lock()
+	if err != nil {
+		j.Status = "failed"
+		j.Error = err.Error()
+	} else {
+		j.Status = "done"
+		j.Result = out
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+type serverOptions struct {
+	queueDepth int           // bounded async queue; 503 when full
+	workers    int           // async queue drainers
+	runTimeout time.Duration // per-run deadline (sync and async)
+
+	// holdJobs, when non-nil, blocks each worker after dequeuing until the
+	// channel closes. Test-only: it freezes the pool so queue-bound
+	// behaviour is observable without timing races.
+	holdJobs chan struct{}
+}
+
+// server is the edbpd HTTP service. newServer starts the worker pool;
+// Drain stops intake and waits for queued jobs, making the server a pure
+// function of its handlers in tests (httptest.NewServer(srv.Handler())).
+type server struct {
+	opts  serverOptions
+	mux   *http.ServeMux
+	jobs  sync.Map // id -> *job
+	cache sync.Map // request hash -> *runOutput (completed runs only)
+
+	queueMu  sync.RWMutex // guards queue against close-during-send
+	queue    chan *job
+	draining atomic.Bool
+	workerWG sync.WaitGroup
+	nextID   atomic.Uint64
+
+	// metrics, exposed in Prometheus text format at /metrics.
+	mRequests        atomic.Uint64
+	mRunsOK          atomic.Uint64
+	mRunsErr         atomic.Uint64
+	mCacheHits       atomic.Uint64
+	mQueueFull       atomic.Uint64
+	mJobsQueued      atomic.Int64
+	mJobsRunning     atomic.Int64
+	mSimSecondsMicro atomic.Uint64                     // simulated wall-seconds ×1e6
+	mTraceEvents     [tracepkg.KindCount]atomic.Uint64 // internal/trace gauge aggregate
+}
+
+func newServer(opts serverOptions) *server {
+	if opts.queueDepth <= 0 {
+		opts.queueDepth = 64
+	}
+	if opts.workers <= 0 {
+		opts.workers = 2
+	}
+	if opts.runTimeout <= 0 {
+		opts.runTimeout = 15 * time.Minute
+	}
+	s := &server{opts: opts, queue: make(chan *job, opts.queueDepth)}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /run", s.handleRun)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	for i := 0; i < opts.workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.mRequests.Add(1)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Drain stops accepting work, waits for queued jobs to finish (bounded by
+// ctx), and releases the worker pool. /healthz reports 503 from the first
+// moment so load balancers stop routing.
+func (s *server) Drain(ctx context.Context) error {
+	s.queueMu.Lock()
+	if !s.draining.Swap(true) {
+		close(s.queue)
+	}
+	s.queueMu.Unlock()
+
+	done := make(chan struct{})
+	go func() { s.workerWG.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("edbpd: drain aborted with jobs still running: %w", ctx.Err())
+	}
+}
+
+func (s *server) worker() {
+	defer s.workerWG.Done()
+	for j := range s.queue {
+		if s.opts.holdJobs != nil {
+			<-s.opts.holdJobs
+		}
+		s.mJobsQueued.Add(-1)
+		s.mJobsRunning.Add(1)
+		j.mu.Lock()
+		j.Status = "running"
+		j.mu.Unlock()
+		// Async jobs run to completion even during drain; only the
+		// per-run deadline bounds them.
+		ctx, cancel := context.WithTimeout(context.Background(), s.opts.runTimeout)
+		out, err := s.run(ctx, j.req)
+		cancel()
+		j.finish(out, err)
+		s.mJobsRunning.Add(-1)
+	}
+}
+
+// run executes one simulation, consulting and feeding the config-hash
+// result cache. Cached replays skip the simulator entirely; fresh runs
+// additionally reuse the process-wide workload.Cached / energy.CachedTrace
+// memoization underneath sim.RunContext.
+func (s *server) run(ctx context.Context, req runRequest) (*runOutput, error) {
+	key := req.hash()
+	if v, ok := s.cache.Load(key); ok {
+		s.mCacheHits.Add(1)
+		hit := *v.(*runOutput)
+		hit.CacheHit = true
+		return &hit, nil
+	}
+	cfg, err := req.config()
+	if err != nil {
+		return nil, err
+	}
+	rec := tracepkg.NewRecorder(tracepkg.Options{
+		Label:       fmt.Sprintf("%s/%s/%s", req.App, cfg.Scheme, cfg.TraceKind),
+		EventCap:    4096,
+		SampleCap:   64,
+		SampleEvery: 1, // gauges are aggregated, not exported: sample sparsely
+	})
+	cfg.Recorder = rec
+	res, err := sim.RunContext(ctx, cfg)
+	if err != nil {
+		s.mRunsErr.Add(1)
+		return nil, err
+	}
+	if sum := rec.Summary(); sum != nil {
+		for k, n := range sum.ByKind {
+			s.mTraceEvents[k].Add(n)
+		}
+	}
+	s.mRunsOK.Add(1)
+	s.mSimSecondsMicro.Add(uint64(res.WallTime * 1e6))
+	out := output(req, res)
+	s.cache.Store(key, out)
+	return out, nil
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// handleRun serves POST /run. The default is synchronous: the simulation
+// runs under the request's context plus the per-run timeout and the Result
+// JSON is the response. With ?async=1 the job enters the bounded queue and
+// the response is 202 with the job id for GET /jobs/{id}.
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var req runRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	req = req.normalize()
+	if _, err := req.config(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	if r.URL.Query().Get("async") != "" {
+		j := &job{
+			ID:     fmt.Sprintf("job-%d", s.nextID.Add(1)),
+			Status: "queued",
+			req:    req,
+			done:   make(chan struct{}),
+		}
+		s.queueMu.RLock()
+		defer s.queueMu.RUnlock()
+		if s.draining.Load() {
+			httpError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		select {
+		case s.queue <- j:
+			s.jobs.Store(j.ID, j)
+			s.mJobsQueued.Add(1)
+			writeJSON(w, http.StatusAccepted, j.snapshot())
+		default:
+			s.mQueueFull.Add(1)
+			httpError(w, http.StatusServiceUnavailable, "queue full (%d deep)", s.opts.queueDepth)
+		}
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.runTimeout)
+	defer cancel()
+	out, err := s.run(ctx, req)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			code = http.StatusGatewayTimeout
+		}
+		httpError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.jobs.Load(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, v.(*job).snapshot())
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics emits Prometheus text exposition: server counters plus the
+// internal/trace event-kind aggregate across every completed run.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var b strings.Builder
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("edbpd_requests_total", "HTTP requests served.", s.mRequests.Load())
+	counter("edbpd_runs_ok_total", "Simulations completed.", s.mRunsOK.Load())
+	counter("edbpd_runs_error_total", "Simulations failed or canceled.", s.mRunsErr.Load())
+	counter("edbpd_cache_hits_total", "Runs answered from the config-hash result cache.", s.mCacheHits.Load())
+	counter("edbpd_queue_full_total", "Async submissions rejected for a full queue.", s.mQueueFull.Load())
+	fmt.Fprintf(&b, "# HELP edbpd_jobs Jobs by state.\n# TYPE edbpd_jobs gauge\n")
+	fmt.Fprintf(&b, "edbpd_jobs{state=\"queued\"} %d\n", s.mJobsQueued.Load())
+	fmt.Fprintf(&b, "edbpd_jobs{state=\"running\"} %d\n", s.mJobsRunning.Load())
+	fmt.Fprintf(&b, "# HELP edbpd_sim_seconds_total Simulated wall-clock seconds across completed runs.\n# TYPE edbpd_sim_seconds_total counter\n")
+	fmt.Fprintf(&b, "edbpd_sim_seconds_total %.6f\n", float64(s.mSimSecondsMicro.Load())/1e6)
+	fmt.Fprintf(&b, "# HELP edbpd_trace_events_total Simulator trace events by kind (internal/trace), summed over completed runs.\n# TYPE edbpd_trace_events_total counter\n")
+	for k := 0; k < tracepkg.KindCount; k++ {
+		fmt.Fprintf(&b, "edbpd_trace_events_total{kind=%q} %d\n", tracepkg.Kind(k).String(), s.mTraceEvents[k].Load())
+	}
+	w.Write([]byte(b.String()))
+}

@@ -1,0 +1,260 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testServer(t *testing.T, opts serverOptions) (*server, *httptest.Server) {
+	t.Helper()
+	s := newServer(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	return s, ts
+}
+
+// jobView mirrors the job JSON without the server-side sync fields.
+type jobView struct {
+	ID     string     `json:"id"`
+	Status string     `json:"status"`
+	Result *runOutput `json:"result,omitempty"`
+	Error  string     `json:"error,omitempty"`
+}
+
+func doJSON(t *testing.T, method, url, body string, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: bad JSON: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestRunSync covers the synchronous POST /run path and the config-hash
+// result cache: the second identical request must be a cache hit with the
+// same numbers.
+func TestRunSync(t *testing.T) {
+	s, ts := testServer(t, serverOptions{})
+
+	var first runOutput
+	code := doJSON(t, "POST", ts.URL+"/run", `{"app":"crc32","scheme":"edbp","scale":0.05}`, &first)
+	if code != http.StatusOK {
+		t.Fatalf("POST /run = %d, want 200", code)
+	}
+	if first.Instructions == 0 || first.WallSeconds == 0 {
+		t.Fatalf("empty result: %+v", first)
+	}
+	if first.App != "crc32" || first.Scheme != "EDBP" {
+		t.Errorf("result identifies %s/%s, want crc32/EDBP", first.App, first.Scheme)
+	}
+	if first.CacheHit {
+		t.Error("first run reported cache_hit")
+	}
+
+	var second runOutput
+	doJSON(t, "POST", ts.URL+"/run", `{"app":"crc32","scheme":"edbp","scale":0.05}`, &second)
+	if !second.CacheHit {
+		t.Error("identical rerun was not served from the cache")
+	}
+	if second.Instructions != first.Instructions || second.WallSeconds != first.WallSeconds {
+		t.Error("cached result differs from the original")
+	}
+	if s.mCacheHits.Load() != 1 {
+		t.Errorf("cache hits = %d, want 1", s.mCacheHits.Load())
+	}
+}
+
+// TestRunValidation: bad configs are 400s with a JSON error, not runs.
+func TestRunValidation(t *testing.T) {
+	_, ts := testServer(t, serverOptions{})
+	for _, body := range []string{
+		`{"scheme":"edbp"}`,                // missing app
+		`{"app":"crc32","scheme":"bogus"}`, // unknown scheme
+		`{"app":"crc32","trace":"Lunar"}`,  // unknown energy trace
+		`not json`,
+	} {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if code := doJSON(t, "POST", ts.URL+"/run", body, &e); code != http.StatusBadRequest {
+			t.Errorf("POST %s = %d, want 400", body, code)
+		}
+		if e.Error == "" {
+			t.Errorf("POST %s: missing error message", body)
+		}
+	}
+}
+
+// TestRunAsync drives a job through the queue: 202 with an id, then
+// GET /jobs/{id} until done, with the same Result JSON as the sync path.
+func TestRunAsync(t *testing.T) {
+	_, ts := testServer(t, serverOptions{workers: 1})
+
+	var j jobView
+	code := doJSON(t, "POST", ts.URL+"/run?async=1", `{"app":"crc32","scheme":"baseline","scale":0.05}`, &j)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /run?async=1 = %d, want 202", code)
+	}
+	if j.ID == "" || (j.Status != "queued" && j.Status != "running") {
+		t.Fatalf("bad job snapshot: %+v", j)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var got jobView
+		if code := doJSON(t, "GET", ts.URL+"/jobs/"+j.ID, "", &got); code != http.StatusOK {
+			t.Fatalf("GET /jobs/%s = %d", j.ID, code)
+		}
+		if got.Status == "done" {
+			if got.Result == nil || got.Result.Instructions == 0 {
+				t.Fatalf("done job has no result: %+v", got)
+			}
+			break
+		}
+		if got.Status == "failed" {
+			t.Fatalf("job failed: %s", got.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", got.Status)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	if code := doJSON(t, "GET", ts.URL+"/jobs/nope", "", nil); code != http.StatusNotFound {
+		t.Errorf("GET /jobs/nope = %d, want 404", code)
+	}
+}
+
+// TestQueueBound freezes the single worker (holdJobs gate) so the depth-1
+// queue fills deterministically: worker holds job 1, job 2 queues, and
+// every further submission is a 503 until the gate opens.
+func TestQueueBound(t *testing.T) {
+	gate := make(chan struct{})
+	s, ts := testServer(t, serverOptions{queueDepth: 1, workers: 1, holdJobs: gate})
+	defer close(gate)
+
+	submit := func(i int) int {
+		body := fmt.Sprintf(`{"app":"crc32","scheme":"baseline","scale":0.05,"seed":%d}`, i+1)
+		return doJSON(t, "POST", ts.URL+"/run?async=1", body, nil)
+	}
+	// Job 1 lands in the queue; the worker dequeues it and parks on the
+	// gate. Job 2 may either queue immediately or race the dequeue, so
+	// wait until the queue slot is actually occupied.
+	if code := submit(0); code != http.StatusAccepted {
+		t.Fatalf("submit 0 = %d", code)
+	}
+	if code := submit(1); code != http.StatusAccepted {
+		t.Fatalf("submit 1 = %d", code)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for len(s.queue) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 2; i < 5; i++ {
+		if code := submit(i); code != http.StatusServiceUnavailable {
+			t.Errorf("submit %d = %d, want 503 while the queue is full", i, code)
+		}
+	}
+	if s.mQueueFull.Load() == 0 {
+		t.Error("edbpd_queue_full_total not incremented")
+	}
+}
+
+// TestHealthzAndMetrics: healthy server reports ok and well-formed
+// Prometheus text including the trace-event aggregate.
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts := testServer(t, serverOptions{})
+
+	var h struct {
+		Status string `json:"status"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/healthz", "", &h); code != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("healthz = %d %+v", code, h)
+	}
+
+	doJSON(t, "POST", ts.URL+"/run", `{"app":"crc32","scheme":"edbp","scale":0.05}`, nil)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"edbpd_requests_total",
+		"edbpd_runs_ok_total 1",
+		"edbpd_trace_events_total{kind=\"checkpoint\"}",
+		"edbpd_sim_seconds_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestDrain: draining flips healthz to 503, rejects new runs, and finishes
+// queued jobs before returning.
+func TestDrain(t *testing.T) {
+	s := newServer(serverOptions{workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var j jobView
+	if code := doJSON(t, "POST", ts.URL+"/run?async=1", `{"app":"crc32","scheme":"baseline","scale":0.05}`, &j); code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	if code := doJSON(t, "GET", ts.URL+"/healthz", "", nil); code != http.StatusServiceUnavailable {
+		t.Errorf("healthz while drained = %d, want 503", code)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/run", `{"app":"crc32"}`, nil); code != http.StatusServiceUnavailable {
+		t.Errorf("POST /run while drained = %d, want 503", code)
+	}
+
+	// The queued job must have completed, not been dropped.
+	var got jobView
+	doJSON(t, "GET", ts.URL+"/jobs/"+j.ID, "", &got)
+	if got.Status != "done" {
+		t.Errorf("queued job finished as %q, want done", got.Status)
+	}
+
+	// Drain is idempotent.
+	if err := s.Drain(ctx); err != nil {
+		t.Errorf("second drain: %v", err)
+	}
+}

@@ -13,12 +13,16 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"edbp/internal/cache"
 	"edbp/internal/energy"
@@ -98,6 +102,7 @@ func main() {
 		zombie  = flag.Bool("zombie-profile", false, "collect the Figure 4 zombie-vs-voltage profile")
 		leakOff = flag.Bool("leak80off", false, "magically reduce data cache leakage by 80%")
 		asJSON  = flag.Bool("json", false, "emit the result as JSON instead of text")
+		timeout = flag.Duration("timeout", 0, "abort the run after this long (e.g. 5m; 0 = no limit)")
 		vtrace  = flag.String("vtrace", "", "write a time,voltage,state CSV of the capacitor to this file")
 
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event file (load in Perfetto / chrome://tracing)")
@@ -176,8 +181,21 @@ func main() {
 		}
 	}
 
-	res, err := sim.Run(cfg)
+	// Ctrl-C / SIGTERM / -timeout cancel the simulation via the engine's
+	// context polls rather than killing the process mid-run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	res, err := sim.RunContext(ctx, cfg)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			log.Fatalf("-timeout %v expired: %v", *timeout, err)
+		}
 		log.Fatal(err)
 	}
 	if rec != nil {

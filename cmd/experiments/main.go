@@ -7,13 +7,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"edbp/internal/experiments"
@@ -30,6 +34,9 @@ func main() {
 		seed   = flag.Uint64("seed", 1, "energy trace seed")
 		seeds  = flag.Int("seeds", 0, "energy trace seeds to average (default 3)")
 		format = flag.String("format", "text", "output format: text|csv")
+
+		workers = flag.Int("workers", 0, "simulations to run concurrently (default GOMAXPROCS)")
+		timeout = flag.Duration("timeout", 0, "abort the whole run after this long (e.g. 30m; 0 = no limit)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (after the runs) to this file")
@@ -61,9 +68,19 @@ func main() {
 		}()
 	}
 
-	o := experiments.Options{Scale: *scale, Seed: *seed, Seeds: *seeds}
+	o := experiments.Options{Scale: *scale, Seed: *seed, Seeds: *seeds, Workers: *workers}
 	if *apps != "" {
 		o.Apps = strings.Split(*apps, ",")
+	}
+
+	// Ctrl-C / SIGTERM cancels the in-flight simulation grid instead of
+	// killing the process mid-write; a second signal kills immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	want := map[string]bool{}
@@ -79,8 +96,14 @@ func main() {
 			continue
 		}
 		start := time.Now()
-		t, err := e.Run(o)
+		t, err := e.Run(ctx, o)
 		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				log.Fatalf("%s: -timeout %v expired: %v", e.ID, *timeout, err)
+			}
+			if errors.Is(err, context.Canceled) {
+				log.Fatalf("%s: interrupted: %v", e.ID, err)
+			}
 			log.Fatalf("%s: %v", e.ID, err)
 		}
 		if *format == "csv" {

@@ -17,6 +17,8 @@
 package edbp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"edbp/internal/cache"
@@ -218,15 +220,54 @@ func (r *Result) EnergyRatioOver(base *Result) float64 {
 // Apps lists the 20 available benchmark applications.
 func Apps() []string { return workload.Names() }
 
+// Canceled is returned by RunContext/RunAllContext when the context fires
+// mid-simulation. It unwraps to the context's error (context.Canceled or
+// context.DeadlineExceeded) and carries the state accumulated up to the
+// cancellation point — useful for progress reporting, never a substitute
+// for a completed run.
+type Canceled struct {
+	// Partial holds the result fields accumulated before cancellation.
+	Partial *Result
+	// Cause is the context's error.
+	Cause error
+}
+
+// Error implements error.
+func (c *Canceled) Error() string {
+	return fmt.Sprintf("edbp: run %s/%s canceled: %v", c.Partial.App, c.Partial.Scheme, c.Cause)
+}
+
+// Unwrap lets errors.Is match context.Canceled / context.DeadlineExceeded.
+func (c *Canceled) Unwrap() error { return c.Cause }
+
+// translate rewraps a sim-layer error for the public API, converting the
+// internal *sim.Canceled (and its partial result) into *Canceled.
+func translate(c Config, err error) error {
+	var sc *sim.Canceled
+	if errors.As(err, &sc) {
+		return &Canceled{Partial: wrap(c, sc.Partial), Cause: sc.Cause}
+	}
+	return err
+}
+
 // Run executes one simulation.
 func Run(c Config) (*Result, error) {
+	return RunContext(context.Background(), c)
+}
+
+// RunContext executes one simulation under ctx. Cancellation is polled
+// inside the simulator's event loop and hibernation loops, so even a run
+// stuck recharging under a weak harvest returns promptly; the error is a
+// *Canceled carrying the partial result. A context that never fires
+// leaves the result bit-identical to Run's.
+func RunContext(ctx context.Context, c Config) (*Result, error) {
 	cfg, err := c.internal()
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.Run(cfg)
+	res, err := sim.RunContext(ctx, cfg)
 	if err != nil {
-		return nil, err
+		return nil, translate(c, err)
 	}
 	return wrap(c, res), nil
 }
@@ -234,6 +275,13 @@ func Run(c Config) (*Result, error) {
 // RunAll executes one app under several schemes against the identical
 // recorded trace, returning results in scheme order.
 func RunAll(c Config, schemes ...Scheme) ([]*Result, error) {
+	return RunAllContext(context.Background(), c, schemes...)
+}
+
+// RunAllContext is RunAll under a context; see RunContext for the
+// cancellation contract. The first cancellation or failure aborts the
+// remaining schemes.
+func RunAllContext(ctx context.Context, c Config, schemes ...Scheme) ([]*Result, error) {
 	if len(schemes) == 0 {
 		return nil, fmt.Errorf("edbp: RunAll needs at least one scheme")
 	}
@@ -249,12 +297,12 @@ func RunAll(c Config, schemes ...Scheme) ([]*Result, error) {
 	for i, s := range schemes {
 		run := cfg
 		run.Scheme = s.internal()
-		res, err := sim.Run(run)
-		if err != nil {
-			return nil, err
-		}
 		cc := c
 		cc.Scheme = s
+		res, err := sim.RunContext(ctx, run)
+		if err != nil {
+			return nil, translate(cc, err)
+		}
 		out[i] = wrap(cc, res)
 	}
 	return out, nil

@@ -1,0 +1,57 @@
+package energy
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCachedTraceSharing: repeated lookups return the same generated
+// trace, and distinct (kind, seed) keys do not alias.
+func TestCachedTraceSharing(t *testing.T) {
+	a := CachedTrace(RFHome, 131313)
+	b := CachedTrace(RFHome, 131313)
+	if a != b {
+		t.Error("same (kind, seed) returned distinct traces")
+	}
+	if CachedTrace(Thermal, 131313) == a {
+		t.Error("different kinds share a trace")
+	}
+	if CachedTrace(RFHome, 131314) == a {
+		t.Error("different seeds share a trace")
+	}
+}
+
+// TestCachedTraceConcurrent hammers one cold key from 16 goroutines, the
+// shape of a parallel experiment grid's first wave. Every caller must get
+// the same *Trace — generation happens exactly once — and the result must
+// match an independently generated trace (no half-built value escapes the
+// once). Mirrors workload.TestCachedConcurrent; run with -race for the
+// real assertion.
+func TestCachedTraceConcurrent(t *testing.T) {
+	const goroutines = 16
+	const seed = 424242 // cold: no other test touches this key
+
+	var wg sync.WaitGroup
+	got := make([]*Trace, goroutines)
+	start := make(chan struct{})
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			got[i] = CachedTrace(Thermal, seed)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i := 1; i < goroutines; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("goroutine %d got a different trace pointer", i)
+		}
+	}
+	want := NewTrace(Thermal, seed)
+	if got[0].Power(0.0125) != want.Power(0.0125) {
+		t.Error("cached trace diverges from a fresh generation")
+	}
+}

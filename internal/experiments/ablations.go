@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"edbp/internal/core"
 	"edbp/internal/predictor"
 	"edbp/internal/sim"
@@ -10,7 +12,7 @@ import (
 // ladder's placement, the FPR-driven adaptation, the MRU protection
 // implied by the ladder, and the deactivation buffer depth. One row per
 // variant, geomean speedup over the baseline.
-func AblationEDBP(o Options) (*Table, error) {
+func AblationEDBP(ctx context.Context, o Options) (*Table, error) {
 	o = o.normalize()
 	ts, err := newTraceSet(o)
 	if err != nil {
@@ -52,7 +54,7 @@ func AblationEDBP(o Options) (*Table, error) {
 	for _, v := range variants {
 		jobs = append(jobs, job{scheme: sim.EDBP, mutate: v.mutate})
 	}
-	res, err := ts.runMatrix(jobs)
+	res, err := ts.runMatrix(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +77,7 @@ func AblationEDBP(o Options) (*Table, error) {
 // reproduction makes to Cache Decay: gating dirty blocks (with the
 // writeback drained through a buffer) and checkpointing the 2-bit
 // counters so idleness accumulates across outages.
-func AblationDecay(o Options) (*Table, error) {
+func AblationDecay(ctx context.Context, o Options) (*Table, error) {
 	o = o.normalize()
 	ts, err := newTraceSet(o)
 	if err != nil {
@@ -105,7 +107,7 @@ func AblationDecay(o Options) (*Table, error) {
 		jobs = append(jobs, job{scheme: sim.Decay, mutate: v.mutate})
 		jobs = append(jobs, job{scheme: sim.DecayEDBP, mutate: v.mutate})
 	}
-	res, err := ts.runMatrix(jobs)
+	res, err := ts.runMatrix(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}

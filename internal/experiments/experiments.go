@@ -11,6 +11,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -174,35 +176,93 @@ type job struct {
 	mutate func(*sim.Config)
 }
 
-// runAll executes jobs across a worker pool, returning results in input
-// order.
-func (ts *traceSet) runAll(jobs []job) ([]*sim.Result, error) {
+// runAll executes jobs across a fixed pool of opts.Workers goroutines,
+// returning results in input order. Exactly Workers goroutines exist for
+// the pool's lifetime, however large the job grid (the old implementation
+// spawned one goroutine per job up front and throttled them on a
+// semaphore, so a 500-job matrix meant 500 live goroutines).
+//
+// The pool fails fast: the first job error cancels the shared context, so
+// in-flight simulations return early through sim.RunContext's polls and
+// undispatched jobs are never started. The returned error joins every
+// *real* failure (errors.Join), each tagged with the job's app/scheme/seed
+// so a one-bad-config grid is diagnosable; cancellations that are mere
+// fallout of a sibling's failure are not reported as separate errors.
+func (ts *traceSet) runAll(ctx context.Context, jobs []job) ([]*sim.Result, error) {
 	results := make([]*sim.Result, len(jobs))
 	errs := make([]error, len(jobs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, ts.opts.Workers)
-	for i := range jobs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			j := jobs[i]
-			cfg := sim.Default(j.app, j.scheme)
-			cfg.Scale = ts.opts.Scale
-			cfg.SourceSeed = j.seed
-			cfg.Trace = ts.traces[j.app]
-			if j.mutate != nil {
-				j.mutate(&cfg)
-			}
-			results[i], errs[i] = sim.Run(cfg)
-		}(i)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := ts.opts.Workers
+	if workers > len(jobs) {
+		workers = len(jobs)
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				// The feeder's send and a sibling's cancel can race: a
+				// blocked send may complete after the context died. Never
+				// start a job once the pool is canceled.
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				j := jobs[i]
+				cfg := sim.Default(j.app, j.scheme)
+				cfg.Scale = ts.opts.Scale
+				cfg.SourceSeed = j.seed
+				cfg.Trace = ts.traces[j.app]
+				if j.mutate != nil {
+					j.mutate(&cfg)
+				}
+				res, err := sim.RunContext(ctx, cfg)
+				if err != nil {
+					errs[i] = fmt.Errorf("job %s/%s seed %d: %w", j.app, j.scheme, j.seed, err)
+					cancel()
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	// Feed from the calling goroutine; a canceled context stops dispatch
+	// so queued jobs after a failure never run at all.
+feed:
+	for i := range jobs {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
 		}
+	}
+	close(next)
+	wg.Wait()
+
+	var real, collateral []error
+	for _, err := range errs {
+		switch {
+		case err == nil:
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			collateral = append(collateral, err)
+		default:
+			real = append(real, err)
+		}
+	}
+	if len(real) > 0 {
+		return nil, errors.Join(real...)
+	}
+	// No real failure: cancellation came from the caller's own context
+	// (deadline, signal); report its cause rather than per-job fallout.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(collateral) > 0 {
+		return nil, errors.Join(collateral...)
 	}
 	return results, nil
 }
@@ -211,7 +271,7 @@ func (ts *traceSet) runAll(jobs []job) ([]*sim.Result, error) {
 // results[variant][app#seed]. Keys pair up across variants, so the
 // aggregation helpers compare like against like; per-app presentation
 // aggregates over seeds with perApp.
-func (ts *traceSet) runMatrix(variants []job) (map[int]map[string]*sim.Result, error) {
+func (ts *traceSet) runMatrix(ctx context.Context, variants []job) (map[int]map[string]*sim.Result, error) {
 	var jobs []job
 	var vidx []int
 	var keys []string
@@ -227,7 +287,7 @@ func (ts *traceSet) runMatrix(variants []job) (map[int]map[string]*sim.Result, e
 			}
 		}
 	}
-	flat, err := ts.runAll(jobs)
+	flat, err := ts.runAll(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -62,7 +63,7 @@ func TestAllExperimentsProduceTables(t *testing.T) {
 	for _, e := range All {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tab, err := e.Run(tinyOptions())
+			tab, err := e.Run(context.Background(), tinyOptions())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -108,7 +109,7 @@ func parseF(t *testing.T, cell string) float64 {
 // baseline < Cache Decay < EDBP ≤ combined ≤ ideal, with SDBP ≈ baseline,
 // and the miss-rate cost of EDBP staying small (Section VI-F).
 func TestFigure8Shape(t *testing.T) {
-	tab, err := Figure8(shapeOptions())
+	tab, err := Figure8(context.Background(), shapeOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestFigure8Shape(t *testing.T) {
 // "missed prediction" share (zombies it cannot see); adding EDBP slashes
 // it and lifts coverage.
 func TestFigure6Shape(t *testing.T) {
-	tab, err := Figure6(shapeOptions())
+	tab, err := Figure6(context.Background(), shapeOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +202,7 @@ func meanRowCell(t *testing.T, tab *Table, scheme, col string) string {
 // TestFigure7Shape pins Section VI-D: EDBP cuts total energy versus the
 // baseline, the combination cuts more, and SDBP barely moves it.
 func TestFigure7Shape(t *testing.T) {
-	tab, err := Figure7(shapeOptions())
+	tab, err := Figure7(context.Background(), shapeOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +231,7 @@ func TestFigure7Shape(t *testing.T) {
 // capacitor grows (fewer outages → fewer zombies).
 func TestFigure16Shape(t *testing.T) {
 	o := Options{Apps: shapeApps[:6], Scale: 0.4, Seeds: 2}
-	tab, err := Figure16(o)
+	tab, err := Figure16(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +246,7 @@ func TestFigure16Shape(t *testing.T) {
 // concentrate at low voltage (the top-of-range bucket aggregates long
 // full-charge phases and is excluded).
 func TestFigure4Shape(t *testing.T) {
-	tab, err := Figure4(shapeOptions())
+	tab, err := Figure4(context.Background(), shapeOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +269,7 @@ func TestFigure4Shape(t *testing.T) {
 // cache alone.
 func TestFigure18Shape(t *testing.T) {
 	o := Options{Apps: shapeApps[:6], Scale: 0.4, Seeds: 2}
-	tab, err := Figure18(o)
+	tab, err := Figure18(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +290,7 @@ func TestFigure18Shape(t *testing.T) {
 // TestTableIShape pins Table I's two rows: leakage grows with size, and
 // the static share of data-cache energy grows with it.
 func TestTableIShape(t *testing.T) {
-	tab, err := TableI(Options{Apps: shapeApps[:4], Scale: 0.3, Seeds: 1})
+	tab, err := TableI(context.Background(), Options{Apps: shapeApps[:4], Scale: 0.3, Seeds: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +307,7 @@ func TestTableIShape(t *testing.T) {
 }
 
 func TestHardwareCostTable(t *testing.T) {
-	tab, err := HardwareCost(Options{})
+	tab, err := HardwareCost(context.Background(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,7 +319,7 @@ func TestHardwareCostTable(t *testing.T) {
 // TestIntegrationShape pins Section VII-A: every conventional predictor
 // gains (or at worst does not lose) from the addition of EDBP.
 func TestIntegrationShape(t *testing.T) {
-	tab, err := Integration(Options{Apps: shapeApps[:6], Scale: 0.4, Seeds: 2})
+	tab, err := Integration(context.Background(), Options{Apps: shapeApps[:6], Scale: 0.4, Seeds: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,7 +342,7 @@ func TestIntegrationShape(t *testing.T) {
 // (dirty gating + persistent counters) must not lose to the crippled
 // variants when combined with EDBP.
 func TestAblationDecayShape(t *testing.T) {
-	tab, err := AblationDecay(Options{Apps: shapeApps[:6], Scale: 0.4, Seeds: 2})
+	tab, err := AblationDecay(context.Background(), Options{Apps: shapeApps[:6], Scale: 0.4, Seeds: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"edbp/internal/core"
@@ -11,7 +13,7 @@ import (
 // instruction cache is volatile SRAM, with each predictor applied either
 // to the data cache only or to both caches. Energy and speedup are
 // normalized to the new baseline.
-func Figure18(o Options) (*Table, error) {
+func Figure18(ctx context.Context, o Options) (*Table, error) {
 	o = o.normalize()
 	ts, err := newTraceSet(o)
 	if err != nil {
@@ -41,7 +43,7 @@ func Figure18(o Options) (*Table, error) {
 			c.PredictICache = v.both
 		}})
 	}
-	res, err := ts.runMatrix(jobs)
+	res, err := ts.runMatrix(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -76,7 +78,7 @@ func Figure18(o Options) (*Table, error) {
 
 // HardwareCost reproduces the Section VI-B analysis: EDBP's additional
 // hardware for the default data cache.
-func HardwareCost(o Options) (*Table, error) {
+func HardwareCost(ctx context.Context, o Options) (*Table, error) {
 	cfg := sim.Default("crc32", sim.EDBP)
 	blocks := cfg.DCacheBytes / cfg.BlockBytes
 	h := core.CostFor(blocks, 8)
@@ -97,10 +99,12 @@ func HardwareCost(o Options) (*Table, error) {
 	return t, nil
 }
 
-// All lists every experiment by ID, in the paper's order.
+// All lists every experiment by ID, in the paper's order. Every harness
+// takes a context: canceling it fails the in-flight simulation grid fast
+// (see traceSet.runAll) and returns the context's error.
 var All = []struct {
 	ID  string
-	Run func(Options) (*Table, error)
+	Run func(context.Context, Options) (*Table, error)
 }{
 	{"table1", TableI},
 	{"table2", TableII},

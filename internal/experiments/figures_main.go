@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"edbp/internal/metrics"
@@ -22,7 +24,7 @@ func sizeLabel(b int) string {
 // static energy to total data-cache energy, for 4-way caches from 256 B
 // to 16 kB. The leakage row comes from the SRAM cost model; the static
 // ratio row from baseline simulations at each size.
-func TableI(o Options) (*Table, error) {
+func TableI(ctx context.Context, o Options) (*Table, error) {
 	o = o.normalize()
 	ts, err := newTraceSet(o)
 	if err != nil {
@@ -36,7 +38,7 @@ func TableI(o Options) (*Table, error) {
 			c.DCacheBytes = size
 		}})
 	}
-	res, err := ts.runMatrix(variants)
+	res, err := ts.runMatrix(ctx, variants)
 	if err != nil {
 		return nil, err
 	}
@@ -70,7 +72,7 @@ func TableI(o Options) (*Table, error) {
 
 // TableII echoes the simulation configuration actually used (a config
 // audit, not an experiment).
-func TableII(o Options) (*Table, error) {
+func TableII(ctx context.Context, o Options) (*Table, error) {
 	o = o.normalize()
 	cfg := sim.Default("crc32", sim.EDBP)
 	t := &Table{
@@ -95,7 +97,7 @@ func TableII(o Options) (*Table, error) {
 // Figure1 reproduces Figure 1: baseline performance across cache sizes,
 // with real leakage and with leakage magically reduced by 80%, normalized
 // to the 4 kB real-leakage configuration.
-func Figure1(o Options) (*Table, error) {
+func Figure1(ctx context.Context, o Options) (*Table, error) {
 	o = o.normalize()
 	ts, err := newTraceSet(o)
 	if err != nil {
@@ -118,7 +120,7 @@ func Figure1(o Options) (*Table, error) {
 			}})
 		}
 	}
-	res, err := ts.runMatrix(jobs)
+	res, err := ts.runMatrix(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -153,13 +155,13 @@ func Figure1(o Options) (*Table, error) {
 
 // Figure4 reproduces Figure 4: the ratio of zombie blocks to live blocks
 // as the capacitor voltage falls, measured on the baseline.
-func Figure4(o Options) (*Table, error) {
+func Figure4(ctx context.Context, o Options) (*Table, error) {
 	o = o.normalize()
 	ts, err := newTraceSet(o)
 	if err != nil {
 		return nil, err
 	}
-	res, err := ts.runMatrix([]job{{scheme: sim.Baseline, mutate: func(c *sim.Config) {
+	res, err := ts.runMatrix(ctx, []job{{scheme: sim.Baseline, mutate: func(c *sim.Config) {
 		c.CollectZombieProfile = true
 	}}})
 	if err != nil {
@@ -198,7 +200,7 @@ func Figure4(o Options) (*Table, error) {
 
 // Figure6 reproduces Figure 6: the zombie-aware prediction outcome rates
 // per application for Cache Decay, EDBP, and Cache Decay + EDBP.
-func Figure6(o Options) (*Table, error) {
+func Figure6(ctx context.Context, o Options) (*Table, error) {
 	o = o.normalize()
 	ts, err := newTraceSet(o)
 	if err != nil {
@@ -209,7 +211,7 @@ func Figure6(o Options) (*Table, error) {
 	for _, s := range schemes {
 		jobs = append(jobs, job{scheme: s})
 	}
-	res, err := ts.runMatrix(jobs)
+	res, err := ts.runMatrix(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -249,7 +251,7 @@ var figure7Schemes = []sim.Scheme{sim.Baseline, sim.SDBP, sim.Decay, sim.EDBP, s
 
 // Figure7 reproduces Figure 7: the energy breakdown per scheme normalized
 // to the baseline, plus each app's load/store instruction ratio.
-func Figure7(o Options) (*Table, error) {
+func Figure7(ctx context.Context, o Options) (*Table, error) {
 	o = o.normalize()
 	ts, err := newTraceSet(o)
 	if err != nil {
@@ -259,7 +261,7 @@ func Figure7(o Options) (*Table, error) {
 	for _, s := range figure7Schemes {
 		jobs = append(jobs, job{scheme: s})
 	}
-	res, err := ts.runMatrix(jobs)
+	res, err := ts.runMatrix(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -289,7 +291,7 @@ func Figure7(o Options) (*Table, error) {
 // Figure8 reproduces Figure 8: speedup over the baseline for every scheme
 // including the 80%-leakage-off magic run and the Ideal oracle, plus the
 // data cache miss rates.
-func Figure8(o Options) (*Table, error) {
+func Figure8(ctx context.Context, o Options) (*Table, error) {
 	o = o.normalize()
 	ts, err := newTraceSet(o)
 	if err != nil {
@@ -305,7 +307,7 @@ func Figure8(o Options) (*Table, error) {
 		{scheme: sim.Baseline, mutate: func(c *sim.Config) { c.DCacheLeakFactor = 0.2 }},
 		{scheme: sim.Ideal},
 	}
-	res, err := ts.runMatrix(jobs)
+	res, err := ts.runMatrix(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -343,13 +345,13 @@ func Figure8(o Options) (*Table, error) {
 
 // Figure9 reproduces Figure 9: the baseline's absolute average power and
 // total energy per application.
-func Figure9(o Options) (*Table, error) {
+func Figure9(ctx context.Context, o Options) (*Table, error) {
 	o = o.normalize()
 	ts, err := newTraceSet(o)
 	if err != nil {
 		return nil, err
 	}
-	res, err := ts.runMatrix([]job{{scheme: sim.Baseline}})
+	res, err := ts.runMatrix(ctx, []job{{scheme: sim.Baseline}})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"edbp/internal/cache"
@@ -16,7 +18,7 @@ var sensitivitySchemes = []sim.Scheme{sim.Baseline, sim.Decay, sim.EDBP, sim.Dec
 // normalized to the *default-configuration* baseline, exactly like the
 // paper's Figures 10–17 ("normalized to NVSRAMCache with default
 // settings in Table II").
-func (ts *traceSet) sensitivity(id, title, axis string, values []string, mutate func(c *sim.Config, vi int)) (*Table, error) {
+func (ts *traceSet) sensitivity(ctx context.Context, id, title, axis string, values []string, mutate func(c *sim.Config, vi int)) (*Table, error) {
 	// Default-config baseline (the denominator) plus every variant.
 	jobs := []job{{scheme: sim.Baseline}}
 	for vi := range values {
@@ -25,7 +27,7 @@ func (ts *traceSet) sensitivity(id, title, axis string, values []string, mutate 
 			jobs = append(jobs, job{scheme: s, mutate: func(c *sim.Config) { mutate(c, vi) }})
 		}
 	}
-	res, err := ts.runMatrix(jobs)
+	res, err := ts.runMatrix(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -54,7 +56,7 @@ func (ts *traceSet) sensitivity(id, title, axis string, values []string, mutate 
 // Figure10 reproduces Figure 10: replacement-policy sensitivity (the
 // paper contrasts naive LRU against DRRIP; we include the other
 // implemented policies as extension rows).
-func Figure10(o Options) (*Table, error) {
+func Figure10(ctx context.Context, o Options) (*Table, error) {
 	o = o.normalize()
 	ts, err := newTraceSet(o)
 	if err != nil {
@@ -65,7 +67,7 @@ func Figure10(o Options) (*Table, error) {
 	for i, p := range policies {
 		labels[i] = p.String()
 	}
-	t, err := ts.sensitivity("Figure 10", "Sensitivity: cache replacement policy", "policy", labels,
+	t, err := ts.sensitivity(ctx, "Figure 10", "Sensitivity: cache replacement policy", "policy", labels,
 		func(c *sim.Config, vi int) { c.DCachePolicy = policies[vi] })
 	if err != nil {
 		return nil, err
@@ -75,7 +77,7 @@ func Figure10(o Options) (*Table, error) {
 }
 
 // Figure11 reproduces Figure 11: cache-size sensitivity.
-func Figure11(o Options) (*Table, error) {
+func Figure11(ctx context.Context, o Options) (*Table, error) {
 	o = o.normalize()
 	ts, err := newTraceSet(o)
 	if err != nil {
@@ -85,13 +87,13 @@ func Figure11(o Options) (*Table, error) {
 	for i, s := range cacheSizes {
 		labels[i] = sizeLabel(s)
 	}
-	return ts.sensitivity("Figure 11", "Sensitivity: data cache size (normalized to 4kB baseline)", "size", labels,
+	return ts.sensitivity(ctx, "Figure 11", "Sensitivity: data cache size (normalized to 4kB baseline)", "size", labels,
 		func(c *sim.Config, vi int) { c.DCacheBytes = cacheSizes[vi] })
 }
 
 // Figure12 reproduces Figure 12: associativity sensitivity. EDBP's
 // threshold ladder re-derives per associativity (n−1 thresholds).
-func Figure12(o Options) (*Table, error) {
+func Figure12(ctx context.Context, o Options) (*Table, error) {
 	o = o.normalize()
 	ts, err := newTraceSet(o)
 	if err != nil {
@@ -102,12 +104,12 @@ func Figure12(o Options) (*Table, error) {
 	for i, w := range ways {
 		labels[i] = fmt.Sprintf("%d-way", w)
 	}
-	return ts.sensitivity("Figure 12", "Sensitivity: cache associativity (normalized to 4-way baseline)", "assoc", labels,
+	return ts.sensitivity(ctx, "Figure 12", "Sensitivity: cache associativity (normalized to 4-way baseline)", "assoc", labels,
 		func(c *sim.Config, vi int) { c.DCacheWays = ways[vi] })
 }
 
 // Figure13 reproduces Figure 13: NVM technology sensitivity.
-func Figure13(o Options) (*Table, error) {
+func Figure13(ctx context.Context, o Options) (*Table, error) {
 	o = o.normalize()
 	ts, err := newTraceSet(o)
 	if err != nil {
@@ -117,12 +119,12 @@ func Figure13(o Options) (*Table, error) {
 	for i, t := range nvm.Techs {
 		labels[i] = t.String()
 	}
-	return ts.sensitivity("Figure 13", "Sensitivity: NVM technology", "tech", labels,
+	return ts.sensitivity(ctx, "Figure 13", "Sensitivity: NVM technology", "tech", labels,
 		func(c *sim.Config, vi int) { c.MemTech = nvm.Techs[vi] })
 }
 
 // Figure14 reproduces Figure 14: memory-size sensitivity.
-func Figure14(o Options) (*Table, error) {
+func Figure14(ctx context.Context, o Options) (*Table, error) {
 	o = o.normalize()
 	ts, err := newTraceSet(o)
 	if err != nil {
@@ -133,13 +135,13 @@ func Figure14(o Options) (*Table, error) {
 	for i, s := range sizesMB {
 		labels[i] = fmt.Sprintf("%dMB", s)
 	}
-	return ts.sensitivity("Figure 14", "Sensitivity: memory size", "memory", labels,
+	return ts.sensitivity(ctx, "Figure 14", "Sensitivity: memory size", "memory", labels,
 		func(c *sim.Config, vi int) { c.MemBytes = sizesMB[vi] << 20 })
 }
 
 // Figure15 reproduces Figure 15: energy-condition sensitivity across the
 // four harvesting environments.
-func Figure15(o Options) (*Table, error) {
+func Figure15(ctx context.Context, o Options) (*Table, error) {
 	o = o.normalize()
 	ts, err := newTraceSet(o)
 	if err != nil {
@@ -149,7 +151,7 @@ func Figure15(o Options) (*Table, error) {
 	for i, k := range energy.TraceKinds {
 		labels[i] = k.String()
 	}
-	return ts.sensitivity("Figure 15", "Sensitivity: energy conditions", "trace", labels,
+	return ts.sensitivity(ctx, "Figure 15", "Sensitivity: energy conditions", "trace", labels,
 		func(c *sim.Config, vi int) { c.TraceKind = energy.TraceKinds[vi] })
 }
 
@@ -157,7 +159,7 @@ func Figure15(o Options) (*Table, error) {
 var capSizes = []float64{0.47, 1, 4.7, 10, 47, 100}
 
 // Figure16 reproduces Figure 16: capacitor-size sensitivity.
-func Figure16(o Options) (*Table, error) {
+func Figure16(ctx context.Context, o Options) (*Table, error) {
 	o = o.normalize()
 	ts, err := newTraceSet(o)
 	if err != nil {
@@ -167,7 +169,7 @@ func Figure16(o Options) (*Table, error) {
 	for i, c := range capSizes {
 		labels[i] = fmt.Sprintf("%gµF", c)
 	}
-	t, err := ts.sensitivity("Figure 16", "Sensitivity: capacitor size", "capacitor", labels,
+	t, err := ts.sensitivity(ctx, "Figure 16", "Sensitivity: capacitor size", "capacitor", labels,
 		func(c *sim.Config, vi int) { c.Capacitor.Capacitance = capSizes[vi] * 1e-6 })
 	if err != nil {
 		return nil, err
@@ -178,7 +180,7 @@ func Figure16(o Options) (*Table, error) {
 
 // Figure17 reproduces Figure 17's condensed sensitivity grid: one row per
 // non-default axis setting, normalized to the default baseline.
-func Figure17(o Options) (*Table, error) {
+func Figure17(ctx context.Context, o Options) (*Table, error) {
 	o = o.normalize()
 	ts, err := newTraceSet(o)
 	if err != nil {
@@ -204,6 +206,6 @@ func Figure17(o Options) (*Table, error) {
 	for i, p := range points {
 		labels[i] = p.label
 	}
-	return ts.sensitivity("Figure 17", "Sensitivity grid (normalized to default baseline)", "setting", labels,
+	return ts.sensitivity(ctx, "Figure 17", "Sensitivity grid (normalized to default baseline)", "setting", labels,
 		func(c *sim.Config, vi int) { points[vi].mutate(c) })
 }

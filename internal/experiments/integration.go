@@ -1,12 +1,16 @@
 package experiments
 
-import "edbp/internal/sim"
+import (
+	"context"
+
+	"edbp/internal/sim"
+)
 
 // Integration reproduces the Section VII-A claim: EDBP composes with any
 // conventional dead block predictor — none of them can see zombies, so
 // adding EDBP helps each. One row per conventional predictor, alone and
 // with EDBP, as geometric-mean speedup over the baseline.
-func Integration(o Options) (*Table, error) {
+func Integration(ctx context.Context, o Options) (*Table, error) {
 	o = o.normalize()
 	ts, err := newTraceSet(o)
 	if err != nil {
@@ -25,7 +29,7 @@ func Integration(o Options) (*Table, error) {
 	for _, p := range pairs {
 		jobs = append(jobs, job{scheme: p.alone}, job{scheme: p.with})
 	}
-	res, err := ts.runMatrix(jobs)
+	res, err := ts.runMatrix(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"edbp/internal/cache"
@@ -95,6 +96,15 @@ type engine struct {
 	// refHibernate switches hibernate() to the original per-step
 	// stepper; kept as the golden reference for the fast path's tests.
 	refHibernate bool
+
+	// Cancellation plumbing (see bindContext). done is nil for
+	// uncancellable runs — Run, and RunContext with context.Background() —
+	// so the hot loops pay one nil check and nothing else. cancelErr is
+	// set once a poll observes ctx done; the loops then unwind exactly
+	// like a MaxSimTime truncation, without touching simulation state.
+	ctx       context.Context
+	done      <-chan struct{}
+	cancelErr error
 
 	now        float64
 	eventIdx   uint64
@@ -418,6 +428,42 @@ func probeScheme(p predictor.Predictor, e *engine) {
 	}
 }
 
+// -------------------------------------------------------- cancellation --
+
+// cancelPollMask sets the context poll cadence: every cancelPollMask+1
+// trace events in the main loop and hibernation steps in the recharge
+// loops. At 100 µs per hibernation step that is ≤ ~0.4 s of *simulated*
+// time between polls — microseconds of wall time — while keeping the poll
+// itself off the per-event hot path.
+const cancelPollMask = 1<<12 - 1
+
+// bindContext arms cancellation polling. A context that can never be
+// canceled (Background, TODO) leaves done nil and the engine on the exact
+// pre-context code path.
+func (e *engine) bindContext(ctx context.Context) {
+	if d := ctx.Done(); d != nil {
+		e.ctx = ctx
+		e.done = d
+	}
+}
+
+// pollCancel observes the context without blocking. It records the cause
+// on first observation and keeps reporting true afterwards; it never
+// mutates simulation state, so an undisturbed context leaves the run
+// bit-identical to an unpolled one.
+func (e *engine) pollCancel() bool {
+	if e.cancelErr != nil {
+		return true
+	}
+	select {
+	case <-e.done:
+		e.cancelErr = e.ctx.Err()
+		return true
+	default:
+		return false
+	}
+}
+
 // ------------------------------------------------------------- gating --
 
 // gateDCache powers a data cache block off on a predictor's behalf,
@@ -648,7 +694,7 @@ func (e *engine) ifetch(blockAddr uint32) {
 // voltage monitor to keep pace with the capacitor.
 func (e *engine) execTicks(n int) {
 	const chunk = 32
-	for n > 0 && !e.truncated {
+	for n > 0 && !e.truncated && e.cancelErr == nil {
 		k := n
 		if k > chunk {
 			k = chunk
@@ -848,7 +894,7 @@ func (e *engine) hibernate() {
 // horizon ran out first.
 func (e *engine) hibernateFast() bool {
 	const dt = energy.TraceResolution
-	for {
+	for step := uint64(1); ; step++ {
 		e.cap.Step(dt, e.power(e.now), 0)
 		e.now += dt
 		e.res.OffTime += dt
@@ -866,6 +912,11 @@ func (e *engine) hibernateFast() bool {
 			e.truncated = true
 			return false
 		}
+		// A weak harvest can keep this loop from ever reaching Vrst; the
+		// periodic context poll is the only other exit short of MaxSimTime.
+		if e.done != nil && step&cancelPollMask == 0 && e.pollCancel() {
+			return false
+		}
 	}
 }
 
@@ -873,7 +924,7 @@ func (e *engine) hibernateFast() bool {
 // the voltage monitor each step. Retained as the reference implementation
 // the golden tests replay against hibernateFast.
 func (e *engine) hibernateStepper() bool {
-	for {
+	for step := uint64(1); ; step++ {
 		e.cap.Step(energy.TraceResolution, e.src.Power(e.now), 0)
 		e.now += energy.TraceResolution
 		e.res.OffTime += energy.TraceResolution
@@ -890,6 +941,9 @@ func (e *engine) hibernateStepper() bool {
 			e.truncated = true
 			return false
 		}
+		if e.done != nil && step&cancelPollMask == 0 && e.pollCancel() {
+			return false
+		}
 	}
 }
 
@@ -899,7 +953,12 @@ func (e *engine) hibernateStepper() bool {
 func (e *engine) run() (*Result, error) {
 	events := e.trace.Events
 	for i := range events {
-		if e.truncated {
+		if e.truncated || e.cancelErr != nil {
+			break
+		}
+		// The poll at i == 0 makes an already-canceled context return
+		// before any simulation work.
+		if e.done != nil && i&cancelPollMask == 0 && e.pollCancel() {
 			break
 		}
 		e.eventIdx = uint64(i)
@@ -945,6 +1004,12 @@ func (e *engine) run() (*Result, error) {
 	if e.edbp != nil {
 		g, wk, down, rst := e.edbp.Stats()
 		e.res.EDBP = &EDBPStats{Gated: g, WrongKills: wk, StepsDown: down, Resets: rst, FinalFPR: e.edbp.FPR()}
+	}
+	// A canceled run finalizes everything above exactly like a completed
+	// one — the partial result is internally consistent — but reports the
+	// interruption as a typed error instead of success.
+	if e.cancelErr != nil {
+		return nil, &Canceled{Partial: &e.res, Cause: e.cancelErr}
 	}
 	return &e.res, nil
 }

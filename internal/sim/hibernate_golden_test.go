@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"context"
 	"math"
+	"reflect"
 	"testing"
 
 	"edbp/internal/energy"
@@ -10,8 +12,9 @@ import (
 
 // runWithHibernate executes one full run with either the analytic
 // hibernation fast path (ref=false) or the original per-step stepper kept
-// as the golden reference (ref=true).
-func runWithHibernate(t *testing.T, kind energy.TraceKind, scheme Scheme, trace *workload.Trace, ref bool) *Result {
+// as the golden reference (ref=true). A non-nil ctx arms the cancellation
+// polls, exercising the polled variant of whichever hibernation loop runs.
+func runWithHibernate(t *testing.T, kind energy.TraceKind, scheme Scheme, trace *workload.Trace, ref bool, ctx context.Context) *Result {
 	t.Helper()
 	cfg := Default("crc32", scheme)
 	cfg.Trace = trace
@@ -25,6 +28,9 @@ func runWithHibernate(t *testing.T, kind energy.TraceKind, scheme Scheme, trace 
 		t.Fatal(err)
 	}
 	e.refHibernate = ref
+	if ctx != nil {
+		e.bindContext(ctx)
+	}
 	res, err := e.run()
 	if err != nil {
 		t.Fatal(err)
@@ -43,8 +49,8 @@ func TestHibernateFastMatchesStepper(t *testing.T) {
 	for _, kind := range energy.TraceKinds {
 		for _, scheme := range []Scheme{Baseline, EDBP} {
 			t.Run(kind.String()+"/"+scheme.String(), func(t *testing.T) {
-				fast := runWithHibernate(t, kind, scheme, trace, false)
-				gold := runWithHibernate(t, kind, scheme, trace, true)
+				fast := runWithHibernate(t, kind, scheme, trace, false, nil)
+				gold := runWithHibernate(t, kind, scheme, trace, true, nil)
 
 				if fast.PowerCycles != gold.PowerCycles {
 					t.Errorf("PowerCycles: fast %d, stepper %d", fast.PowerCycles, gold.PowerCycles)
@@ -57,6 +63,35 @@ func TestHibernateFastMatchesStepper(t *testing.T) {
 				}
 				if fast.PowerCycles == 0 && kind != energy.Solar {
 					t.Errorf("expected at least one power cycle on %v", kind)
+				}
+			})
+		}
+	}
+}
+
+// TestHibernateContextPollBitIdentical extends the golden replay to the
+// cancellation plumbing: with a cancellable-but-undisturbed context armed,
+// both hibernation loops (fast path and reference stepper) must produce
+// results bit-identical to their unpolled runs — the ctx poll only ever
+// reads, never steps.
+func TestHibernateContextPollBitIdentical(t *testing.T) {
+	trace, err := workload.Cached("crc32", 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, kind := range []energy.TraceKind{energy.RFHome, energy.Thermal} {
+		for _, ref := range []bool{false, true} {
+			name := kind.String() + "/fast"
+			if ref {
+				name = kind.String() + "/stepper"
+			}
+			t.Run(name, func(t *testing.T) {
+				plain := runWithHibernate(t, kind, EDBP, trace, ref, nil)
+				polled := runWithHibernate(t, kind, EDBP, trace, ref, ctx)
+				if !reflect.DeepEqual(plain, polled) {
+					t.Errorf("armed context perturbed the run:\n plain: %v\n polled: %v", plain, polled)
 				}
 			})
 		}

@@ -1,18 +1,62 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"edbp/internal/predictor"
 	"edbp/internal/workload"
 )
 
+// Canceled reports a run interrupted by its context. Partial holds the
+// result accumulated up to the interruption point — finalized the same way
+// a completed run's result is (open block generations flushed, energy
+// totals closed), but covering only the simulated time actually executed.
+// Cause is the context's error, so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) both work through the wrapper.
+type Canceled struct {
+	Partial *Result
+	Cause   error
+}
+
+// Error implements error.
+func (c *Canceled) Error() string {
+	app, scheme := "?", "?"
+	if c.Partial != nil {
+		app = c.Partial.Config.App
+		scheme = c.Partial.Config.Scheme.String()
+	}
+	return fmt.Sprintf("sim: run %s/%s canceled: %v", app, scheme, c.Cause)
+}
+
+// Unwrap exposes the context error for errors.Is/As.
+func (c *Canceled) Unwrap() error { return c.Cause }
+
 // Run executes one simulation according to cfg and returns its result.
 //
 // For Scheme == Ideal it performs the two-pass oracle protocol: a baseline
 // recording pass builds the perfect gating schedule, then the replay pass
 // produces the reported result.
+//
+// Run is RunContext with context.Background(): uncancellable, and — since
+// the engine only ever polls a context between events without touching any
+// simulation state — bit-identical to every undisturbed RunContext call
+// (hibernate_golden_test.go and run_context_test.go pin this).
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with a cancellation/deadline escape hatch: the engine
+// polls ctx between simulation events and inside both hibernation loops,
+// so even a weak-harvest livelock (capacitor never reaching Vrst) returns
+// promptly once ctx is done — long before the MaxSimTime truncation check
+// would fire. On cancellation it returns a *Canceled error carrying the
+// partial Result. The polls never mutate simulation state, so results are
+// bit-identical to Run whenever ctx stays undisturbed.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg, err := cfg.normalize()
 	if err != nil {
 		return nil, err
@@ -32,18 +76,20 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	if cfg.Scheme == Ideal {
-		return runIdeal(cfg, trace)
+		return runIdeal(ctx, cfg, trace)
 	}
 
 	e, err := newEngine(cfg, trace, nil)
 	if err != nil {
 		return nil, err
 	}
+	e.bindContext(ctx)
 	return e.run()
 }
 
-// runIdeal drives the two-pass oracle.
-func runIdeal(cfg Config, trace *workload.Trace) (*Result, error) {
+// runIdeal drives the two-pass oracle. Both passes honor ctx; a canceled
+// recording pass aborts the protocol (its schedule would be incomplete).
+func runIdeal(ctx context.Context, cfg Config, trace *workload.Trace) (*Result, error) {
 	// Pass 1: baseline with a recorder listening to block lifecycles. The
 	// trace recorder (if any) observes only the reported replay pass, so it
 	// is detached here — otherwise pass 2's StartRun would wipe pass 1's
@@ -58,6 +104,7 @@ func runIdeal(cfg Config, trace *workload.Trace) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	e1.bindContext(ctx)
 	base, err := e1.run()
 	if err != nil {
 		return nil, fmt.Errorf("sim: ideal recording pass: %w", err)
@@ -74,5 +121,6 @@ func runIdeal(cfg Config, trace *workload.Trace) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	e2.bindContext(ctx)
 	return e2.run()
 }
