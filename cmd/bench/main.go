@@ -1,21 +1,25 @@
 // Command bench snapshots the simulator's per-event cost into
-// BENCH_engine.json, the number the benchmark-regression harness tracks
-// across commits. One measurement is a full sim.Run (event loop, outages,
-// hibernation) per scheme on the crc32 kernel; the JSON records ns/event,
-// allocs/event and events/sec, stamped with the git commit and time so a
-// snapshot is attributable to the code that produced it.
+// BENCH_engine.json, the number cmd/benchcmp tracks across commits. One
+// measurement is a full sim.Run (event loop, outages, hibernation) per
+// scheme on the crc32 kernel; the JSON records ns/event, allocs/event and
+// events/sec, stamped with the git commit, time and measurement
+// environment (GOMAXPROCS, Go version, CPU count) so a snapshot is
+// attributable to the code — and the machine — that produced it.
 //
 // The EDBP+tracer row runs with a trace.Recorder attached — its delta over
 // the plain EDBP row is the enabled-telemetry overhead.
 //
 // Usage:
 //
-//	go run ./cmd/bench [-out BENCH_engine.json] [-app crc32] [-scale 0.25]
+//	go run ./cmd/bench [-out BENCH_engine.json] [-history BENCH_history.jsonl]
+//	go run ./cmd/bench -app crc32 -scale 0.25
 //	go run ./cmd/bench -cpuprofile cpu.out -memprofile mem.out
 //
-// Compare against a previous snapshot with any JSON diff; the benchmark
-// unit tests (go test ./internal/sim -bench .) remain the profiling-grade
-// view of the same numbers.
+// Besides rewriting -out, each run appends the same snapshot as one JSONL
+// line to -history (set -history "" to skip), building the trajectory that
+// cmd/benchcmp folds into mean±stddev. The benchmark unit tests
+// (go test ./internal/sim -bench .) remain the profiling-grade view of the
+// same numbers.
 package main
 
 import (
@@ -31,30 +35,11 @@ import (
 	"testing"
 	"time"
 
+	"edbp/internal/benchfmt"
 	"edbp/internal/sim"
 	"edbp/internal/trace"
 	"edbp/internal/workload"
 )
-
-// entry is one scheme's measurement.
-type entry struct {
-	Scheme       string  `json:"scheme"`
-	NsPerEvent   float64 `json:"ns_per_event"`
-	AllocsPerEvt float64 `json:"allocs_per_event"`
-	EventsPerSec float64 `json:"events_per_sec"`
-	Runs         int     `json:"runs"`
-}
-
-// report is the BENCH_engine.json schema.
-type report struct {
-	Commit    string  `json:"commit,omitempty"`
-	Timestamp string  `json:"timestamp"`
-	App       string  `json:"app"`
-	Scale     float64 `json:"scale"`
-	Events    int     `json:"events_per_run"`
-	GoMaxP    int     `json:"gomaxprocs"`
-	Results   []entry `json:"results"`
-}
 
 // variant names one benchmark row: a scheme plus whether a trace recorder
 // is attached for the run.
@@ -66,6 +51,7 @@ type variant struct {
 
 func main() {
 	out := flag.String("out", "BENCH_engine.json", "output path")
+	history := flag.String("history", "BENCH_history.jsonl", "trajectory file to append the snapshot to (empty to skip)")
 	app := flag.String("app", "crc32", "workload kernel")
 	scale := flag.Float64("scale", 0.25, "input scale")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark loop to this file")
@@ -90,11 +76,14 @@ func main() {
 		log.Fatal(err)
 	}
 
-	rep := report{
+	rep := benchfmt.Report{
 		Commit:    gitCommit(),
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		App:       *app, Scale: *scale,
-		Events: len(tr.Events), GoMaxP: runtime.GOMAXPROCS(0),
+		Events:    len(tr.Events),
+		GoMaxP:    runtime.GOMAXPROCS(0),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
 	}
 	variants := []variant{
 		{"NVSRAMCache", sim.Baseline, false},
@@ -118,7 +107,7 @@ func main() {
 			}
 		})
 		events := int64(r.N) * int64(len(tr.Events))
-		rep.Results = append(rep.Results, entry{
+		rep.Results = append(rep.Results, benchfmt.Entry{
 			Scheme:       v.name,
 			NsPerEvent:   float64(r.T.Nanoseconds()) / float64(events),
 			AllocsPerEvt: float64(r.MemAllocs) / float64(events),
@@ -131,7 +120,7 @@ func main() {
 			rep.Results[len(rep.Results)-1].EventsPerSec, r.N)
 	}
 
-	data, err := json.MarshalIndent(rep, "", "  ")
+	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -140,6 +129,13 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if *history != "" {
+		if err := benchfmt.AppendHistory(*history, &rep); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("appended to %s\n", *history)
+	}
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)

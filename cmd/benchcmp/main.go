@@ -1,0 +1,174 @@
+// Command benchcmp compares benchmark snapshots produced by cmd/bench and
+// gates performance regressions, benchstat-style.
+//
+// Two-snapshot mode diffs a baseline against a candidate:
+//
+//	go run ./cmd/benchcmp BENCH_engine.json /tmp/new.json
+//
+// History mode folds the committed trajectory (BENCH_history.jsonl) into a
+// per-scheme mean±stddev and compares the newest snapshot against it:
+//
+//	go run ./cmd/benchcmp -history BENCH_history.jsonl /tmp/new.json
+//
+// Flags:
+//
+//	-metric ns_per_event|allocs_per_event|events_per_sec  what to compare
+//	-threshold 0.10   relative change that counts as a regression (10%)
+//	-warn             report regressions but exit 0 (CI warn-only gate)
+//	-force            compare even when the environment stamps disagree
+//	-history FILE     baseline is the trajectory mean instead of a snapshot
+//
+// Snapshots are stamped with their measurement environment (app, scale,
+// GOMAXPROCS, Go version, CPU count); benchcmp refuses apples-to-oranges
+// diffs unless -force is given. Exit status: 0 clean (or -warn), 1 on a
+// regression, 2 on usage or refusal.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"edbp/internal/benchfmt"
+)
+
+type options struct {
+	metric    string
+	threshold float64
+	warn      bool
+	force     bool
+	history   string
+	args      []string
+}
+
+func main() {
+	var opts options
+	flag.StringVar(&opts.metric, "metric", "ns_per_event", "metric to compare: ns_per_event, allocs_per_event or events_per_sec")
+	flag.Float64Var(&opts.threshold, "threshold", 0.10, "relative change flagged as a regression (0.10 = 10%)")
+	flag.BoolVar(&opts.warn, "warn", false, "report regressions but exit 0")
+	flag.BoolVar(&opts.force, "force", false, "compare despite mismatched environment stamps")
+	flag.StringVar(&opts.history, "history", "", "JSONL trajectory to use as the baseline (mean over snapshots)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: benchcmp [flags] old.json new.json\n       benchcmp [flags] -history hist.jsonl new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	opts.args = flag.Args()
+	os.Exit(run(opts, os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(opts options, stdout, stderr io.Writer) int {
+	metric, err := benchfmt.ParseMetric(opts.metric)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcmp: %v\n", err)
+		return 2
+	}
+
+	var (
+		baseline *benchfmt.Report
+		history  []benchfmt.Report
+		baseName string
+	)
+	switch {
+	case opts.history != "" && len(opts.args) == 1:
+		history, err = benchfmt.ReadHistoryFile(opts.history)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchcmp: %v\n", err)
+			return 2
+		}
+		if len(history) == 0 {
+			fmt.Fprintf(stderr, "benchcmp: %s holds no snapshots\n", opts.history)
+			return 2
+		}
+		baseline = &history[len(history)-1]
+		baseName = fmt.Sprintf("%s (%d snapshots)", opts.history, len(history))
+	case opts.history == "" && len(opts.args) == 2:
+		baseline, err = benchfmt.Read(opts.args[0])
+		if err != nil {
+			fmt.Fprintf(stderr, "benchcmp: %v\n", err)
+			return 2
+		}
+		baseName = opts.args[0]
+	default:
+		fmt.Fprintf(stderr, "usage: benchcmp [flags] old.json new.json\n       benchcmp [flags] -history hist.jsonl new.json\n")
+		return 2
+	}
+
+	candidate, err := benchfmt.Read(opts.args[len(opts.args)-1])
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcmp: %v\n", err)
+		return 2
+	}
+
+	if m := benchfmt.EnvMismatch(baseline, candidate); m != "" {
+		if !opts.force {
+			fmt.Fprintf(stderr, "benchcmp: refusing apples-to-oranges diff (%s); rerun with -force to override\n", m)
+			fmt.Fprintf(stderr, "  old: %s\n  new: %s\n", baseline.Env(), candidate.Env())
+			return 2
+		}
+		fmt.Fprintf(stderr, "benchcmp: warning: environments differ (%s), comparing anyway (-force)\n", m)
+	}
+
+	deltas := benchfmt.Compare(baseline, candidate, metric, opts.threshold)
+	if len(deltas) == 0 {
+		fmt.Fprintf(stderr, "benchcmp: no schemes in common between %s and %s\n", baseName, opts.args[len(opts.args)-1])
+		return 2
+	}
+	// In history mode, annotate each delta with the trajectory's spread and
+	// compare against the mean rather than only the newest snapshot.
+	if history != nil {
+		for i := range deltas {
+			mean, stddev, n := benchfmt.Stats(history, deltas[i].Scheme, metric)
+			deltas[i].Mean, deltas[i].Stddev, deltas[i].N = mean, stddev, n
+			if n > 1 && mean != 0 {
+				deltas[i].Old = mean
+				deltas[i].Pct = (deltas[i].New - mean) / mean
+				bad := deltas[i].Pct
+				if !metric.LowerIsBetter() {
+					bad = -bad
+				}
+				deltas[i].Regression = bad > opts.threshold
+			}
+		}
+	}
+
+	fmt.Fprintf(stdout, "baseline: %s\ncandidate: %s\nmetric: %s (threshold %.0f%%)\n\n",
+		baseName, opts.args[len(opts.args)-1], metric, opts.threshold*100)
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	if history != nil {
+		fmt.Fprintf(tw, "scheme\tmean±stddev (n)\tnew\tdelta\t\n")
+	} else {
+		fmt.Fprintf(tw, "scheme\told\tnew\tdelta\t\n")
+	}
+	regressed := 0
+	for _, d := range deltas {
+		mark := ""
+		if d.Regression {
+			mark = "REGRESSION"
+			regressed++
+		}
+		if history != nil {
+			fmt.Fprintf(tw, "%s\t%.2f±%.2f (%d)\t%.2f\t%+.1f%%\t%s\n",
+				d.Scheme, d.Mean, d.Stddev, d.N, d.New, d.Pct*100, mark)
+		} else {
+			fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%+.1f%%\t%s\n",
+				d.Scheme, d.Old, d.New, d.Pct*100, mark)
+		}
+	}
+	tw.Flush()
+
+	if regressed > 0 {
+		fmt.Fprintf(stdout, "\n%d scheme(s) regressed beyond %.0f%% on %s\n", regressed, opts.threshold*100, metric)
+		if opts.warn {
+			fmt.Fprintf(stdout, "(warn-only mode: exiting 0)\n")
+			return 0
+		}
+		return 1
+	}
+	fmt.Fprintf(stdout, "\nok: no regression beyond %.0f%%\n", opts.threshold*100)
+	return 0
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"edbp/internal/benchfmt"
+)
+
+func writeSnapshot(t *testing.T, dir, name string, r *benchfmt.Report) string {
+	t.Helper()
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func report(ns float64) *benchfmt.Report {
+	return &benchfmt.Report{
+		Timestamp: "2026-08-05T00:00:00Z",
+		App:       "crc32", Scale: 0.25, Events: 200000,
+		GoMaxP: 8, GoVersion: "go1.22.0", NumCPU: 8,
+		Results: []benchfmt.Entry{
+			{Scheme: "EDBP", NsPerEvent: ns, AllocsPerEvt: 0.0002, EventsPerSec: 1e9 / ns, Runs: 50},
+		},
+	}
+}
+
+// TestInjectedRegression is the ISSUE acceptance test: benchcmp must
+// detect an injected 20% ns_per_event regression between two snapshots
+// (exit 1), stay 0 in -warn mode, and stay 0 when the change is within
+// threshold.
+func TestInjectedRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnapshot(t, dir, "old.json", report(50))
+	bad := writeSnapshot(t, dir, "bad.json", report(60)) // +20%
+	fine := writeSnapshot(t, dir, "fine.json", report(52))
+
+	var out, errb bytes.Buffer
+	if code := run(options{metric: "ns_per_event", threshold: 0.10, args: []string{old, bad}}, &out, &errb); code != 1 {
+		t.Errorf("20%% regression exit = %d, want 1\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") || !strings.Contains(out.String(), "+20.0%") {
+		t.Errorf("regression not reported:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run(options{metric: "ns_per_event", threshold: 0.10, warn: true, args: []string{old, bad}}, &out, &errb); code != 0 {
+		t.Errorf("-warn exit = %d, want 0", code)
+	}
+	if !strings.Contains(out.String(), "warn-only") {
+		t.Errorf("warn mode not announced:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run(options{metric: "ns_per_event", threshold: 0.10, args: []string{old, fine}}, &out, &errb); code != 0 {
+		t.Errorf("4%% change exit = %d, want 0\n%s", code, out.String())
+	}
+}
+
+// TestEnvRefusal: mismatched environment stamps exit 2 unless -force.
+func TestEnvRefusal(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnapshot(t, dir, "old.json", report(50))
+	other := report(50)
+	other.NumCPU = 64
+	mismatched := writeSnapshot(t, dir, "new.json", other)
+
+	var out, errb bytes.Buffer
+	if code := run(options{metric: "ns_per_event", threshold: 0.10, args: []string{old, mismatched}}, &out, &errb); code != 2 {
+		t.Errorf("mismatched env exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "apples-to-oranges") {
+		t.Errorf("refusal not explained:\n%s", errb.String())
+	}
+
+	errb.Reset()
+	if code := run(options{metric: "ns_per_event", threshold: 0.10, force: true, args: []string{old, mismatched}}, &out, &errb); code != 0 {
+		t.Errorf("-force exit = %d, want 0\n%s", code, errb.String())
+	}
+}
+
+// TestHistoryMode: the trajectory mean is the baseline, and the candidate
+// is judged against it with the spread printed.
+func TestHistoryMode(t *testing.T) {
+	dir := t.TempDir()
+	hist := filepath.Join(dir, "hist.jsonl")
+	for _, ns := range []float64{50, 51, 49} { // mean 50
+		if err := benchfmt.AppendHistory(hist, report(ns)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bad := writeSnapshot(t, dir, "bad.json", report(65)) // +30% over mean
+
+	var out, errb bytes.Buffer
+	if code := run(options{metric: "ns_per_event", threshold: 0.10, history: hist, args: []string{bad}}, &out, &errb); code != 1 {
+		t.Errorf("history regression exit = %d, want 1\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "(3)") {
+		t.Errorf("trajectory size not shown:\n%s", out.String())
+	}
+
+	out.Reset()
+	good := writeSnapshot(t, dir, "good.json", report(51))
+	if code := run(options{metric: "ns_per_event", threshold: 0.10, history: hist, args: []string{good}}, &out, &errb); code != 0 {
+		t.Errorf("in-band candidate exit = %d, want 0\n%s", code, out.String())
+	}
+}
+
+// TestUsageErrors: bad metric, wrong arg counts and unreadable files are
+// usage failures (exit 2), not regressions.
+func TestUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	snap := writeSnapshot(t, dir, "s.json", report(50))
+	var out, errb bytes.Buffer
+	cases := []options{
+		{metric: "walltime", threshold: 0.1, args: []string{snap, snap}},
+		{metric: "ns_per_event", threshold: 0.1, args: []string{snap}},
+		{metric: "ns_per_event", threshold: 0.1, args: []string{snap, filepath.Join(dir, "missing.json")}},
+		{metric: "ns_per_event", threshold: 0.1, history: filepath.Join(dir, "missing.jsonl"), args: []string{snap}},
+	}
+	for i, opts := range cases {
+		if code := run(opts, &out, &errb); code != 2 {
+			t.Errorf("case %d exit = %d, want 2", i, code)
+		}
+	}
+}

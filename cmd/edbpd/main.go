@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	edbpd [-addr :8080] [-queue 64] [-workers N] [-run-timeout 15m]
+//	edbpd [-addr :8080] [-queue 64] [-workers N] [-run-timeout 15m] [-pprof]
 //
 // Endpoints:
 //
@@ -12,8 +12,14 @@
 //	                 a bounded queue and the response is 202 + a job id.
 //	GET  /jobs/{id}  poll an async job: queued | running | done | failed.
 //	GET  /healthz    liveness; 503 once the server starts draining.
-//	GET  /metrics    Prometheus text: request/run/cache counters plus the
-//	                 internal/trace event aggregate over completed runs.
+//	GET  /metrics    the internal/obs registry in Prometheus text format
+//	                 0.0.4 (counters, gauges, run/queue histograms, trace
+//	                 event and ring-drop aggregates); ?format=json returns
+//	                 the JSON snapshot.
+//	GET  /stream     Server-Sent Events feed of sampled gauges (capacitor
+//	                 voltage, live/gated/dirty blocks, FPR, zombie ratio)
+//	                 from an in-flight run; ?job=<id> follows an async job.
+//	GET  /debug/pprof/*  net/http/pprof, only when -pprof is set.
 //
 // Identical configs are answered from a sha256 config-hash result cache;
 // fresh runs share the process-wide workload and energy-trace memoization.
@@ -48,6 +54,7 @@ func main() {
 		workers      = flag.Int("workers", 2, "async queue worker goroutines")
 		runTimeout   = flag.Duration("run-timeout", 15*time.Minute, "per-run deadline, sync and async")
 		drainTimeout = flag.Duration("drain-timeout", time.Minute, "how long to wait for queued jobs on shutdown")
+		pprofFlag    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -55,6 +62,7 @@ func main() {
 		queueDepth: *queue,
 		workers:    *workers,
 		runTimeout: *runTimeout,
+		pprof:      *pprofFlag,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

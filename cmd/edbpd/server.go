@@ -7,7 +7,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	httppprof "net/http/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -16,6 +19,7 @@ import (
 	"edbp/internal/cache"
 	"edbp/internal/energy"
 	"edbp/internal/nvm"
+	"edbp/internal/obs"
 	"edbp/internal/sim"
 	tracepkg "edbp/internal/trace"
 )
@@ -209,6 +213,16 @@ func output(req runRequest, res *sim.Result) *runOutput {
 	}
 }
 
+// liveRun exposes an in-flight simulation's trace recorder to the SSE
+// stream handler. done closes when the run finishes (success or failure),
+// after which the recorder is quiescent and its last sample stays
+// readable.
+type liveRun struct {
+	label string
+	rec   *tracepkg.Recorder
+	done  chan struct{}
+}
+
 // job tracks one async run through the bounded queue.
 type job struct {
 	ID     string     `json:"id"`
@@ -218,6 +232,9 @@ type job struct {
 	req    runRequest
 	mu     sync.Mutex
 	done   chan struct{}
+
+	enqueuedAt time.Time
+	live       atomic.Pointer[liveRun] // set once the worker starts simulating
 }
 
 func (j *job) snapshot() job {
@@ -243,6 +260,11 @@ type serverOptions struct {
 	queueDepth int           // bounded async queue; 503 when full
 	workers    int           // async queue drainers
 	runTimeout time.Duration // per-run deadline (sync and async)
+	pprof      bool          // mount net/http/pprof under /debug/pprof/
+
+	// registry backs /metrics; newServer creates one when nil. Tests
+	// inject their own to read instruments directly.
+	registry *obs.Registry
 
 	// holdJobs, when non-nil, blocks each worker after dequeuing until the
 	// channel closes. Test-only: it freezes the pool so queue-bound
@@ -265,16 +287,14 @@ type server struct {
 	workerWG sync.WaitGroup
 	nextID   atomic.Uint64
 
-	// metrics, exposed in Prometheus text format at /metrics.
-	mRequests        atomic.Uint64
-	mRunsOK          atomic.Uint64
-	mRunsErr         atomic.Uint64
-	mCacheHits       atomic.Uint64
-	mQueueFull       atomic.Uint64
-	mJobsQueued      atomic.Int64
-	mJobsRunning     atomic.Int64
-	mSimSecondsMicro atomic.Uint64                     // simulated wall-seconds ×1e6
-	mTraceEvents     [tracepkg.KindCount]atomic.Uint64 // internal/trace gauge aggregate
+	// reg backs /metrics (Prometheus text and JSON snapshot); met is the
+	// pre-resolved instrument set over it (nil = observation disabled).
+	reg *obs.Registry
+	met *serverMetrics
+
+	// lastLive points at the most recently started run's live view; the
+	// SSE stream falls back to it when no job id is given.
+	lastLive atomic.Pointer[liveRun]
 }
 
 func newServer(opts serverOptions) *server {
@@ -287,12 +307,31 @@ func newServer(opts serverOptions) *server {
 	if opts.runTimeout <= 0 {
 		opts.runTimeout = 15 * time.Minute
 	}
+	if opts.registry == nil {
+		opts.registry = obs.NewRegistry()
+	}
 	s := &server{opts: opts, queue: make(chan *job, opts.queueDepth)}
+	s.reg = opts.registry
+	s.met = newServerMetrics(s.reg)
+	// Depth of the bounded channel itself (distinct from the queued-jobs
+	// gauge only transiently, but free and impossible to drift).
+	s.reg.GaugeFunc("edbpd_queue_depth", "Async jobs currently in the bounded queue channel.",
+		func() float64 { return float64(len(s.queue)) })
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /run", s.handleRun)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /stream", s.handleStream)
+	if opts.pprof {
+		// Gated behind -pprof: profiling endpoints expose execution
+		// details and cost CPU, so production deployments opt in.
+		s.mux.HandleFunc("GET /debug/pprof/", httppprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", httppprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", httppprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", httppprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", httppprof.Trace)
+	}
 	for i := 0; i < opts.workers; i++ {
 		s.workerWG.Add(1)
 		go s.worker()
@@ -303,7 +342,9 @@ func newServer(opts serverOptions) *server {
 // Handler returns the service's HTTP handler.
 func (s *server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.mRequests.Add(1)
+		if s.met != nil {
+			s.met.requests.Inc()
+		}
 		s.mux.ServeHTTP(w, r)
 	})
 }
@@ -334,56 +375,67 @@ func (s *server) worker() {
 		if s.opts.holdJobs != nil {
 			<-s.opts.holdJobs
 		}
-		s.mJobsQueued.Add(-1)
-		s.mJobsRunning.Add(1)
+		if s.met != nil {
+			s.met.jobsQueued.Dec()
+			s.met.jobsRunning.Inc()
+			s.met.queueWait.Observe(time.Since(j.enqueuedAt).Seconds())
+		}
 		j.mu.Lock()
 		j.Status = "running"
 		j.mu.Unlock()
 		// Async jobs run to completion even during drain; only the
 		// per-run deadline bounds them.
 		ctx, cancel := context.WithTimeout(context.Background(), s.opts.runTimeout)
-		out, err := s.run(ctx, j.req)
+		out, err := s.run(ctx, j.req, j)
 		cancel()
 		j.finish(out, err)
-		s.mJobsRunning.Add(-1)
+		if s.met != nil {
+			s.met.jobsRunning.Dec()
+		}
 	}
 }
 
 // run executes one simulation, consulting and feeding the config-hash
 // result cache. Cached replays skip the simulator entirely; fresh runs
 // additionally reuse the process-wide workload.Cached / energy.CachedTrace
-// memoization underneath sim.RunContext.
-func (s *server) run(ctx context.Context, req runRequest) (*runOutput, error) {
+// memoization underneath sim.RunContext. j, when non-nil, is the async job
+// this run belongs to: its live view is published for GET /stream.
+func (s *server) run(ctx context.Context, req runRequest, j *job) (*runOutput, error) {
 	key := req.hash()
 	if v, ok := s.cache.Load(key); ok {
-		s.mCacheHits.Add(1)
+		s.met.observeCache(true)
 		hit := *v.(*runOutput)
 		hit.CacheHit = true
 		return &hit, nil
 	}
+	s.met.observeCache(false)
 	cfg, err := req.config()
 	if err != nil {
 		return nil, err
 	}
 	rec := tracepkg.NewRecorder(tracepkg.Options{
-		Label:       fmt.Sprintf("%s/%s/%s", req.App, cfg.Scheme, cfg.TraceKind),
-		EventCap:    4096,
-		SampleCap:   64,
-		SampleEvery: 1, // gauges are aggregated, not exported: sample sparsely
+		Label:    fmt.Sprintf("%s/%s/%s", req.App, cfg.Scheme, cfg.TraceKind),
+		EventCap: 4096,
+		// The rings keep a bounded recent window (overwrites are counted
+		// into edbpd_trace_dropped_total); the dense cadence feeds the
+		// live gauge that GET /stream serves.
+		SampleCap:   256,
+		SampleEvery: 1e-3,
 	})
 	cfg.Recorder = rec
+	lr := &liveRun{label: rec.Options().Label, rec: rec, done: make(chan struct{})}
+	defer close(lr.done)
+	s.lastLive.Store(lr)
+	if j != nil {
+		j.live.Store(lr)
+	}
+	start := time.Now()
 	res, err := sim.RunContext(ctx, cfg)
 	if err != nil {
-		s.mRunsErr.Add(1)
+		s.met.observeRunError()
 		return nil, err
 	}
-	if sum := rec.Summary(); sum != nil {
-		for k, n := range sum.ByKind {
-			s.mTraceEvents[k].Add(n)
-		}
-	}
-	s.mRunsOK.Add(1)
-	s.mSimSecondsMicro.Add(uint64(res.WallTime * 1e6))
+	s.met.observeRun(req.App, cfg.Scheme.String(), res, time.Since(start).Seconds())
 	out := output(req, res)
 	s.cache.Store(key, out)
 	return out, nil
@@ -423,10 +475,11 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	if r.URL.Query().Get("async") != "" {
 		j := &job{
-			ID:     fmt.Sprintf("job-%d", s.nextID.Add(1)),
-			Status: "queued",
-			req:    req,
-			done:   make(chan struct{}),
+			ID:         fmt.Sprintf("job-%d", s.nextID.Add(1)),
+			Status:     "queued",
+			req:        req,
+			done:       make(chan struct{}),
+			enqueuedAt: time.Now(),
 		}
 		s.queueMu.RLock()
 		defer s.queueMu.RUnlock()
@@ -437,10 +490,14 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		select {
 		case s.queue <- j:
 			s.jobs.Store(j.ID, j)
-			s.mJobsQueued.Add(1)
+			if s.met != nil {
+				s.met.jobsQueued.Inc()
+			}
 			writeJSON(w, http.StatusAccepted, j.snapshot())
 		default:
-			s.mQueueFull.Add(1)
+			if s.met != nil {
+				s.met.queueFull.Inc()
+			}
 			httpError(w, http.StatusServiceUnavailable, "queue full (%d deep)", s.opts.queueDepth)
 		}
 		return
@@ -448,7 +505,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.opts.runTimeout)
 	defer cancel()
-	out, err := s.run(ctx, req)
+	out, err := s.run(ctx, req, nil)
 	if err != nil {
 		code := http.StatusInternalServerError
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -477,27 +534,146 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// handleMetrics emits Prometheus text exposition: server counters plus the
-// internal/trace event-kind aggregate across every completed run.
+// handleMetrics emits the obs.Registry: Prometheus text exposition
+// (format 0.0.4, # HELP/# TYPE on every family) by default, or the JSON
+// snapshot with ?format=json.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	var b strings.Builder
-	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		s.reg.WriteJSON(w)
+		return
 	}
-	counter("edbpd_requests_total", "HTTP requests served.", s.mRequests.Load())
-	counter("edbpd_runs_ok_total", "Simulations completed.", s.mRunsOK.Load())
-	counter("edbpd_runs_error_total", "Simulations failed or canceled.", s.mRunsErr.Load())
-	counter("edbpd_cache_hits_total", "Runs answered from the config-hash result cache.", s.mCacheHits.Load())
-	counter("edbpd_queue_full_total", "Async submissions rejected for a full queue.", s.mQueueFull.Load())
-	fmt.Fprintf(&b, "# HELP edbpd_jobs Jobs by state.\n# TYPE edbpd_jobs gauge\n")
-	fmt.Fprintf(&b, "edbpd_jobs{state=\"queued\"} %d\n", s.mJobsQueued.Load())
-	fmt.Fprintf(&b, "edbpd_jobs{state=\"running\"} %d\n", s.mJobsRunning.Load())
-	fmt.Fprintf(&b, "# HELP edbpd_sim_seconds_total Simulated wall-clock seconds across completed runs.\n# TYPE edbpd_sim_seconds_total counter\n")
-	fmt.Fprintf(&b, "edbpd_sim_seconds_total %.6f\n", float64(s.mSimSecondsMicro.Load())/1e6)
-	fmt.Fprintf(&b, "# HELP edbpd_trace_events_total Simulator trace events by kind (internal/trace), summed over completed runs.\n# TYPE edbpd_trace_events_total counter\n")
-	for k := 0; k < tracepkg.KindCount; k++ {
-		fmt.Fprintf(&b, "edbpd_trace_events_total{kind=%q} %d\n", tracepkg.Kind(k).String(), s.mTraceEvents[k].Load())
+	w.Header().Set("Content-Type", obs.ContentType)
+	s.reg.WritePrometheus(w)
+}
+
+// gaugeFrame is the SSE data payload for one sampled gauge observation:
+// the Figure-4 quantities of an in-flight run.
+type gaugeFrame struct {
+	Label       string  `json:"label,omitempty"`
+	Seq         uint64  `json:"seq"`   // publication ordinal within the run
+	SimS        float64 `json:"t_s"`   // simulated seconds
+	Cycle       int32   `json:"cycle"` // power-cycle index
+	VoltageV    float64 `json:"voltage_v"`
+	StoredUJ    float64 `json:"stored_uj"`
+	Live        int32   `json:"live"`
+	Gated       int32   `json:"gated"`
+	Dirty       int32   `json:"dirty"`
+	Level       int32   `json:"level"`
+	FPR         float64 `json:"fpr"`
+	ZombieRatio float64 `json:"zombie_ratio"`
+}
+
+// handleStream serves GET /stream: a Server-Sent Events feed of sampled
+// gauges (capacitor voltage and stored energy, live/gated/dirty block
+// counts, EDBP level, FPR, zombie ratio) read from an in-flight run's
+// trace.Recorder via its race-safe live gauge. ?job=<id> follows a
+// specific async job (waiting for it to start); without it the most
+// recently started run is streamed. ?interval_ms tunes the poll cadence
+// (default 100). Each new sample is one "gauge" event; a final "done"
+// event closes the stream when the run finishes.
+func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
 	}
-	w.Write([]byte(b.String()))
+	interval := 100 * time.Millisecond
+	if v := r.URL.Query().Get("interval_ms"); v != "" {
+		ms, err := strconv.Atoi(v)
+		if err != nil || ms < 1 {
+			httpError(w, http.StatusBadRequest, "bad interval_ms %q", v)
+			return
+		}
+		interval = time.Duration(ms) * time.Millisecond
+	}
+
+	var (
+		lr      *liveRun
+		jobDone chan struct{} // closed when the followed job finishes
+	)
+	if id := r.URL.Query().Get("job"); id != "" {
+		v, ok := s.jobs.Load(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown job %q", id)
+			return
+		}
+		j := v.(*job)
+		jobDone = j.done
+		// Wait for the worker to attach a live run. A job that finishes
+		// without one (cache hit, config error) yields an empty stream.
+		wait := time.NewTicker(time.Millisecond)
+		for lr = j.live.Load(); lr == nil; lr = j.live.Load() {
+			select {
+			case <-r.Context().Done():
+				wait.Stop()
+				return
+			case <-j.done:
+				lr = j.live.Load()
+			case <-wait.C:
+				continue
+			}
+			break
+		}
+		wait.Stop()
+	} else {
+		lr = s.lastLive.Load()
+		if lr == nil {
+			httpError(w, http.StatusNotFound, "no run in flight — start one with POST /run")
+			return
+		}
+	}
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	var lastSeq uint64
+	emit := func() {
+		if lr == nil {
+			return
+		}
+		sample, seq := lr.rec.LatestSample()
+		if seq == 0 || seq == lastSeq {
+			return
+		}
+		lastSeq = seq
+		frame := gaugeFrame{
+			Label: lr.label, Seq: seq, SimS: sample.Time, Cycle: sample.Cycle,
+			VoltageV: sample.Voltage, StoredUJ: sample.Stored * 1e6,
+			Live: sample.Live, Gated: sample.Gated, Dirty: sample.Dirty,
+			Level: sample.Level, FPR: sample.FPR, ZombieRatio: sample.ZombieRatio,
+		}
+		data, err := json.Marshal(frame)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: gauge\ndata: %s\n\n", data)
+		fl.Flush()
+	}
+
+	runDone := jobDone
+	if lr != nil {
+		runDone = lr.done
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-runDone:
+			// Flush the final sample (the run may have finished between
+			// ticks) so short runs still deliver their last gauges.
+			emit()
+			io.WriteString(w, "event: done\ndata: {}\n\n")
+			fl.Flush()
+			return
+		case <-tick.C:
+			emit()
+		}
+	}
 }

@@ -81,8 +81,11 @@ func TestRunSync(t *testing.T) {
 	if second.Instructions != first.Instructions || second.WallSeconds != first.WallSeconds {
 		t.Error("cached result differs from the original")
 	}
-	if s.mCacheHits.Load() != 1 {
-		t.Errorf("cache hits = %d, want 1", s.mCacheHits.Load())
+	if hits := s.met.cacheHits.Value(); hits != 1 {
+		t.Errorf("cache hits = %g, want 1", hits)
+	}
+	if misses := s.met.cacheMisses.Value(); misses != 1 {
+		t.Errorf("cache misses = %g, want 1", misses)
 	}
 }
 
@@ -180,7 +183,7 @@ func TestQueueBound(t *testing.T) {
 			t.Errorf("submit %d = %d, want 503 while the queue is full", i, code)
 		}
 	}
-	if s.mQueueFull.Load() == 0 {
+	if s.met.queueFull.Value() == 0 {
 		t.Error("edbpd_queue_full_total not incremented")
 	}
 }

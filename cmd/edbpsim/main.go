@@ -325,8 +325,9 @@ func printResult(r *sim.Result) {
 		fmt.Printf("  %s\n", r.EDBP)
 	}
 	if s := r.TraceSummary; s != nil {
-		fmt.Printf("  trace          %d events (%d dropped), %d samples, %d power cycles recorded\n",
-			s.Events, s.Dropped, s.Samples, len(s.AllCycles()))
+		// Summary.String surfaces both rings' overwrite drop counts so
+		// silent truncation of the exportable window is visible.
+		fmt.Printf("  %s\n", s)
 	}
 	if r.ZombieProfile != nil {
 		fmt.Println("  zombie ratio by voltage:")

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
@@ -43,20 +44,35 @@ func main() {
 		log.Fatal(err)
 	}
 
-	if d.Label != "" {
-		fmt.Printf("run: %s\n", d.Label)
-	}
-	fmt.Printf("recorded: %d cycles, %d events (%d dropped), %d samples (gauges every %.0f µs)\n\n",
-		cycleCount(d), d.TotalEvents, d.Dropped, len(d.Samples), d.SampleEveryUS)
-
-	printCycles(d, *cycles)
-	printKinds(d)
+	report(os.Stdout, d, *cycles)
 
 	if *profile != "" {
-		if err := writeProfile(d, *profile); err != nil {
+		pf, err := os.Create(*profile)
+		if err != nil {
 			log.Fatal(err)
 		}
+		if err := writeProfile(pf, d); err != nil {
+			pf.Close()
+			log.Fatal(err)
+		}
+		if err := pf.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d profile points)\n", *profile, len(d.Profile))
 	}
+}
+
+// report renders the full text summary: header, per-cycle table, kind
+// histogram.
+func report(w io.Writer, d *trace.Dump, cycles int) {
+	if d.Label != "" {
+		fmt.Fprintf(w, "run: %s\n", d.Label)
+	}
+	fmt.Fprintf(w, "recorded: %d cycles, %d events (%d dropped), %d samples (gauges every %.0f µs)\n\n",
+		cycleCount(d), d.TotalEvents, d.Dropped, len(d.Samples), d.SampleEveryUS)
+
+	printCycles(w, d, cycles)
+	printKinds(w, d)
 }
 
 func cycleCount(d *trace.Dump) int {
@@ -70,8 +86,8 @@ func cycleCount(d *trace.Dump) int {
 // printCycles renders the per-power-cycle table: the first n cycles row by
 // row, then a totals row covering the whole run (including any cycles
 // folded into the overflow bucket).
-func printCycles(d *trace.Dump, n int) {
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+func printCycles(out io.Writer, d *trace.Dump, n int) {
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', tabwriter.AlignRight)
 	fmt.Fprintln(w, "cycle\ton ms\tckpts\tckpt blk\trestored\tgated\twrong\tsweeps\tlvl\tzombie FN\t")
 
 	var tot trace.CycleStats
@@ -113,10 +129,10 @@ func printCycles(d *trace.Dump, n int) {
 		tot.BlocksGated, tot.WrongKills, tot.Sweeps, tot.MaxLevel,
 		tot.Counts.ZombieFN)
 	w.Flush()
-	fmt.Println()
+	fmt.Fprintln(out)
 }
 
-func printKinds(d *trace.Dump) {
+func printKinds(w io.Writer, d *trace.Dump) {
 	if len(d.ByKind) == 0 {
 		return
 	}
@@ -130,30 +146,22 @@ func printKinds(d *trace.Dump) {
 		}
 		return kinds[i] < kinds[j]
 	})
-	fmt.Println("events by kind:")
+	fmt.Fprintln(w, "events by kind:")
 	for _, k := range kinds {
-		fmt.Printf("  %-16s %d\n", k, d.ByKind[k])
+		fmt.Fprintf(w, "  %-16s %d\n", k, d.ByKind[k])
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }
 
 // writeProfile emits the Figure 4 CSV from the profile records the live
 // run embedded in the stream.
-func writeProfile(d *trace.Dump, path string) error {
+func writeProfile(w io.Writer, d *trace.Dump) error {
 	if len(d.Profile) == 0 {
 		return fmt.Errorf("trace has no profile records — re-run edbpsim with -trace-jsonl (it collects the zombie profile automatically)")
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(f, "voltage,zombie_ratio,samples")
+	fmt.Fprintln(w, "voltage,zombie_ratio,samples")
 	for _, p := range d.Profile {
-		fmt.Fprintf(f, "%.4f,%.6f,%.0f\n", p.Voltage, p.ZombieRatio, p.Samples)
+		fmt.Fprintf(w, "%.4f,%.6f,%.0f\n", p.Voltage, p.ZombieRatio, p.Samples)
 	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s (%d profile points)\n", path, len(d.Profile))
 	return nil
 }

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"edbp/internal/metrics"
+	"edbp/internal/trace"
+)
+
+// goldenDump builds a small deterministic two-cycle recording, round-trips
+// it through the JSONL exporter, and returns the decoded Dump — the same
+// path a real `edbpsim -trace-jsonl run.jsonl && tracereport run.jsonl`
+// takes.
+func goldenDump(t *testing.T) *trace.Dump {
+	t.Helper()
+	rec := trace.NewRecorder(trace.Options{Label: "crc32/EDBP/RFHome", SampleEvery: 20e-6})
+	rec.StartRun()
+
+	// Cycle 0: one gated block, a checkpoint of 5 blocks, outage at 2 ms.
+	rec.SetNow(0.0005)
+	rec.AddSample(trace.Sample{Time: 0.0005, Voltage: 3.1, Stored: 52e-6, Live: 14, Gated: 2, Dirty: 3})
+	rec.BlockGated(1, 2, true)
+	rec.GatingLevel(0, 2, 3.0)
+	rec.SetNow(0.002)
+	rec.Checkpoint(5)
+	rec.EndCycle(metrics.Counts{TP: 3, FN: 1, ZombieFN: 1})
+
+	// Cycle 1: restore, a wrong kill, a sweep, run ends at 4 ms.
+	rec.SetNow(0.0025)
+	rec.StartCycle()
+	rec.Restore(4)
+	rec.WrongKill(0, 7)
+	rec.PredictorSweep(6, 128)
+	rec.SetNow(0.003)
+	rec.AddSample(trace.Sample{Time: 0.003, Voltage: 2.8, Stored: 43e-6, Live: 12, Gated: 4, Dirty: 1})
+	rec.SetNow(0.004)
+	rec.FinishRun(metrics.Counts{TP: 7, FN: 1, ZombieFN: 2})
+
+	var buf bytes.Buffer
+	profile := []trace.ProfilePoint{
+		{Voltage: 3.1, ZombieRatio: 0.2, Samples: 10},
+		{Voltage: 2.8, ZombieRatio: 0.35, Samples: 4},
+	}
+	if err := rec.WriteJSONL(&buf, profile); err != nil {
+		t.Fatal(err)
+	}
+	d, err := trace.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestReportGolden pins the full text report — header, per-cycle table
+// (with totals row) and the event-kind histogram — byte for byte.
+func TestReportGolden(t *testing.T) {
+	d := goldenDump(t)
+	var out bytes.Buffer
+	report(&out, d, 20)
+
+	const golden = `run: crc32/EDBP/RFHome
+recorded: 2 cycles, 9 events (0 dropped), 2 samples (gauges every 20 µs)
+
+  cycle  on ms  ckpts  ckpt blk  restored  gated  wrong  sweeps  lvl  zombie FN
+      0  2.000      1         5         0      1      0       0    2          1
+      1  1.500      0         0         4      0      1       1    0          1
+  total             1         5         4      1      1       1    2          2
+
+events by kind:
+  cycle-start      2
+  block-gated      1
+  checkpoint       1
+  gate-level       1
+  outage           1
+  restore          1
+  sweep            1
+  wrong-kill       1
+
+`
+	if out.String() != golden {
+		t.Errorf("report output changed:\n--- got ---\n%s\n--- want ---\n%s", out.String(), golden)
+	}
+}
+
+// TestReportCycleLimit: -cycles 1 lists only the first cycle and folds the
+// rest into the "(N more)" marker while the totals stay whole-run.
+func TestReportCycleLimit(t *testing.T) {
+	d := goldenDump(t)
+	var out bytes.Buffer
+	report(&out, d, 1)
+	text := out.String()
+	if !strings.Contains(text, "(1 more)") {
+		t.Errorf("hidden-cycle marker missing:\n%s", text)
+	}
+	// Totals must still include the hidden cycle's restore.
+	if !strings.Contains(text, "total") {
+		t.Errorf("totals row missing:\n%s", text)
+	}
+	if strings.Count(text, "\n1\t") != 0 && strings.Contains(text, "\n  1 ") {
+		t.Errorf("cycle 1 listed despite -cycles 1:\n%s", text)
+	}
+}
+
+// TestWriteProfile pins the Figure 4 CSV and the no-profile error.
+func TestWriteProfile(t *testing.T) {
+	d := goldenDump(t)
+	var csv bytes.Buffer
+	if err := writeProfile(&csv, d); err != nil {
+		t.Fatal(err)
+	}
+	want := "voltage,zombie_ratio,samples\n" +
+		"3.1000,0.200000,10\n" +
+		"2.8000,0.350000,4\n"
+	if csv.String() != want {
+		t.Errorf("profile CSV = \n%s\nwant\n%s", csv.String(), want)
+	}
+
+	empty := &trace.Dump{}
+	if err := writeProfile(&csv, empty); err == nil || !strings.Contains(err.Error(), "no profile records") {
+		t.Errorf("missing-profile error = %v", err)
+	}
+}

@@ -1,0 +1,246 @@
+// Package benchfmt is the contract between cmd/bench (which measures the
+// engine's per-event cost and writes snapshots) and cmd/benchcmp (which
+// compares snapshots and gates regressions). A snapshot is one
+// BENCH_engine.json document; a trajectory is BENCH_history.jsonl, one
+// snapshot per line appended across commits.
+//
+// Every snapshot is stamped with its measurement environment (GOMAXPROCS,
+// Go version, CPU count, app, scale) so comparisons can refuse
+// apples-to-oranges diffs — cross-machine numbers differ for reasons that
+// have nothing to do with the code under test.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Entry is one scheme's measurement within a snapshot.
+type Entry struct {
+	Scheme       string  `json:"scheme"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	AllocsPerEvt float64 `json:"allocs_per_event"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Runs         int     `json:"runs"`
+}
+
+// Report is one benchmark snapshot (the BENCH_engine.json schema). The
+// go_version and num_cpu stamps were added after the first snapshots, so
+// readers treat their zero values as "unknown".
+type Report struct {
+	Commit    string  `json:"commit,omitempty"`
+	Timestamp string  `json:"timestamp"`
+	App       string  `json:"app"`
+	Scale     float64 `json:"scale"`
+	Events    int     `json:"events_per_run"`
+	GoMaxP    int     `json:"gomaxprocs"`
+	GoVersion string  `json:"go_version,omitempty"`
+	NumCPU    int     `json:"num_cpu,omitempty"`
+	Results   []Entry `json:"results"`
+}
+
+// Entry returns the named scheme's measurement, if present.
+func (r *Report) Entry(scheme string) (Entry, bool) {
+	for _, e := range r.Results {
+		if e.Scheme == scheme {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Read decodes one snapshot file.
+func Read(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchfmt: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// ReadHistory decodes a JSONL trajectory, oldest first.
+func ReadHistory(rd io.Reader) ([]Report, error) {
+	var out []Report
+	dec := json.NewDecoder(bufio.NewReader(rd))
+	for line := 1; ; line++ {
+		var r Report
+		if err := dec.Decode(&r); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("benchfmt: history record %d: %w", line, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ReadHistoryFile is ReadHistory over a file path.
+func ReadHistoryFile(path string) ([]Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadHistory(f)
+}
+
+// AppendHistory appends the snapshot as one JSONL line, creating the file
+// if needed.
+func AppendHistory(path string, r *Report) error {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Env renders the snapshot's measurement environment on one line.
+func (r *Report) Env() string {
+	return fmt.Sprintf("app=%s scale=%g gomaxprocs=%d go=%s cpus=%d",
+		r.App, r.Scale, r.GoMaxP, orUnknown(r.GoVersion), r.NumCPU)
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "?"
+	}
+	return s
+}
+
+// EnvMismatch reports why two snapshots are not comparable ("" when they
+// are). A stamp missing from either side (older snapshots predate the
+// go_version/num_cpu fields) is not a mismatch — only a positive
+// disagreement is.
+func EnvMismatch(old, new *Report) string {
+	switch {
+	case old.App != "" && new.App != "" && old.App != new.App:
+		return fmt.Sprintf("app %q vs %q", old.App, new.App)
+	case old.Scale != 0 && new.Scale != 0 && old.Scale != new.Scale:
+		return fmt.Sprintf("scale %g vs %g", old.Scale, new.Scale)
+	case old.GoMaxP != 0 && new.GoMaxP != 0 && old.GoMaxP != new.GoMaxP:
+		return fmt.Sprintf("gomaxprocs %d vs %d", old.GoMaxP, new.GoMaxP)
+	case old.GoVersion != "" && new.GoVersion != "" && old.GoVersion != new.GoVersion:
+		return fmt.Sprintf("go version %s vs %s", old.GoVersion, new.GoVersion)
+	case old.NumCPU != 0 && new.NumCPU != 0 && old.NumCPU != new.NumCPU:
+		return fmt.Sprintf("cpu count %d vs %d", old.NumCPU, new.NumCPU)
+	}
+	return ""
+}
+
+// Metric names a compared Entry field.
+type Metric string
+
+const (
+	NsPerEvent   Metric = "ns_per_event"
+	AllocsPerEvt Metric = "allocs_per_event"
+	EventsPerSec Metric = "events_per_sec"
+)
+
+// ParseMetric validates a -metric flag value.
+func ParseMetric(s string) (Metric, error) {
+	switch Metric(s) {
+	case NsPerEvent, AllocsPerEvt, EventsPerSec:
+		return Metric(s), nil
+	}
+	return "", fmt.Errorf("unknown metric %q (want ns_per_event, allocs_per_event or events_per_sec)", s)
+}
+
+// Value extracts the metric from an entry.
+func (m Metric) Value(e Entry) float64 {
+	switch m {
+	case AllocsPerEvt:
+		return e.AllocsPerEvt
+	case EventsPerSec:
+		return e.EventsPerSec
+	default:
+		return e.NsPerEvent
+	}
+}
+
+// LowerIsBetter reports the metric's improvement direction.
+func (m Metric) LowerIsBetter() bool { return m != EventsPerSec }
+
+// Delta is one scheme's old→new comparison.
+type Delta struct {
+	Scheme   string
+	Old, New float64
+	// Pct is the signed relative change (new-old)/old; +0.20 means the
+	// metric grew 20%.
+	Pct float64
+	// Regression is true when the change is in the bad direction by more
+	// than the threshold.
+	Regression bool
+	// Mean, Stddev and N describe the scheme's trajectory when history
+	// was supplied (N = number of snapshots carrying the scheme; N < 2
+	// leaves Stddev zero).
+	Mean, Stddev float64
+	N            int
+}
+
+// Compare diffs two snapshots scheme by scheme (schemes present in both,
+// in old's order). threshold is the relative-change tolerance (0.10 =
+// 10%); direction follows the metric.
+func Compare(old, new *Report, metric Metric, threshold float64) []Delta {
+	var out []Delta
+	for _, oe := range old.Results {
+		ne, ok := new.Entry(oe.Scheme)
+		if !ok {
+			continue
+		}
+		ov, nv := metric.Value(oe), metric.Value(ne)
+		d := Delta{Scheme: oe.Scheme, Old: ov, New: nv}
+		if ov != 0 {
+			d.Pct = (nv - ov) / ov
+		}
+		bad := d.Pct
+		if !metric.LowerIsBetter() {
+			bad = -bad
+		}
+		d.Regression = ov != 0 && bad > threshold
+		out = append(out, d)
+	}
+	return out
+}
+
+// Stats folds a scheme's trajectory: mean and (sample) standard deviation
+// of the metric across every snapshot that carries the scheme.
+func Stats(history []Report, scheme string, metric Metric) (mean, stddev float64, n int) {
+	var sum float64
+	var vals []float64
+	for i := range history {
+		if e, ok := history[i].Entry(scheme); ok {
+			v := metric.Value(e)
+			vals = append(vals, v)
+			sum += v
+		}
+	}
+	n = len(vals)
+	if n == 0 {
+		return 0, 0, 0
+	}
+	mean = sum / float64(n)
+	if n < 2 {
+		return mean, 0, n
+	}
+	var ss float64
+	for _, v := range vals {
+		ss += (v - mean) * (v - mean)
+	}
+	return mean, math.Sqrt(ss / float64(n-1)), n
+}

@@ -1,0 +1,154 @@
+package benchfmt
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func snapshot(commit string, ns float64) *Report {
+	return &Report{
+		Commit: commit, Timestamp: "2026-08-05T00:00:00Z",
+		App: "crc32", Scale: 0.25, Events: 200000,
+		GoMaxP: 1, GoVersion: "go1.22.0", NumCPU: 8,
+		Results: []Entry{
+			{Scheme: "NVSRAMCache", NsPerEvent: ns * 0.8, AllocsPerEvt: 0.0002, EventsPerSec: 1e9 / (ns * 0.8), Runs: 100},
+			{Scheme: "EDBP", NsPerEvent: ns, AllocsPerEvt: 0.0002, EventsPerSec: 1e9 / ns, Runs: 100},
+		},
+	}
+}
+
+// TestCompareDetectsRegression is the acceptance gate: an injected 20%
+// ns_per_event regression must be flagged at a 10% threshold and pass at
+// a 30% threshold.
+func TestCompareDetectsRegression(t *testing.T) {
+	old := snapshot("aaa", 50)
+	cur := snapshot("bbb", 60) // +20% on EDBP (and NVSRAMCache)
+
+	deltas := Compare(old, cur, NsPerEvent, 0.10)
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2", len(deltas))
+	}
+	edbp := deltas[1]
+	if edbp.Scheme != "EDBP" || !edbp.Regression {
+		t.Errorf("20%% regression not flagged: %+v", edbp)
+	}
+	if math.Abs(edbp.Pct-0.20) > 1e-9 {
+		t.Errorf("delta = %.4f, want 0.20", edbp.Pct)
+	}
+
+	for _, d := range Compare(old, cur, NsPerEvent, 0.30) {
+		if d.Regression {
+			t.Errorf("20%% change flagged at a 30%% threshold: %+v", d)
+		}
+	}
+
+	// An improvement must never be a regression.
+	for _, d := range Compare(cur, old, NsPerEvent, 0.10) {
+		if d.Regression {
+			t.Errorf("improvement flagged as regression: %+v", d)
+		}
+	}
+}
+
+// TestCompareDirectionality: events_per_sec regresses when it shrinks.
+func TestCompareDirectionality(t *testing.T) {
+	old := snapshot("aaa", 50)
+	cur := snapshot("bbb", 70) // throughput drops ~29%
+
+	deltas := Compare(old, cur, EventsPerSec, 0.10)
+	if !deltas[1].Regression {
+		t.Errorf("throughput drop not flagged: %+v", deltas[1])
+	}
+	// Throughput going UP is an improvement, not a regression.
+	for _, d := range Compare(cur, old, EventsPerSec, 0.10) {
+		if d.Regression {
+			t.Errorf("throughput gain flagged: %+v", d)
+		}
+	}
+}
+
+// TestEnvMismatch: positive disagreement refuses, missing stamps don't.
+func TestEnvMismatch(t *testing.T) {
+	a, b := snapshot("aaa", 50), snapshot("bbb", 50)
+	if m := EnvMismatch(a, b); m != "" {
+		t.Errorf("identical envs mismatch: %s", m)
+	}
+
+	b.NumCPU = 64
+	if m := EnvMismatch(a, b); !strings.Contains(m, "cpu count") {
+		t.Errorf("cpu count mismatch not detected: %q", m)
+	}
+	b.NumCPU = 0 // unknown: not a mismatch
+	if m := EnvMismatch(a, b); m != "" {
+		t.Errorf("unknown cpu count treated as mismatch: %s", m)
+	}
+
+	b.GoVersion = "go1.23.1"
+	if m := EnvMismatch(a, b); !strings.Contains(m, "go version") {
+		t.Errorf("go version mismatch not detected: %q", m)
+	}
+	b.GoVersion = ""
+	b.GoMaxP = 16
+	if m := EnvMismatch(a, b); !strings.Contains(m, "gomaxprocs") {
+		t.Errorf("gomaxprocs mismatch not detected: %q", m)
+	}
+	b.GoMaxP = 1
+	b.Scale = 0.5
+	if m := EnvMismatch(a, b); !strings.Contains(m, "scale") {
+		t.Errorf("scale mismatch not detected: %q", m)
+	}
+}
+
+// TestHistoryRoundTrip: AppendHistory + ReadHistoryFile preserve order
+// and content; Stats folds the trajectory.
+func TestHistoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	for i, ns := range []float64{50, 52, 54} {
+		if err := AppendHistory(path, snapshot(string(rune('a'+i)), ns)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hist, err := ReadHistoryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 3 {
+		t.Fatalf("history has %d snapshots, want 3", len(hist))
+	}
+	if hist[0].Commit != "a" || hist[2].Commit != "c" {
+		t.Errorf("order not preserved: %s..%s", hist[0].Commit, hist[2].Commit)
+	}
+
+	mean, stddev, n := Stats(hist, "EDBP", NsPerEvent)
+	if n != 3 || mean != 52 {
+		t.Errorf("stats = mean %g n %d, want mean 52 n 3", mean, n)
+	}
+	if math.Abs(stddev-2) > 1e-9 {
+		t.Errorf("stddev = %g, want 2", stddev)
+	}
+
+	if _, _, n := Stats(hist, "missing", NsPerEvent); n != 0 {
+		t.Errorf("missing scheme n = %d, want 0", n)
+	}
+}
+
+// TestMetricParsing pins the flag vocabulary.
+func TestMetricParsing(t *testing.T) {
+	for _, ok := range []string{"ns_per_event", "allocs_per_event", "events_per_sec"} {
+		if _, err := ParseMetric(ok); err != nil {
+			t.Errorf("ParseMetric(%q) = %v", ok, err)
+		}
+	}
+	if _, err := ParseMetric("walltime"); err == nil {
+		t.Error("bogus metric accepted")
+	}
+	e := Entry{NsPerEvent: 1, AllocsPerEvt: 2, EventsPerSec: 3}
+	if NsPerEvent.Value(e) != 1 || AllocsPerEvt.Value(e) != 2 || EventsPerSec.Value(e) != 3 {
+		t.Error("Metric.Value mapping wrong")
+	}
+	if !NsPerEvent.LowerIsBetter() || !AllocsPerEvt.LowerIsBetter() || EventsPerSec.LowerIsBetter() {
+		t.Error("LowerIsBetter mapping wrong")
+	}
+}

@@ -1,0 +1,539 @@
+// Package obs is the repository's metrics backbone: a dependency-free
+// registry of counters, gauges and fixed-bucket histograms with Prometheus
+// text exposition (format 0.0.4, HELP/TYPE on every family) and a JSON
+// snapshot export for programmatic consumers.
+//
+// Design constraints, in order:
+//
+//   - Observation is lock-free and allocation-free: every instrument is a
+//     handful of atomics, so hot paths (the edbpd run loop, queue workers)
+//     can observe without contention. Label resolution (Vec.With) is the
+//     one exception — it takes a read lock and may allocate on a child's
+//     first use — so callers resolve children once and observe many times.
+//   - Everything is nil-safe: a nil *Registry hands out nil instruments,
+//     and observing through a nil instrument is a no-op costing one
+//     predictable branch and zero allocations. A service can therefore be
+//     compiled with observation sites unconditionally present and disabled
+//     by configuration (proven by the alloc tests here and in cmd/edbpd).
+//   - Exposition is deterministic: families sort by name, children by
+//     label value, so the text format is golden-testable byte for byte.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metric families. The zero value is not usable; call
+// NewRegistry. A nil *Registry is valid and returns nil instruments.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string // registration order; exposition re-sorts by name
+}
+
+// family is one named series group: a single instrument, or a labeled set
+// of children.
+type family struct {
+	name, help, typ string
+	labels          []string // non-nil for vecs
+	buckets         []float64
+
+	counter *Counter
+	gauge   *Gauge
+	gfn     func() float64
+	hist    *Histogram
+
+	childMu    sync.RWMutex
+	children   map[string]any // joined label values -> *Counter / *Gauge
+	childOrder []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register resolves or creates the named family, enforcing that a name is
+// only ever one kind of metric.
+func (r *Registry) register(name, help, typ string, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: %q re-registered as %s/%d labels (was %s/%d)",
+				name, typ, len(labels), f.typ, len(f.labels)))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ, labels: labels, buckets: buckets}
+	if labels != nil {
+		f.children = make(map[string]any)
+	}
+	r.families[name] = f
+	r.order = append(r.order, name)
+	return f
+}
+
+// Counter registers (or fetches) a monotonically increasing series. Counts
+// are float64 so time-like totals (seconds) fit; integer adds print as
+// integers.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.register(name, help, "counter", nil, nil)
+	if f.counter == nil {
+		f.counter = &Counter{}
+	}
+	return f.counter
+}
+
+// Gauge registers (or fetches) a series that can go up and down.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.register(name, help, "gauge", nil, nil)
+	if f.gauge == nil {
+		f.gauge = &Gauge{}
+	}
+	return f.gauge
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at exposition
+// time (e.g. a channel depth). fn must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.register(name, help, "gauge", nil, nil)
+	f.gfn = fn
+}
+
+// Histogram registers (or fetches) a fixed-bucket histogram. buckets are
+// the inclusive upper bounds, in increasing order; a +Inf bucket is
+// implicit. The slice is retained; do not mutate it.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not increasing at %d", name, i))
+		}
+	}
+	f := r.register(name, help, "histogram", nil, buckets)
+	if f.hist == nil {
+		f.hist = &Histogram{bounds: buckets, counts: make([]atomic.Uint64, len(buckets)+1)}
+	}
+	return f.hist
+}
+
+// CounterVec registers (or fetches) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{f: r.register(name, help, "counter", labels, nil)}
+}
+
+// GaugeVec registers (or fetches) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{f: r.register(name, help, "gauge", labels, nil)}
+}
+
+// ------------------------------------------------------------ instruments --
+
+// Counter is a monotonically increasing float64. All methods are nil-safe
+// and allocation-free.
+type Counter struct{ bits atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v (v must be ≥ 0; negative adds are ignored to keep the series
+// monotone).
+func (c *Counter) Add(v float64) {
+	if c == nil || v < 0 {
+		return
+	}
+	addFloat(&c.bits, v)
+}
+
+// Value returns the current total (0 on nil).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is an instantaneous float64. All methods are nil-safe and
+// allocation-free.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds v (may be negative).
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	addFloat(&g.bits, v)
+}
+
+// Inc adds 1; Dec subtracts 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// addFloat atomically adds delta to a float64 stored as bits.
+func addFloat(bits *atomic.Uint64, delta float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Histogram counts observations into fixed buckets. Observe is lock-free
+// and allocation-free; nil-safe like the scalar instruments.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	addFloat(&h.sumBits, v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// With resolves the child for the given label values (one per label name,
+// in registration order). The first resolution of a label set allocates;
+// resolve once and reuse the child on hot paths. Nil-safe: a nil vec (or
+// a wrong-arity call) returns a nil Counter.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil || v.f == nil || len(values) != len(v.f.labels) {
+		return nil
+	}
+	if c, ok := v.f.child(values, func() any { return &Counter{} }).(*Counter); ok {
+		return c
+	}
+	return nil
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// With resolves the child gauge for the given label values; see
+// CounterVec.With for the contract.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil || v.f == nil || len(values) != len(v.f.labels) {
+		return nil
+	}
+	if g, ok := v.f.child(values, func() any { return &Gauge{} }).(*Gauge); ok {
+		return g
+	}
+	return nil
+}
+
+// child resolves (or creates via mk) the child keyed by the joined label
+// values.
+func (f *family) child(values []string, mk func() any) any {
+	key := strings.Join(values, "\xff")
+	f.childMu.RLock()
+	c, ok := f.children[key]
+	f.childMu.RUnlock()
+	if ok {
+		return c
+	}
+	f.childMu.Lock()
+	defer f.childMu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c = mk()
+	f.children[key] = c
+	f.childOrder = append(f.childOrder, key)
+	return c
+}
+
+// ------------------------------------------------------------- exposition --
+
+// ContentType is the Prometheus text exposition content type servers must
+// send with WritePrometheus output.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// fmtValue renders a sample value the Prometheus way: integers without a
+// decimal point, everything else in shortest-roundtrip form.
+func fmtValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// fmtLe renders a bucket bound for the le label.
+func fmtLe(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// labelPairs renders {name="value",...} for a child key.
+func (f *family) labelPairs(key string) string {
+	values := strings.Split(key, "\xff")
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range f.labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", n, escapeLabel(values[i]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders every family in text exposition format 0.0.4:
+// families sorted by name, each with its # HELP and # TYPE line, children
+// sorted by label values.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		switch {
+		case f.labels != nil:
+			f.childMu.RLock()
+			keys := append([]string(nil), f.childOrder...)
+			f.childMu.RUnlock()
+			sort.Strings(keys)
+			for _, key := range keys {
+				f.childMu.RLock()
+				c := f.children[key]
+				f.childMu.RUnlock()
+				var v float64
+				switch inst := c.(type) {
+				case *Counter:
+					v = inst.Value()
+				case *Gauge:
+					v = inst.Value()
+				}
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, f.labelPairs(key), fmtValue(v))
+			}
+		case f.hist != nil:
+			h := f.hist
+			cum := uint64(0)
+			for i, bound := range append(h.bounds, math.Inf(1)) {
+				cum += h.counts[i].Load()
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", f.name, fmtLe(bound), cum)
+			}
+			fmt.Fprintf(&b, "%s_sum %s\n", f.name, fmtValue(h.Sum()))
+			fmt.Fprintf(&b, "%s_count %d\n", f.name, h.Count())
+		case f.gfn != nil:
+			fmt.Fprintf(&b, "%s %s\n", f.name, fmtValue(f.gfn()))
+		case f.counter != nil:
+			fmt.Fprintf(&b, "%s %s\n", f.name, fmtValue(f.counter.Value()))
+		case f.gauge != nil:
+			fmt.Fprintf(&b, "%s %s\n", f.name, fmtValue(f.gauge.Value()))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ---------------------------------------------------------- JSON snapshot --
+
+// SnapshotBucket is one cumulative histogram bucket in a snapshot. The
+// implicit +Inf bucket is not listed; its cumulative count equals Count.
+type SnapshotBucket struct {
+	Le    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// SnapshotSeries is one exported series (a scalar, one vec child, or a
+// histogram).
+type SnapshotSeries struct {
+	Name    string            `json:"name"`
+	Type    string            `json:"type"`
+	Help    string            `json:"help,omitempty"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   *float64          `json:"value,omitempty"`
+	Count   *uint64           `json:"count,omitempty"`
+	Sum     *float64          `json:"sum,omitempty"`
+	Buckets []SnapshotBucket  `json:"buckets,omitempty"`
+}
+
+// Snapshot returns every series in a stable order (family name, then label
+// values). Histogram +Inf buckets are omitted: the final bucket is implied
+// by Count.
+func (r *Registry) Snapshot() []SnapshotSeries {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, n := range r.order {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var out []SnapshotSeries
+	fv := func(v float64) *float64 { return &v }
+	for _, f := range fams {
+		switch {
+		case f.labels != nil:
+			f.childMu.RLock()
+			keys := append([]string(nil), f.childOrder...)
+			f.childMu.RUnlock()
+			sort.Strings(keys)
+			for _, key := range keys {
+				f.childMu.RLock()
+				c := f.children[key]
+				f.childMu.RUnlock()
+				labels := make(map[string]string, len(f.labels))
+				for i, v := range strings.Split(key, "\xff") {
+					labels[f.labels[i]] = v
+				}
+				var v float64
+				switch inst := c.(type) {
+				case *Counter:
+					v = inst.Value()
+				case *Gauge:
+					v = inst.Value()
+				}
+				out = append(out, SnapshotSeries{
+					Name: f.name, Type: f.typ, Help: f.help, Labels: labels, Value: fv(v),
+				})
+			}
+		case f.hist != nil:
+			h := f.hist
+			s := SnapshotSeries{Name: f.name, Type: f.typ, Help: f.help}
+			n, sum := h.Count(), h.Sum()
+			s.Count, s.Sum = &n, &sum
+			cum := uint64(0)
+			for i, bound := range h.bounds {
+				cum += h.counts[i].Load()
+				s.Buckets = append(s.Buckets, SnapshotBucket{Le: bound, Count: cum})
+			}
+			out = append(out, s)
+		case f.gfn != nil:
+			out = append(out, SnapshotSeries{Name: f.name, Type: f.typ, Help: f.help, Value: fv(f.gfn())})
+		case f.counter != nil:
+			out = append(out, SnapshotSeries{Name: f.name, Type: f.typ, Help: f.help, Value: fv(f.counter.Value())})
+		case f.gauge != nil:
+			out = append(out, SnapshotSeries{Name: f.name, Type: f.typ, Help: f.help, Value: fv(f.gauge.Value())})
+		}
+	}
+	return out
+}
+
+// WriteJSON renders the Snapshot as a JSON array.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := r.Snapshot()
+	if snap == nil {
+		snap = []SnapshotSeries{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// ------------------------------------------------------------- bucket kit --
+
+// LinearBuckets returns n bounds start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start + float64(i)*width
+	}
+	return b
+}
+
+// ExpBuckets returns n bounds start, start*factor, ...
+func ExpBuckets(start, factor float64, n int) []float64 {
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}

@@ -1,0 +1,307 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"edbp/internal/obs/obstest"
+)
+
+// TestPrometheusGolden pins the exposition format byte for byte: families
+// sorted by name, HELP/TYPE on every family, deterministic child order.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("z_requests_total", "Requests served.")
+	c.Add(3)
+	g := r.Gauge("a_depth", "Queue depth.")
+	g.Set(2.5)
+	h := r.Histogram("m_run_seconds", "Run wall time.", []float64{0.1, 1})
+	// Power-of-two observations keep the sum exact in binary, so the
+	// golden string is stable.
+	h.Observe(0.0625)
+	h.Observe(0.5)
+	h.Observe(30)
+	v := r.CounterVec("k_runs_total", "Runs by scheme.", "app", "scheme")
+	v.With("crc32", "EDBP").Add(2)
+	v.With("aes", "Baseline").Inc()
+	r.GaugeFunc("q_live", "Live value.", func() float64 { return 7 })
+
+	const want = `# HELP a_depth Queue depth.
+# TYPE a_depth gauge
+a_depth 2.5
+# HELP k_runs_total Runs by scheme.
+# TYPE k_runs_total counter
+k_runs_total{app="aes",scheme="Baseline"} 1
+k_runs_total{app="crc32",scheme="EDBP"} 2
+# HELP m_run_seconds Run wall time.
+# TYPE m_run_seconds histogram
+m_run_seconds_bucket{le="0.1"} 1
+m_run_seconds_bucket{le="1"} 2
+m_run_seconds_bucket{le="+Inf"} 3
+m_run_seconds_sum 30.5625
+m_run_seconds_count 3
+# HELP q_live Live value.
+# TYPE q_live gauge
+q_live 7
+# HELP z_requests_total Requests served.
+# TYPE z_requests_total counter
+z_requests_total 3
+`
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != want {
+		t.Errorf("exposition drifted:\n got:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestHelpTypeOnEverySeries scans the exposition line by line: every
+// sample line's family must have been introduced by # HELP and # TYPE.
+func TestHelpTypeOnEverySeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("one_total", "One.").Inc()
+	r.Histogram("two_seconds", "Two.", []float64{1}).Observe(2)
+	r.GaugeVec("three", "Three.", "x").With("y").Set(1)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	obstest.AssertHelpTypeComplete(t, b.String())
+}
+
+// TestNilRegistryIsInert: a nil registry hands out nil instruments, every
+// observation through them is a no-op, and exposition writes nothing.
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	g := r.Gauge("y", "")
+	h := r.Histogram("z", "", []float64{1})
+	v := r.CounterVec("w_total", "", "l")
+	if c != nil || g != nil || h != nil || v != nil {
+		t.Fatal("nil registry returned live instruments")
+	}
+	c.Inc()
+	c.Add(4)
+	g.Set(1)
+	g.Dec()
+	h.Observe(3)
+	v.With("a").Inc()
+	r.GaugeFunc("f", "", func() float64 { return 1 })
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments reported nonzero values")
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil || b.String() != "" {
+		t.Errorf("nil exposition = (%q, %v), want empty", b.String(), err)
+	}
+	if r.Snapshot() != nil {
+		t.Error("nil Snapshot() != nil")
+	}
+}
+
+// TestDisabledObservationZeroAllocs pins the disabled path's cost: nil
+// instruments must not allocate, so services can leave observation sites
+// unconditionally compiled in.
+func TestDisabledObservationZeroAllocs(t *testing.T) {
+	var (
+		c *Counter
+		g *Gauge
+		h *Histogram
+	)
+	if avg := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2.5)
+		g.Set(3)
+		g.Add(-1)
+		h.Observe(0.25)
+	}); avg != 0 {
+		t.Errorf("disabled observation allocates %.2f times, want 0", avg)
+	}
+}
+
+// TestEnabledObservationZeroAllocs: live scalar instruments are also
+// allocation-free per observation (the registry's promise to hot paths).
+func TestEnabledObservationZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", ExpBuckets(0.001, 10, 6))
+	if avg := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(2)
+		h.Observe(0.05)
+	}); avg != 0 {
+		t.Errorf("enabled observation allocates %.2f times, want 0", avg)
+	}
+}
+
+// TestHistogramBuckets checks the boundary convention (le is inclusive)
+// and the cumulative rendering.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "H.", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 4, 8} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 17 {
+		t.Errorf("sum = %g, want 17", h.Sum())
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	for _, want := range []string{
+		`h_seconds_bucket{le="1"} 2`, // 0.5 and the inclusive 1
+		`h_seconds_bucket{le="2"} 4`,
+		`h_seconds_bucket{le="4"} 5`,
+		`h_seconds_bucket{le="+Inf"} 6`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("missing %q in:\n%s", want, b.String())
+		}
+	}
+}
+
+// TestVecChildIdentity: the same label values resolve to the same child,
+// different values to different children, wrong arity to nil.
+func TestVecChildIdentity(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("v_total", "", "a", "b")
+	c1 := v.With("x", "y")
+	c2 := v.With("x", "y")
+	if c1 != c2 {
+		t.Error("same labels resolved to different children")
+	}
+	if v.With("x", "z") == c1 {
+		t.Error("different labels resolved to the same child")
+	}
+	if v.With("x") != nil {
+		t.Error("wrong arity did not return nil")
+	}
+	c1.Inc()
+	c1.Inc()
+	if c2.Value() != 2 {
+		t.Errorf("child value = %g, want 2", c2.Value())
+	}
+}
+
+// TestRegisterIdempotent: re-registering a name returns the same
+// instrument; changing its type panics.
+func TestRegisterIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "")
+	b := r.Counter("dup_total", "")
+	if a != b {
+		t.Error("re-registration returned a different counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("type-changing re-registration did not panic")
+		}
+	}()
+	r.Gauge("dup_total", "")
+}
+
+// TestSnapshotJSON: the JSON export is valid and carries scalar values,
+// labels, and histogram buckets.
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "C.").Add(5)
+	r.CounterVec("v_total", "V.", "app").With("crc32").Add(2)
+	h := r.Histogram("h_seconds", "H.", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(20)
+
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var snap []SnapshotSeries
+	if err := json.Unmarshal([]byte(b.String()), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d series, want 3", len(snap))
+	}
+	byName := map[string]SnapshotSeries{}
+	for _, s := range snap {
+		byName[s.Name] = s
+	}
+	if c := byName["c_total"]; c.Value == nil || *c.Value != 5 {
+		t.Errorf("c_total = %+v", c)
+	}
+	if v := byName["v_total"]; v.Labels["app"] != "crc32" || v.Value == nil || *v.Value != 2 {
+		t.Errorf("v_total = %+v", v)
+	}
+	hs := byName["h_seconds"]
+	if hs.Count == nil || *hs.Count != 2 || hs.Sum == nil || *hs.Sum != 20.5 {
+		t.Errorf("h_seconds scalar fields = %+v", hs)
+	}
+	if len(hs.Buckets) != 2 || hs.Buckets[0].Count != 1 || hs.Buckets[1].Count != 1 {
+		t.Errorf("h_seconds buckets = %+v", hs.Buckets)
+	}
+}
+
+// TestConcurrentObservation hammers one registry from many goroutines;
+// with -race this is the data-race proof, and the totals must be exact.
+func TestConcurrentObservation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{1, 2, 3})
+	v := r.CounterVec("v_total", "", "worker")
+
+	const workers, each = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := string(rune('a' + w%4))
+			for i := 0; i < each; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 5))
+				v.With(name).Inc()
+				if i%64 == 0 {
+					var b strings.Builder
+					r.WritePrometheus(&b)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*each {
+		t.Errorf("counter = %g, want %d", c.Value(), workers*each)
+	}
+	if g.Value() != workers*each {
+		t.Errorf("gauge = %g, want %d", g.Value(), workers*each)
+	}
+	if h.Count() != workers*each {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*each)
+	}
+	var total float64
+	for w := 0; w < 4; w++ {
+		total += v.With(string(rune('a' + w))).Value()
+	}
+	if total != workers*each {
+		t.Errorf("vec total = %g, want %d", total, workers*each)
+	}
+}
+
+// TestBucketKits pins the helper generators.
+func TestBucketKits(t *testing.T) {
+	lin := LinearBuckets(1, 2, 3)
+	if lin[0] != 1 || lin[1] != 3 || lin[2] != 5 {
+		t.Errorf("LinearBuckets = %v", lin)
+	}
+	exp := ExpBuckets(0.1, 10, 3)
+	if exp[0] != 0.1 || exp[1] != 1 || exp[2] != 10 {
+		t.Errorf("ExpBuckets = %v", exp)
+	}
+}

@@ -1,0 +1,49 @@
+// Package obstest has test helpers for asserting over Prometheus text
+// exposition produced by internal/obs (or any conforming emitter).
+package obstest
+
+import (
+	"strings"
+	"testing"
+)
+
+// AssertHelpTypeComplete fails t unless every sample line in a Prometheus
+// text exposition belongs to a family that carried both # HELP and # TYPE
+// lines. Histogram _bucket/_sum/_count series resolve to their family
+// name.
+func AssertHelpTypeComplete(t *testing.T, text string) {
+	t.Helper()
+	help := map[string]bool{}
+	typ := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			help[strings.Fields(line)[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			typ[strings.Fields(line)[2]] = true
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(name, "{ "); i >= 0 {
+			name = name[:i]
+		}
+		fam := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suffix)
+			if trimmed != name && (help[trimmed] || typ[trimmed]) {
+				fam = trimmed
+				break
+			}
+		}
+		if !help[fam] {
+			t.Errorf("series %q has no # HELP %s line", line, fam)
+		}
+		if !typ[fam] {
+			t.Errorf("series %q has no # TYPE %s line", line, fam)
+		}
+	}
+}

@@ -161,6 +161,11 @@ func (r *Result) String() string {
 	if c.Total() > 0 {
 		fmt.Fprintf(&b, ", cov=%.1f%% acc=%.1f%%", 100*c.Coverage(), 100*c.Accuracy())
 	}
+	if r.TraceSummary != nil {
+		// Includes the ring-overwrite drop counts: a truncated event or
+		// gauge window must be visible wherever the result is printed.
+		fmt.Fprintf(&b, ", %s", r.TraceSummary)
+	}
 	if r.Truncated {
 		b.WriteString(" [TRUNCATED]")
 	}

@@ -5,6 +5,7 @@ import (
 
 	"edbp/internal/cache"
 	"edbp/internal/metrics"
+	"edbp/internal/trace"
 )
 
 // goldenResult builds a fully deterministic Result so the report strings
@@ -44,6 +45,18 @@ func TestResultStringGolden(t *testing.T) {
 	r.Truncated = true
 	if got := r.String(); got != want+" [TRUNCATED]" {
 		t.Errorf("truncated Result.String drifted:\n got %q", got)
+	}
+
+	// With a trace summary attached, the ring drop counts (events and
+	// gauges) must appear so silent truncation is visible.
+	r.Truncated = false
+	r.TraceSummary = &trace.Summary{
+		Events: 500, Dropped: 12, Samples: 40, SamplesDropped: 3,
+		Cycles: make([]trace.CycleStats, 2),
+	}
+	const wantTrace = want + ", trace: 500 events (12 dropped), 40 samples (3 dropped), 2 cycles"
+	if got := r.String(); got != wantTrace {
+		t.Errorf("traced Result.String drifted:\n got %q\nwant %q", got, wantTrace)
 	}
 }
 

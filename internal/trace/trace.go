@@ -34,7 +34,11 @@
 // (WriteChromeTrace, loadable in Perfetto / chrome://tracing).
 package trace
 
-import "edbp/internal/metrics"
+import (
+	"fmt"
+
+	"edbp/internal/metrics"
+)
 
 // Kind discriminates recorded events.
 type Kind uint8
@@ -196,6 +200,18 @@ type Summary struct {
 	// cycle past the cap (Index -1), keeping the sums exact.
 	Cycles []CycleStats
 	Rest   *CycleStats
+}
+
+// String reports the recording on one line, drop counts included: ring
+// overwrites silently truncate the exportable window, so any place that
+// prints a Summary (edbpsim, sim.Result.String) must make the truncation
+// visible.
+func (s *Summary) String() string {
+	if s == nil {
+		return "trace: none"
+	}
+	return fmt.Sprintf("trace: %d events (%d dropped), %d samples (%d dropped), %d cycles",
+		s.Events, s.Dropped, s.Samples, s.SamplesDropped, len(s.AllCycles()))
 }
 
 // Count returns the number of emissions of kind k.
