@@ -14,6 +14,13 @@
 //	go run ./cmd/bench [-out BENCH_engine.json] [-history BENCH_history.jsonl]
 //	go run ./cmd/bench -app crc32 -scale 0.25
 //	go run ./cmd/bench -cpuprofile cpu.out -memprofile mem.out
+//	go run ./cmd/bench -batch-cap 1,64,512,4096
+//
+// -batch-cap additionally sweeps the engine's batch-size cap
+// (sim.Config.BatchCap) over the given values for the NVSRAMCache and EDBP
+// rows. Sweep rows land in the snapshot's "sweep" section, which
+// cmd/benchcmp ignores: they document the amortization curve (cap=1
+// degenerates to a threshold check per flush), they do not gate.
 //
 // Besides rewriting -out, each run appends the same snapshot as one JSONL
 // line to -history (set -history "" to skip), building the trajectory that
@@ -56,6 +63,7 @@ func main() {
 	scale := flag.Float64("scale", 0.25, "input scale")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark loop to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the loop) to this file")
+	batchCaps := flag.String("batch-cap", "", "comma-separated BatchCap values to sweep (e.g. 1,64,512,4096); rows land in the snapshot's sweep section, outside regression gating")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -91,13 +99,7 @@ func main() {
 		{"EDBP+tracer", sim.EDBP, true},
 		{"CacheDecay+EDBP", sim.DecayEDBP, false},
 	}
-	for _, v := range variants {
-		cfg := sim.Default(*app, v.scheme)
-		cfg.Scale = *scale
-		cfg.Trace = tr
-		if v.traced {
-			cfg.Recorder = trace.NewRecorder(trace.Options{Label: v.name})
-		}
+	measure := func(name string, cfg sim.Config) benchfmt.Entry {
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -107,17 +109,42 @@ func main() {
 			}
 		})
 		events := int64(r.N) * int64(len(tr.Events))
-		rep.Results = append(rep.Results, benchfmt.Entry{
-			Scheme:       v.name,
+		e := benchfmt.Entry{
+			Scheme:       name,
 			NsPerEvent:   float64(r.T.Nanoseconds()) / float64(events),
 			AllocsPerEvt: float64(r.MemAllocs) / float64(events),
 			EventsPerSec: float64(events) / r.T.Seconds(),
 			Runs:         r.N,
-		})
-		fmt.Printf("%-16s %8.2f ns/event  %8.4f allocs/event  %12.0f events/s  (%d runs)\n",
-			v.name, rep.Results[len(rep.Results)-1].NsPerEvent,
-			rep.Results[len(rep.Results)-1].AllocsPerEvt,
-			rep.Results[len(rep.Results)-1].EventsPerSec, r.N)
+		}
+		fmt.Printf("%-20s %8.2f ns/event  %8.4f allocs/event  %12.0f events/s  (%d runs)\n",
+			e.Scheme, e.NsPerEvent, e.AllocsPerEvt, e.EventsPerSec, e.Runs)
+		return e
+	}
+	for _, v := range variants {
+		cfg := sim.Default(*app, v.scheme)
+		cfg.Scale = *scale
+		cfg.Trace = tr
+		if v.traced {
+			cfg.Recorder = trace.NewRecorder(trace.Options{Label: v.name})
+		}
+		rep.Results = append(rep.Results, measure(v.name, cfg))
+	}
+
+	if *batchCaps != "" {
+		caps, err := parseCaps(*batchCaps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, cap := range caps {
+			for _, v := range variants[:2] { // NVSRAMCache and EDBP, untraced
+				cfg := sim.Default(*app, v.scheme)
+				cfg.Scale = *scale
+				cfg.Trace = tr
+				cfg.BatchCap = cap
+				rep.Sweep = append(rep.Sweep,
+					measure(fmt.Sprintf("%s@cap=%d", v.name, cap), cfg))
+			}
+		}
 	}
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
@@ -148,6 +175,19 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// parseCaps parses the -batch-cap list.
+func parseCaps(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil || n < 1 {
+			return nil, fmt.Errorf("bench: bad -batch-cap element %q (want positive integers)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // gitCommit resolves the short HEAD hash, or "" when git (or the repo)

@@ -41,6 +41,11 @@ type Report struct {
 	GoVersion string  `json:"go_version,omitempty"`
 	NumCPU    int     `json:"num_cpu,omitempty"`
 	Results   []Entry `json:"results"`
+	// Sweep holds informational parameter-sweep rows (cmd/bench -batch-cap
+	// writes one per scheme×cap, named e.g. "EDBP@cap=64"). They document
+	// how a knob shapes the headline numbers; Compare and Entry read only
+	// Results, so sweep rows never participate in regression gating.
+	Sweep []Entry `json:"sweep,omitempty"`
 }
 
 // Entry returns the named scheme's measurement, if present.

@@ -134,6 +134,40 @@ func TestHistoryRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSweepRowsDoNotGate pins the sweep section's contract: the rows
+// survive a serialization round trip, but Compare and Entry look only at
+// Results, so even a wild regression planted in Sweep produces no delta.
+func TestSweepRowsDoNotGate(t *testing.T) {
+	old := snapshot("aaa", 50)
+	cur := snapshot("bbb", 50)
+	old.Sweep = []Entry{{Scheme: "EDBP@cap=64", NsPerEvent: 10, Runs: 100}}
+	cur.Sweep = []Entry{{Scheme: "EDBP@cap=64", NsPerEvent: 1000, Runs: 100}}
+
+	for _, d := range Compare(old, cur, NsPerEvent, 0.10) {
+		if strings.Contains(d.Scheme, "@cap=") {
+			t.Errorf("sweep row leaked into comparison: %+v", d)
+		}
+		if d.Regression {
+			t.Errorf("identical Results flagged as regression: %+v", d)
+		}
+	}
+	if _, ok := cur.Entry("EDBP@cap=64"); ok {
+		t.Error("Entry resolved a sweep row; gating must see Results only")
+	}
+
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	if err := AppendHistory(path, cur); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := ReadHistoryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 1 || len(hist[0].Sweep) != 1 || hist[0].Sweep[0].Scheme != "EDBP@cap=64" {
+		t.Fatalf("sweep rows lost in round trip: %+v", hist)
+	}
+}
+
 // TestMetricParsing pins the flag vocabulary.
 func TestMetricParsing(t *testing.T) {
 	for _, ok := range []string{"ns_per_event", "allocs_per_event", "events_per_sec"} {

@@ -413,6 +413,48 @@ func (c *Cache) AccessTo(addr uint64, write bool, res *AccessResult) {
 	}
 }
 
+// HitView exposes the internals the simulator's batched replay loop needs
+// to run the demand-hit fast path fully inlined: the probe, the hit-side
+// bookkeeping (use count, hit statistics, dirty marking on stores) and the
+// LRU touch, with semantics and order identical to AccessTo's hit path. A
+// hit needs none of the AccessResult plumbing, so the inlined common case
+// skips both the result-struct round trip and the call frames; anything
+// that is not a plain live-block hit (miss, gated-tag wrong kill) must
+// fall back to AccessTo with the cache left completely untouched.
+//
+// The view stays valid for the cache's lifetime — the blocks slice and the
+// LRU recency stacks are allocated once and never reallocated. Stack is
+// nil unless the replacement policy is the default true-LRU; callers must
+// then skip the fast path entirely (non-LRU OnHit updates are not
+// replicable from outside the policy).
+type HitView struct {
+	Blocks []Block // sets × ways, row-major (index set*Ways+way)
+	Stack  []uint8 // LRU recency stacks, same layout; Stack[set*Ways] is the MRU way
+	Ways   int
+	// addr >> BlockShift is the block address; & SetMask extracts the set,
+	// >> SetShift the tag (identical to Index).
+	BlockShift uint
+	SetShift   uint
+	SetMask    uint64
+	Stats      *Stats
+}
+
+// HitView returns the cache's hit-path view (see the type's doc comment).
+func (c *Cache) HitView() HitView {
+	v := HitView{
+		Blocks:     c.blocks,
+		Ways:       c.cfg.Ways,
+		BlockShift: c.blockShift,
+		SetShift:   c.setShift,
+		SetMask:    c.setMask,
+		Stats:      &c.stats,
+	}
+	if c.lru != nil {
+		v.Stack = c.lru.stack
+	}
+	return v
+}
+
 // Gate powers off the block at (set, way). It returns whether the block
 // held dirty data (the caller must then charge a writeback) and whether
 // anything was actually gated (false if the block was already off or

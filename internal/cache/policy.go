@@ -125,6 +125,9 @@ func (p *lruPolicy) Kind() PolicyKind { return LRU }
 
 func (p *lruPolicy) touch(set, way int) {
 	s := p.stack[set*p.ways : (set+1)*p.ways]
+	if s[0] == uint8(way) {
+		return // already MRU: the rotate below would be a no-op
+	}
 	pos := 0
 	for i, w := range s {
 		if int(w) == way {

@@ -306,6 +306,13 @@ func (e *EDBP) removeFromBuffer(addr uint64) bool {
 // Tick implements predictor.Predictor (EDBP is voltage-, not time-driven).
 func (e *EDBP) Tick(uint64) {}
 
+// TickFree marks Tick as a structural no-op (see predictor.TickFree).
+func (e *EDBP) TickFree() {}
+
+// LadderThresholds implements predictor.VoltageLadder: the live threshold
+// ladder. Callers must treat it as read-only; it changes only in OnReboot.
+func (e *EDBP) LadderThresholds() []float64 { return e.cfg.Thresholds }
+
 // OnCheckpoint implements predictor.Predictor. The per-cycle statistics
 // are part of the JIT checkpoint; nothing else to do — the registers live
 // in this struct across the simulated outage exactly as they live in the

@@ -174,3 +174,25 @@ func (f *Fetcher) Leave(fetch func(blockAddr uint32)) {
 
 // PC returns the current program counter (for inspection and tests).
 func (f *Fetcher) PC() uint32 { return f.pc }
+
+// Hot returns the fetcher's per-instruction state — the program counter
+// and the currently fetched I-cache block — so a batched replay loop can
+// hoist both into locals. The region stack and current-region index are
+// deliberately excluded: they only change on Enter/Leave, which batched
+// loops route through the regular path.
+func (f *Fetcher) Hot() (pc, block uint32) { return f.pc, f.block }
+
+// SetHot writes back state previously obtained from Hot (possibly advanced
+// by an external replay of Step's arithmetic).
+func (f *Fetcher) SetHot(pc, block uint32) {
+	f.pc = pc
+	f.block = block
+}
+
+// Bounds exposes the current code region's [base, end) byte range. Between
+// an Enter and the matching Leave the bounds are fixed, so a replay loop
+// may cache them alongside Hot's state.
+func (f *Fetcher) Bounds() (base, end uint32) { return f.bounds() }
+
+// BlockBytes returns the I-cache block size the fetcher was built with.
+func (f *Fetcher) BlockBytes() uint32 { return f.blockBytes }

@@ -119,6 +119,56 @@ func (c *Capacitor) SetVoltage(v float64) {
 // Stored returns the total energy currently stored, ½CV².
 func (c *Capacitor) Stored() float64 { return c.e }
 
+// MaxEnergy returns the regulator clamp ½·C·VMax², the largest energy the
+// capacitor can hold.
+func (c *Capacitor) MaxEnergy() float64 { return c.eMax }
+
+// VoltageAt reports the voltage the capacitor would read with stored
+// energy e — Voltage() with the state passed in rather than taken from the
+// capacitor, including the exact-clamp special case. Hot loops that hoist
+// the stored energy into a local use it to derive bit-identical voltages.
+func (c *Capacitor) VoltageAt(e float64) float64 {
+	if e == c.eMax {
+		return c.cfg.VMax
+	}
+	return c.energyToVoltage(e)
+}
+
+// CapState is a snapshot of the capacitor's full mutable accounting: the
+// electrical state plus the energy bookkeeping. It exists so a batched
+// simulation loop can hoist the capacitor into locals, replay the exact
+// Charge/Leak/Drain arithmetic there, and settle the result back at batch
+// edges (see SetState); the decay memo is excluded because it is a pure
+// cache of exp(-2·dt/τ) values and never affects results.
+type CapState struct {
+	Stored    float64
+	Harvested float64
+	Wasted    float64
+	Leaked    float64
+	Drained   float64
+}
+
+// State returns the current snapshot.
+func (c *Capacitor) State() CapState {
+	return CapState{
+		Stored:    c.e,
+		Harvested: c.harvested,
+		Wasted:    c.wasted,
+		Leaked:    c.leaked,
+		Drained:   c.drained,
+	}
+}
+
+// SetState overwrites the capacitor's mutable accounting with a snapshot
+// previously produced by State (possibly advanced externally).
+func (c *Capacitor) SetState(s CapState) {
+	c.e = s.Stored
+	c.harvested = s.Harvested
+	c.wasted = s.Wasted
+	c.leaked = s.Leaked
+	c.drained = s.Drained
+}
+
 // EnergyAt converts a voltage to the energy stored at that voltage, ½CV².
 func (c *Capacitor) EnergyAt(v float64) float64 {
 	return 0.5 * c.cfg.Capacitance * v * v

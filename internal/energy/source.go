@@ -204,6 +204,12 @@ func (t *Trace) Name() string { return t.kind.String() }
 // Kind returns the harvesting environment this trace models.
 func (t *Trace) Kind() TraceKind { return t.kind }
 
+// Resolution returns the sample spacing in seconds. Power is piecewise
+// constant: for any two times with the same int(t/Resolution()) index
+// (below the 1e12 fallback horizon), Power returns the identical value —
+// the contract batched replay loops use to cache one sample per window.
+func (t *Trace) Resolution() float64 { return t.dt }
+
 // Power implements Source using piecewise-constant lookup; the series
 // repeats every tracePeriod seconds.
 func (t *Trace) Power(at float64) float64 {

@@ -146,6 +146,9 @@ func (a *AMC) adapt() {
 // OnVoltage implements Predictor.
 func (a *AMC) OnVoltage(float64) {}
 
+// VoltageFree marks OnVoltage as a structural no-op (AMC is time-driven).
+func (a *AMC) VoltageFree() {}
+
 // OnCheckpoint implements Predictor.
 func (a *AMC) OnCheckpoint() {}
 

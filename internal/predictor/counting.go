@@ -98,8 +98,14 @@ func (p *Counting) train(addr uint64, uses uint32) {
 // Tick implements Predictor.
 func (p *Counting) Tick(uint64) {}
 
+// TickFree marks Tick as a structural no-op (Counting is access-driven).
+func (p *Counting) TickFree() {}
+
 // OnVoltage implements Predictor.
 func (p *Counting) OnVoltage(float64) {}
+
+// VoltageFree marks OnVoltage as a structural no-op.
+func (p *Counting) VoltageFree() {}
 
 // OnCheckpoint implements Predictor.
 func (p *Counting) OnCheckpoint() {}

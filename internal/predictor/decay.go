@@ -169,6 +169,9 @@ func (d *Decay) adapt() {
 // paper's central observation).
 func (d *Decay) OnVoltage(float64) {}
 
+// VoltageFree marks OnVoltage as a structural no-op (Decay is time-driven).
+func (d *Decay) VoltageFree() {}
+
 // OnCheckpoint implements Predictor.
 func (d *Decay) OnCheckpoint() {}
 

@@ -169,8 +169,14 @@ func (p *Ideal) AfterAccess(cache.AccessResult) {}
 // Tick implements Predictor.
 func (p *Ideal) Tick(uint64) {}
 
+// TickFree marks Tick as a structural no-op (Ideal is event-driven).
+func (p *Ideal) TickFree() {}
+
 // OnVoltage implements Predictor.
 func (p *Ideal) OnVoltage(float64) {}
+
+// VoltageFree marks OnVoltage as a structural no-op.
+func (p *Ideal) VoltageFree() {}
 
 // OnCheckpoint implements Predictor.
 func (p *Ideal) OnCheckpoint() {}

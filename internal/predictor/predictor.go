@@ -60,6 +60,40 @@ type Predictor interface {
 	OnReboot()
 }
 
+// TickFree marks predictors whose Tick is an unconditional no-op — they
+// are event- or voltage-driven, not time-driven. A batched replay loop may
+// skip the per-flush Tick call entirely for a stack made only of TickFree
+// parts; the marker is a hard behavioral promise, not a hint.
+type TickFree interface {
+	Predictor
+	// TickFree's presence is the contract; the method only pins vtables.
+	TickFree()
+}
+
+// VoltageFree marks predictors whose OnVoltage is an unconditional no-op.
+// A batched replay loop may skip the per-flush OnVoltage call (and the
+// square root behind it) for a stack made only of VoltageFree and
+// VoltageLadder parts.
+type VoltageFree interface {
+	Predictor
+	// VoltageFree's presence is the contract; the method only pins vtables.
+	VoltageFree()
+}
+
+// VoltageLadder marks predictors whose OnVoltage depends only on where v
+// falls within a descending threshold ladder: calls that do not change the
+// ladder level (the count of thresholds above v) are observable no-ops.
+// The simulator exploits this by tracking the level itself with exact
+// energy-domain comparisons and forwarding OnVoltage only on transitions.
+// LadderThresholds returns the live (possibly adapted) ladder — callers
+// must treat it as read-only and re-read it after OnReboot, the only hook
+// allowed to change it. Level returns the current ladder level.
+type VoltageLadder interface {
+	Predictor
+	LadderThresholds() []float64
+	Level() int
+}
+
 // None is the baseline: no dead block prediction (NVSRAMCache alone).
 type None struct{}
 
@@ -75,8 +109,14 @@ func (None) AfterAccess(cache.AccessResult) {}
 // Tick implements Predictor.
 func (None) Tick(uint64) {}
 
+// TickFree marks Tick as a structural no-op.
+func (None) TickFree() {}
+
 // OnVoltage implements Predictor.
 func (None) OnVoltage(float64) {}
+
+// VoltageFree marks OnVoltage as a structural no-op.
+func (None) VoltageFree() {}
 
 // OnCheckpoint implements Predictor.
 func (None) OnCheckpoint() {}

@@ -124,8 +124,14 @@ func (p *RefTrace) AfterAccess(res cache.AccessResult) {
 // Tick implements Predictor.
 func (p *RefTrace) Tick(uint64) {}
 
+// TickFree marks Tick as a structural no-op (RefTrace is access-driven).
+func (p *RefTrace) TickFree() {}
+
 // OnVoltage implements Predictor.
 func (p *RefTrace) OnVoltage(float64) {}
+
+// VoltageFree marks OnVoltage as a structural no-op.
+func (p *RefTrace) VoltageFree() {}
 
 // OnCheckpoint implements Predictor.
 func (p *RefTrace) OnCheckpoint() {}

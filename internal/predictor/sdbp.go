@@ -86,8 +86,14 @@ func (p *SDBP) Keep(set, _ int, b *cache.Block) bool {
 // Tick implements Predictor.
 func (p *SDBP) Tick(uint64) {}
 
+// TickFree marks Tick as a structural no-op (SDBP is outage-trained).
+func (p *SDBP) TickFree() {}
+
 // OnVoltage implements Predictor.
 func (p *SDBP) OnVoltage(float64) {}
+
+// VoltageFree marks OnVoltage as a structural no-op.
+func (p *SDBP) VoltageFree() {}
 
 // OnCheckpoint implements Predictor.
 func (p *SDBP) OnCheckpoint() {}

@@ -58,6 +58,55 @@ func TestSteadyStateZeroAllocsTraced(t *testing.T) {
 	}
 }
 
+// TestBatchedSteadyStateZeroAllocs extends the zero-alloc contract to the
+// batched columnar replay loop: a steady-state batch window — hot-state
+// hoist, inlined cache probes, flush arithmetic, settle — allocates
+// nothing, with and without a trace recorder attached. The windows advance
+// through the real recorded trace, so region transitions and tick chunks
+// are exercised, not just memory events.
+func TestBatchedSteadyStateZeroAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		scheme Scheme
+		traced bool
+	}{
+		{"NVSRAMCache", Baseline, false},
+		{"EDBP", EDBP, false},
+		{"NVSRAMCache/traced", Baseline, true},
+		{"EDBP/traced", EDBP, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var rec *trace.Recorder
+			if tc.traced {
+				rec = trace.NewRecorder(trace.Options{})
+			}
+			e := steadyEngineRec(t, tc.scheme, rec)
+			cols := e.trace.Columns()
+			const window = 64
+			lo := 0
+			next := func() {
+				if err := e.batchEvents(cols, lo, lo+window); err != nil {
+					t.Fatal(err)
+				}
+				lo += window
+			}
+			// Warm up: fault in the working set and grow lazy predictor
+			// state, exactly like the per-event variant above.
+			for lo < 4096 {
+				next()
+			}
+			// 2000 measured windows plus warm-up stay inside the trace
+			// (crc32 at 0.25 has ~200k events), so no wrap-around is needed.
+			if avg := testing.AllocsPerRun(2000, next); avg != 0 {
+				t.Errorf("steady-state batch window allocates %.2f times per window, want 0", avg)
+			}
+			if tc.traced && rec.Summary().Samples == 0 {
+				t.Error("recorder took no samples — the traced path was not exercised")
+			}
+		})
+	}
+}
+
 // steadyEngineT is steadyEngine for plain tests.
 func steadyEngineT(t *testing.T, scheme Scheme) *engine {
 	t.Helper()

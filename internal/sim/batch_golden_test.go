@@ -1,0 +1,338 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"edbp/internal/energy"
+	evtrace "edbp/internal/trace"
+	"edbp/internal/workload"
+)
+
+// runReplay executes one full run through runContextMode: ref=true selects
+// the per-event reference stepper, ref=false the batched columnar loop.
+// Going through runContextMode (not newEngine directly) means Ideal's
+// two-pass protocol is covered too — both oracle passes inherit the loop
+// selection.
+func runReplay(t *testing.T, cfg Config, ref bool, ctx context.Context) *Result {
+	t.Helper()
+	res, err := runContextMode(ctx, cfg, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// comparable strips the Result fields that legitimately differ between two
+// equivalent runs: the attached Recorder and VoltageSampler (distinct
+// closures/instances; the recording itself is still compared through
+// TraceSummary) and BatchCap (a loop-shape knob that must not influence
+// results). Everything else — every energy accumulator, counter and
+// timestamp — stays under reflect.DeepEqual.
+func comparableResult(r *Result) *Result {
+	c := *r
+	c.Config.Recorder = nil
+	c.Config.VoltageSampler = nil
+	c.Config.BatchCap = 0
+	return &c
+}
+
+// TestBatchedMatchesStepperAllSchemes is the tentpole contract: for every
+// scheme — oracle two-pass protocol included — the batched columnar replay
+// must be bit-identical to the per-event reference stepper. DeepEqual
+// covers every float64 accumulator, so "close" is not good enough; the
+// batched loop must perform the identical arithmetic sequence.
+func TestBatchedMatchesStepperAllSchemes(t *testing.T) {
+	trace, err := workload.Cached("crc32", 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range Schemes {
+		t.Run(scheme.String(), func(t *testing.T) {
+			cfg := Default("crc32", scheme)
+			cfg.Trace = trace
+
+			batched := runReplay(t, cfg, false, nil)
+			stepper := runReplay(t, cfg, true, nil)
+			if !reflect.DeepEqual(batched, stepper) {
+				t.Errorf("batched replay diverged from stepper:\n batched: %+v\n stepper: %+v", batched, stepper)
+			}
+		})
+	}
+}
+
+// TestBatchedTracedMatchesStepper repeats the golden comparison with the
+// observability layer attached: gauge sampling forces extra batch edges
+// (Recorder.SampleDue settles mid-batch), and the recorded summaries —
+// per-cycle counter deltas, event tallies — must still match the stepper's
+// exactly.
+func TestBatchedTracedMatchesStepper(t *testing.T) {
+	trace, err := workload.Cached("crc32", 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []Scheme{Baseline, EDBP, DecayEDBP} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			mk := func(ref bool) *Result {
+				cfg := Default("crc32", scheme)
+				cfg.Trace = trace
+				cfg.Recorder = evtrace.NewRecorder(evtrace.Options{
+					Label:       "crc32/" + scheme.String(),
+					SampleEvery: 20e-6,
+				})
+				return comparableResult(runReplay(t, cfg, ref, nil))
+			}
+			batched, stepper := mk(false), mk(true)
+			if batched.TraceSummary == nil {
+				t.Fatal("traced run produced no TraceSummary")
+			}
+			if !reflect.DeepEqual(batched, stepper) {
+				t.Errorf("traced batched replay diverged from stepper:\n batched: %+v\n stepper: %+v", batched, stepper)
+			}
+		})
+	}
+}
+
+// TestBatchCapInvariance pins Config.BatchCap's contract: the cap bounds
+// check amortization, never results. Every cap — including the degenerate
+// 1 (a threshold check per flush, so outages always land on a batch edge)
+// — must reproduce the reference stepper bit for bit, outage timestamps
+// included.
+func TestBatchCapInvariance(t *testing.T) {
+	trace, err := workload.Cached("crc32", 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []Scheme{Baseline, EDBP} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			cfg := Default("crc32", scheme)
+			cfg.Trace = trace
+			gold := comparableResult(runReplay(t, cfg, true, nil))
+			if gold.Outages == 0 {
+				t.Fatal("RFHome reference run had no outages; the cap sweep would not exercise batch-edge outages")
+			}
+			for _, cap := range []int{1, 3, 64, DefaultBatchCap} {
+				cfg.BatchCap = cap
+				got := comparableResult(runReplay(t, cfg, false, nil))
+				if !reflect.DeepEqual(got.OutageTimes, gold.OutageTimes) {
+					t.Errorf("BatchCap=%d shifted outage timestamps:\n got:  %v\n want: %v", cap, got.OutageTimes, gold.OutageTimes)
+				}
+				if !reflect.DeepEqual(got, gold) {
+					t.Errorf("BatchCap=%d diverged from stepper:\n got:  %+v\n want: %+v", cap, got, gold)
+				}
+			}
+		})
+	}
+}
+
+// runFromHeadroom builds an engine whose capacitor starts with exactly
+// `flushes` worst-case flushes of headroom above the checkpoint threshold,
+// then runs it to completion. flushes=0 starts right at eCkpt (the batch
+// budget is zero before the first event), flushes=1 affords a single-flush
+// batch whose outage lands on the batch's last event.
+func runFromHeadroom(t *testing.T, scheme Scheme, trace *workload.Trace, flushes float64, ref bool) *Result {
+	t.Helper()
+	cfg := Default("crc32", scheme)
+	cfg.Trace = trace
+	cfg, err := cfg.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := newEngine(cfg, trace, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.refStepper = ref
+	st := e.cap.State()
+	st.Stored = e.eCkpt + flushes*e.wc.perFlush
+	e.cap.SetState(st)
+	res, err := e.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestBatchHeadroomBoundaries starts runs with headroom for exactly 0, 1
+// and K worst-case flushes above the checkpoint threshold — the edges
+// where the batch budget degenerates — and checks the batched loop against
+// the stepper. The 0-headroom run must checkpoint on its very first flush,
+// the 1-headroom run on the last (only) event of its first batch.
+func TestBatchHeadroomBoundaries(t *testing.T) {
+	trace, err := workload.Cached("crc32", 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []Scheme{Baseline, EDBP} {
+		for _, flushes := range []float64{0, 1, 16} {
+			t.Run(fmt.Sprintf("%s/headroom=%g", scheme, flushes), func(t *testing.T) {
+				batched := runFromHeadroom(t, scheme, trace, flushes, false)
+				stepper := runFromHeadroom(t, scheme, trace, flushes, true)
+				if !reflect.DeepEqual(batched, stepper) {
+					t.Errorf("headroom=%g flushes diverged:\n batched: %+v\n stepper: %+v", flushes, batched, stepper)
+				}
+				if flushes <= 1 && batched.Outages == 0 {
+					t.Errorf("headroom=%g flushes: expected an immediate checkpoint, got none", flushes)
+				}
+			})
+		}
+	}
+}
+
+// TestBatchedFuzzEquivalence sweeps randomized capacitor sizes across all
+// four harvesting traces; the seed is fixed so failures reproduce. Varying
+// the capacitance moves every batch boundary (the budget is headroom /
+// worst-case flush), so any divergence between the two loops that the
+// default configuration happens to mask surfaces here.
+func TestBatchedFuzzEquivalence(t *testing.T) {
+	trace, err := workload.Cached("crc32", 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, kind := range energy.TraceKinds {
+		for i := 0; i < 2; i++ {
+			scheme := Baseline
+			if i == 1 {
+				scheme = EDBP
+			}
+			// 0.5× to 2× the paper's 0.47 µF.
+			capF := 0.47e-6 * (0.5 + 1.5*rng.Float64())
+			t.Run(kind.String()+"/"+scheme.String(), func(t *testing.T) {
+				cfg := Default("crc32", scheme)
+				cfg.Trace = trace
+				cfg.TraceKind = kind
+				cfg.Capacitor.Capacitance = capF
+
+				batched := runReplay(t, cfg, false, nil)
+				stepper := runReplay(t, cfg, true, nil)
+				if !reflect.DeepEqual(batched, stepper) {
+					t.Errorf("C=%g F on %v diverged:\n batched: %+v\n stepper: %+v", capF, kind, batched, stepper)
+				}
+			})
+		}
+	}
+}
+
+// TestBatchedContextPollBitIdentical arms a cancellable-but-undisturbed
+// context on both loops: the batched loop's poll sites (batch edges at
+// multiples of cancelPollMask+1) must read, never perturb — results stay
+// bit-identical to the unpolled runs.
+func TestBatchedContextPollBitIdentical(t *testing.T) {
+	trace, err := workload.Cached("crc32", 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, ref := range []bool{false, true} {
+		name := "batched"
+		if ref {
+			name = "stepper"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := Default("crc32", EDBP)
+			cfg.Trace = trace
+			plain := runReplay(t, cfg, ref, nil)
+			polled := runReplay(t, cfg, ref, ctx)
+			if !reflect.DeepEqual(plain, polled) {
+				t.Errorf("armed context perturbed the run:\n plain:  %+v\n polled: %+v", plain, polled)
+			}
+		})
+	}
+}
+
+// TestBatchedCancelPartialMatchesStepper cancels both loops at the same
+// deterministic simulation point (the N-th powered voltage sample) and
+// compares the partial results carried by the *Canceled errors. Both loops
+// poll at the same event indices (multiples of cancelPollMask+1), so they
+// must observe the cancellation at the identical event and unwind to
+// DeepEqual partials.
+func TestBatchedCancelPartialMatchesStepper(t *testing.T) {
+	trace, err := workload.Cached("crc32", 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cancelAt = 50000
+	partial := func(ref bool) *Result {
+		t.Helper()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		cfg := Default("crc32", EDBP)
+		cfg.Trace = trace
+		seen := 0
+		cfg.VoltageSampler = func(_, _ float64, on bool) {
+			if on {
+				seen++
+				if seen == cancelAt {
+					cancel()
+				}
+			}
+		}
+		res, err := runContextMode(ctx, cfg, ref)
+		if err == nil {
+			t.Fatalf("run completed (%d samples) before the scripted cancellation", seen)
+		}
+		var c *Canceled
+		if !errors.As(err, &c) {
+			t.Fatalf("error %v (%T) is not *Canceled", err, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("error %v does not unwrap to context.Canceled", err)
+		}
+		if res != nil {
+			t.Fatal("canceled run must not return a success result")
+		}
+		if c.Partial == nil {
+			t.Fatal("Canceled.Partial is nil")
+		}
+		return comparableResult(c.Partial)
+	}
+	batched, stepper := partial(false), partial(true)
+	if batched.Instructions == 0 {
+		t.Fatal("partial result shows no executed instructions")
+	}
+	if !reflect.DeepEqual(batched, stepper) {
+		t.Errorf("canceled partial results diverged:\n batched: %+v\n stepper: %+v", batched, stepper)
+	}
+}
+
+// TestOutageTimesOverflowBatched shrinks the capacitor until the run needs
+// far more than OutageTimeCap power cycles: OutageTimes must saturate at
+// the cap while Outages keeps the true count, and batching must not move a
+// single recorded timestamp relative to the stepper. This is the
+// whole-run companion to TestOutageTimesCapEnforced, which drives
+// powerFailure directly.
+func TestOutageTimesOverflowBatched(t *testing.T) {
+	trace, err := workload.Cached("crc32", 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Default("crc32", Baseline)
+	cfg.Trace = trace
+	// A ~100× smaller buffer yields only a few events per power cycle;
+	// the constant source recharges it fast enough that the run still
+	// completes well inside MaxSimTime.
+	cfg.Capacitor.Capacitance = 5e-9
+	cfg.Source = energy.ConstantSource{P: 2e-4}
+
+	batched := runReplay(t, cfg, false, nil)
+	stepper := runReplay(t, cfg, true, nil)
+	if !reflect.DeepEqual(batched, stepper) {
+		t.Errorf("overflow run diverged:\n batched: %+v\n stepper: %+v", batched, stepper)
+	}
+	if batched.Outages <= OutageTimeCap {
+		t.Fatalf("run produced %d outages, want > %d to exercise the cap", batched.Outages, OutageTimeCap)
+	}
+	if len(batched.OutageTimes) != OutageTimeCap {
+		t.Fatalf("len(OutageTimes) = %d, want exactly the cap %d", len(batched.OutageTimes), OutageTimeCap)
+	}
+	times, truncated := batched.OutageSample()
+	if !truncated || len(times) != OutageTimeCap {
+		t.Fatalf("OutageSample: len=%d truncated=%v", len(times), truncated)
+	}
+}

@@ -189,7 +189,21 @@ type Config struct {
 	// MaxSimTime aborts runs whose energy supply cannot finish the
 	// workload (simulated seconds; default 600).
 	MaxSimTime float64
+
+	// BatchCap caps how many flushes the batched replay loop may run
+	// between checkpoint-threshold checks (see batch.go); the effective
+	// batch size is min(BatchCap, floor(headroom/worst-case drain)).
+	// 0 means DefaultBatchCap (4096); 1 degenerates to a check per flush.
+	// The cap does not affect results — batching is bit-identical to the
+	// per-event stepper at every cap — only the check amortization, which
+	// cmd/bench -batch-cap sweeps document.
+	BatchCap int
 }
+
+// DefaultBatchCap is the default upper bound on flushes per batch. It
+// matches the cancellation poll cadence (cancelPollMask+1), so batching
+// never lengthens the interval between poll opportunities.
+const DefaultBatchCap = 4096
 
 // Default returns the paper's Table II configuration for the given app
 // and scheme, on the RFHome trace.
@@ -262,6 +276,12 @@ func (c Config) normalize() (Config, error) {
 	}
 	if c.MaxSimTime == 0 {
 		c.MaxSimTime = 600
+	}
+	if c.BatchCap == 0 {
+		c.BatchCap = DefaultBatchCap
+	}
+	if c.BatchCap < 0 {
+		return c, fmt.Errorf("sim: BatchCap must be non-negative, got %d", c.BatchCap)
 	}
 	if err := c.Capacitor.Validate(); err != nil {
 		return c, err

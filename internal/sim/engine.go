@@ -3,6 +3,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"edbp/internal/cache"
 	"edbp/internal/checkpoint"
@@ -96,6 +97,42 @@ type engine struct {
 	// refHibernate switches hibernate() to the original per-step
 	// stepper; kept as the golden reference for the fast path's tests.
 	refHibernate bool
+
+	// refStepper switches run() to the per-event reference stepper
+	// (runStepper); the default is the batched replay loop (runBatched,
+	// batch.go). Mirrors refHibernate: the stepper is the golden
+	// reference the batched path's tests replay against. Not a Config
+	// field on purpose — Config is embedded in Result, and the two paths
+	// must produce DeepEqual Results.
+	refStepper bool
+
+	// Batched-replay capability probes, derived once in newEngine (see
+	// batch.go). tickFreePred: every part of the data-cache stack marked
+	// predictor.TickFree, so per-flush Tick calls can be skipped.
+	// ovLadder: the single voltage-ladder part (EDBP) when every other
+	// part is VoltageFree — per-flush OnVoltage reduces to energy-domain
+	// ladder compares. ovFree: every part VoltageFree (no OnVoltage work
+	// at all). When neither ovLadder nor ovFree holds (or an I-cache
+	// predictor stack exists), the batched loop falls back to per-flush
+	// reference calls.
+	tickFreePred bool
+	ovFree       bool
+	ovLadder     predictor.VoltageLadder
+	ladderE      []float64 // energy-domain ladder, rebuilt at batch reloads
+	ladderSrc    []float64 // thresholds ladderE was derived from (NaN = stale)
+
+	// wc is the worst-case per-flush drain table bounding how much stored
+	// energy one flush can consume; batchCap caps the number of flushes a
+	// batch may skip checkpoint checks for (Config.BatchCap).
+	wc       drainTable
+	batchCap int
+
+	// Harvest-window acceleration for the batched loop: power sources are
+	// piecewise constant (traces) or constant, so the loop caches one
+	// sample per window instead of calling e.power per flush.
+	srcMode   int // one of srcGeneric/srcConst/srcTrace
+	srcDt     float64
+	srcConstP float64
 
 	// Cancellation plumbing (see bindContext). done is nil for
 	// uncancellable runs — Run, and RunContext with context.Background() —
@@ -193,10 +230,18 @@ func newEngine(cfg Config, trace *workload.Trace, predOverride predictor.Predict
 	}
 	// Devirtualize the per-event power lookup; trace sources additionally
 	// get an incremental cursor (the engine queries monotone times).
-	if tr, ok := e.src.(*energy.Trace); ok {
-		e.power = tr.Cursor().Power
-	} else {
+	switch src := e.src.(type) {
+	case *energy.Trace:
+		e.power = src.Cursor().Power
+		e.srcMode = srcTrace
+		e.srcDt = src.Resolution()
+	case energy.ConstantSource:
 		e.power = e.src.Power
+		e.srcMode = srcConst
+		e.srcConstP = src.P
+	default:
+		e.power = e.src.Power
+		e.srcMode = srcGeneric
 	}
 	e.sampler = cfg.VoltageSampler
 	e.eCkpt = capac.EnergyThreshold(cfg.Monitor.VCkpt)
@@ -328,7 +373,69 @@ func newEngine(cfg Config, trace *workload.Trace, predOverride predictor.Predict
 		e.icPred.Attach(predictor.Env{Cache: ic, GateBlock: e.gateICache, ClockHz: cfg.CPU.ClockHz, PC: e.fetch.PC})
 		e.icTracker = metrics.NewTracker(ic.Sets(), ic.Ways())
 	}
+
+	// Batched-replay probes and the worst-case drain table (batch.go).
+	e.tickFreePred = e.predNone || predTickFree(e.pred)
+	var ladders []predictor.VoltageLadder
+	if e.predNone || collectVoltageClass(e.pred, &ladders) {
+		switch len(ladders) {
+		case 0:
+			e.ovFree = true
+		case 1:
+			e.ovLadder = ladders[0]
+			n := len(e.ovLadder.LadderThresholds())
+			e.ladderE = make([]float64, n)
+			e.ladderSrc = make([]float64, n)
+			for i := range e.ladderSrc {
+				e.ladderSrc[i] = math.NaN() // never compares equal: force derivation
+			}
+		}
+	}
+	e.wc = buildDrainTable(e)
+	e.batchCap = cfg.BatchCap
+	if e.batchCap <= 0 {
+		e.batchCap = DefaultBatchCap
+	}
 	return e, nil
+}
+
+// predTickFree reports whether every part of the stack promises a no-op
+// Tick (predictor.TickFree), recursing through Combine.
+func predTickFree(p predictor.Predictor) bool {
+	if c, ok := p.(*predictor.Combine); ok {
+		for _, part := range c.Parts() {
+			if !predTickFree(part) {
+				return false
+			}
+		}
+		return true
+	}
+	_, ok := p.(predictor.TickFree)
+	return ok
+}
+
+// collectVoltageClass reports whether every part of the stack is either
+// VoltageFree or a VoltageLadder (appended to ladders), recursing through
+// Combine. A false return means some part has a general OnVoltage and the
+// batched loop must call it every flush.
+func collectVoltageClass(p predictor.Predictor, ladders *[]predictor.VoltageLadder) bool {
+	if c, ok := p.(*predictor.Combine); ok {
+		ok := true
+		for _, part := range c.Parts() {
+			if !collectVoltageClass(part, ladders) {
+				ok = false
+			}
+		}
+		return ok
+	}
+	if _, isFree := p.(predictor.VoltageFree); isFree {
+		return true
+	}
+	if vl, isLadder := p.(predictor.VoltageLadder); isLadder {
+		*ladders = append(*ladders, vl)
+		return true
+	}
+	return false
 }
 
 // buildPredictor constructs the scheme's predictor stack for a cache of
@@ -949,8 +1056,27 @@ func (e *engine) hibernateStepper() bool {
 
 // ------------------------------------------------------------ main loop --
 
-// run replays the whole trace and finalizes the result.
+// Harvest source classification for the batched loop's power-window cache.
+const (
+	srcGeneric = iota // arbitrary Source: query every flush
+	srcConst          // ConstantSource: one value forever
+	srcTrace          // *energy.Trace: piecewise constant per Resolution window
+)
+
+// run replays the whole trace and finalizes the result, through the
+// batched loop by default or the per-event reference stepper when
+// refStepper is set (golden tests pin their equality).
 func (e *engine) run() (*Result, error) {
+	if e.refStepper {
+		return e.runStepper()
+	}
+	return e.runBatched()
+}
+
+// runStepper is the per-event reference loop: one flush per micro-op, the
+// capacitor and monitor consulted after every one. Retained verbatim as
+// the golden reference the batched path (batch.go) must match bit for bit.
+func (e *engine) runStepper() (*Result, error) {
 	events := e.trace.Events
 	for i := range events {
 		if e.truncated || e.cancelErr != nil {
@@ -981,7 +1107,12 @@ func (e *engine) run() (*Result, error) {
 			e.eventAware.AfterEvent(uint64(i))
 		}
 	}
+	return e.finish()
+}
 
+// finish closes the run: open block generations, trace summary, result
+// fields. Shared by both replay loops.
+func (e *engine) finish() (*Result, error) {
 	e.tracker.FlushOpen(e.now)
 	if e.profile != nil {
 		e.profile.FlushCycle(false)

@@ -54,6 +54,16 @@ func Run(cfg Config) (*Result, error) {
 // partial Result. The polls never mutate simulation state, so results are
 // bit-identical to Run whenever ctx stays undisturbed.
 func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	return runContextMode(ctx, cfg, false)
+}
+
+// runContextMode is RunContext with the replay-loop selection exposed for
+// the package's golden tests: refStepper routes every engine the run
+// constructs — both Ideal passes included — through the per-event
+// reference stepper instead of the batched loop. The two paths must
+// produce DeepEqual results (batch_golden_test.go pins this), which is
+// why the selector is not a Config field: Config is embedded in Result.
+func runContextMode(ctx context.Context, cfg Config, refStepper bool) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -76,20 +86,21 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	if cfg.Scheme == Ideal {
-		return runIdeal(ctx, cfg, trace)
+		return runIdeal(ctx, cfg, trace, refStepper)
 	}
 
 	e, err := newEngine(cfg, trace, nil)
 	if err != nil {
 		return nil, err
 	}
+	e.refStepper = refStepper
 	e.bindContext(ctx)
 	return e.run()
 }
 
 // runIdeal drives the two-pass oracle. Both passes honor ctx; a canceled
 // recording pass aborts the protocol (its schedule would be incomplete).
-func runIdeal(ctx context.Context, cfg Config, trace *workload.Trace) (*Result, error) {
+func runIdeal(ctx context.Context, cfg Config, trace *workload.Trace, refStepper bool) (*Result, error) {
 	// Pass 1: baseline with a recorder listening to block lifecycles. The
 	// trace recorder (if any) observes only the reported replay pass, so it
 	// is detached here — otherwise pass 2's StartRun would wipe pass 1's
@@ -104,6 +115,7 @@ func runIdeal(ctx context.Context, cfg Config, trace *workload.Trace) (*Result, 
 	if err != nil {
 		return nil, err
 	}
+	e1.refStepper = refStepper
 	e1.bindContext(ctx)
 	base, err := e1.run()
 	if err != nil {
@@ -121,6 +133,7 @@ func runIdeal(ctx context.Context, cfg Config, trace *workload.Trace) (*Result, 
 	if err != nil {
 		return nil, err
 	}
+	e2.refStepper = refStepper
 	e2.bindContext(ctx)
 	return e2.run()
 }

@@ -41,6 +41,9 @@ func Cached(name string, scale float64) (*Trace, error) {
 			return
 		}
 		e.tr = app.Record(scale)
+		// Pre-build the columnar replay view while we are off any hot
+		// path; every engine run over this trace reads it.
+		e.tr.Columns()
 	})
 	return e.tr, e.err
 }

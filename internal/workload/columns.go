@@ -1,0 +1,31 @@
+package workload
+
+// Columns is the structure-of-arrays view of a trace's events: the op and
+// arg streams live in separate flat slices, so a replay loop that mostly
+// switches on the op touches one densely packed byte per event instead of
+// striding through 8-byte Event structs (1 byte op + 3 padding + 4 arg).
+// The event at index i is (Ops[i], Args[i]); len(Ops) == len(Args) ==
+// len(Events).
+type Columns struct {
+	Ops  []Op
+	Args []uint32
+}
+
+// Columns returns the columnar view of the trace, building it on first use
+// and memoizing it on the trace (a Trace is immutable after recording, so
+// the view never goes stale). Safe for concurrent use; the build runs at
+// most once per trace.
+func (t *Trace) Columns() *Columns {
+	t.colsOnce.Do(func() {
+		c := &Columns{
+			Ops:  make([]Op, len(t.Events)),
+			Args: make([]uint32, len(t.Events)),
+		}
+		for i, ev := range t.Events {
+			c.Ops[i] = ev.Op
+			c.Args[i] = ev.Arg
+		}
+		t.cols = c
+	})
+	return t.cols
+}

@@ -12,7 +12,10 @@
 // mix — which real algorithm implementations provide directly.
 package workload
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Op is the kind of one trace event.
 type Op uint8
@@ -65,6 +68,12 @@ type Trace struct {
 	Checksum uint32
 	// DataBytes is the peak data footprint.
 	DataBytes uint32
+
+	// Lazily-built columnar (SoA) view of Events; see Columns. The Once
+	// makes a Trace non-copyable, which is right: traces are shared by
+	// pointer (they can be hundreds of MB of events).
+	colsOnce sync.Once
+	cols     *Columns
 }
 
 // MemOps returns loads+stores.
