@@ -1,0 +1,119 @@
+// Command edbpfuzz runs the simulator's configuration-matrix fuzzer: a
+// seeded, reproducible sweep over capacitor sizes, checkpoint thresholds,
+// cache geometries, NVM technologies and harvesting environments, with
+// every result checked against the invariant catalog (forward progress,
+// batched-vs-stepper bit-identity, counter conservation, cancellation
+// safety, value domains).
+//
+// Usage:
+//
+//	edbpfuzz -seeds 1000                          # 1000-case campaign
+//	edbpfuzz -seeds 200 -budget 60s -wcet         # CI smoke configuration
+//	edbpfuzz -seed 7 -invariant cycle-conservation,ref-identity
+//
+// The same -seed always reproduces the same corpus, the same violations
+// and a byte-identical report (when -budget does not cut the run short).
+// On a violation the first failing case is shrunk to a minimal reproducer
+// and printed as a ready-to-paste sim.Config literal; -repro-out also
+// writes it to a file (for CI artifact upload). Exit status 1 means
+// violations were found, 2 means the campaign itself failed to run.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"edbp/internal/fuzz"
+	"edbp/internal/obs"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+// run is main without the process plumbing, so tests can drive the full
+// CLI and diff its output byte for byte.
+func run(ctx context.Context, stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("edbpfuzz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seed        = fs.Uint64("seed", 1, "master seed; the corpus, violations and report all derive from it")
+		seeds       = fs.Int("seeds", 256, "corpus size (number of fuzzed configurations)")
+		budget      = fs.Duration("budget", 0, "wall-clock budget; cases beyond it are skipped, not failed (0 = unlimited)")
+		workers     = fs.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		invariants  = fs.String("invariant", "", "comma-separated invariant names to check (empty = the full catalog)")
+		wcet        = fs.Bool("wcet", false, "add the per-(kernel, environment) worst-case completion-time table")
+		refEvery    = fs.Int("ref-every", 0, "replay every Nth case through the reference stepper (0 = default 16, negative = off)")
+		cancelEvery = fs.Int("cancel-every", 0, "cancel every Nth case mid-run and validate the partial (0 = default 8, negative = off)")
+		reproOut    = fs.String("repro-out", "", "write the shrunk minimal reproducer to this file on violation")
+		noShrink    = fs.Bool("no-shrink", false, "skip shrinking on violation (report only)")
+		quiet       = fs.Bool("quiet", false, "suppress progress lines on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	opts := fuzz.Options{
+		Seed:        *seed,
+		Cases:       *seeds,
+		Workers:     *workers,
+		Budget:      *budget,
+		RefEvery:    *refEvery,
+		CancelEvery: *cancelEvery,
+		WCET:        *wcet,
+		Registry:    obs.NewRegistry(),
+	}
+	if *invariants != "" {
+		opts.Invariants = strings.Split(*invariants, ",")
+	}
+	if !*quiet {
+		opts.Log = func(format string, args ...any) {
+			fmt.Fprintf(stderr, "edbpfuzz: "+format+"\n", args...)
+		}
+	}
+
+	campaign, err := fuzz.Run(ctx, opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "edbpfuzz: %v\n", err)
+		return 2
+	}
+	fuzz.Report(stdout, campaign)
+
+	if len(campaign.Violations) == 0 {
+		return 0
+	}
+	if *noShrink {
+		return 1
+	}
+
+	// Shrink the first violation (case order, so deterministic) to the
+	// minimal configuration that still fails the same invariant.
+	first := campaign.Violations[0]
+	fmt.Fprintf(stderr, "edbpfuzz: shrinking case %d (%s)...\n", first.Case.Index, first.Invariant)
+	minCase, evals, err := fuzz.Shrink(ctx, first, opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "edbpfuzz: shrink failed: %v\n", err)
+		return 1 // the violation stands even if shrinking did not
+	}
+	repro := fmt.Sprintf(
+		"// Minimal reproducer for invariant %q (campaign seed %#x, case %d, %d shrink evals).\n// Run with: sim.Run(cfg) and check the %q invariant from internal/fuzz.\ncfg := %s\n",
+		first.Invariant, *seed, first.Case.Index, evals, first.Invariant,
+		fuzz.FormatConfig(minCase.Config))
+	fmt.Fprintf(stdout, "\n== Minimal reproducer ==\n%s", repro)
+	if *reproOut != "" {
+		if err := os.WriteFile(*reproOut, []byte(repro), 0o644); err != nil {
+			fmt.Fprintf(stderr, "edbpfuzz: writing %s: %v\n", *reproOut, err)
+		} else {
+			fmt.Fprintf(stderr, "edbpfuzz: wrote reproducer to %s\n", *reproOut)
+		}
+	}
+	return 1
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestRunDeterministic drives the full CLI twice with the same seed and
+// requires byte-identical stdout — the reproducibility contract CI and
+// bug reports rely on.
+func TestRunDeterministic(t *testing.T) {
+	render := func() string {
+		var out, errBuf bytes.Buffer
+		code := run(context.Background(), &out, &errBuf, []string{"-seeds", "48", "-seed", "3", "-wcet", "-quiet"})
+		if code != 0 {
+			t.Fatalf("exit %d; stderr:\n%s\nstdout:\n%s", code, errBuf.String(), out.String())
+		}
+		return out.String()
+	}
+	first, second := render(), render()
+	if first != second {
+		t.Errorf("same seed produced different reports:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+	for _, frag := range []string{"configuration-matrix campaign", "per-scheme metrics", "worst-case completion"} {
+		if !strings.Contains(first, frag) {
+			t.Errorf("report missing %q:\n%s", frag, first)
+		}
+	}
+}
+
+// TestRunInvariantFilter exercises -invariant parsing, including the
+// unknown-name error path.
+func TestRunInvariantFilter(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run(context.Background(), &out, &errBuf, []string{"-seeds", "12", "-invariant", "domains,progress", "-quiet"}); code != 0 {
+		t.Fatalf("exit %d; stderr: %s", code, errBuf.String())
+	}
+	out.Reset()
+	errBuf.Reset()
+	if code := run(context.Background(), &out, &errBuf, []string{"-seeds", "4", "-invariant", "no-such"}); code != 2 {
+		t.Fatalf("unknown invariant: exit %d, want 2; stderr: %s", code, errBuf.String())
+	}
+}
+
+// TestRunBadFlag pins the usage-error exit status.
+func TestRunBadFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run(context.Background(), &out, &errBuf, []string{"-definitely-not-a-flag"}); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

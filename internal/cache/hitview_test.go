@@ -1,0 +1,65 @@
+package cache
+
+import "testing"
+
+// TestHitViewSingleSet pins the fully-associative corner (ways == blocks,
+// one set): the set mask degenerates to zero, every address maps to set
+// 0, and the view's manual indexing agrees with the cache's own.
+func TestHitViewSingleSet(t *testing.T) {
+	c := mustCache(t, Config{SizeBytes: 128, BlockBytes: 16, Ways: 8, Policy: LRU})
+	v := c.HitView()
+	if v.SetMask != 0 {
+		t.Fatalf("single-set SetMask = %#x, want 0", v.SetMask)
+	}
+	if v.Ways != 8 || len(v.Blocks) != 8 {
+		t.Fatalf("view geometry: ways=%d blocks=%d", v.Ways, len(v.Blocks))
+	}
+	if v.Stack == nil {
+		t.Fatal("LRU cache must expose its recency stack")
+	}
+
+	// Fill two widely-separated addresses; both must land in set 0 with
+	// distinct tags, visible through the shared blocks slice.
+	r1 := c.Access(0x0000, false)
+	r2 := c.Access(0x8000, true)
+	if r1.Set != 0 || r2.Set != 0 {
+		t.Fatalf("sets = %d, %d; want 0, 0", r1.Set, r2.Set)
+	}
+	for _, addr := range []uint64{0x0000, 0x8000} {
+		ba := addr >> v.BlockShift
+		if int(ba&v.SetMask) != 0 {
+			t.Fatalf("view maps %#x to set %d", addr, ba&v.SetMask)
+		}
+		tag := ba >> v.SetShift
+		found := false
+		for w := 0; w < v.Ways; w++ {
+			b := v.Blocks[w]
+			if b.Valid && !b.Gated && b.Tag == tag {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("address %#x (tag %#x) not visible through the view", addr, tag)
+		}
+	}
+
+	// The view aliases live state: a write through the cache shows up in
+	// the previously-taken view without re-fetching it.
+	if !v.Blocks[r2.Way].Dirty {
+		t.Error("store-allocated block not dirty through the view")
+	}
+	if v.Stats.Misses != 2 {
+		t.Errorf("stats through the view: %+v", *v.Stats)
+	}
+}
+
+// TestHitViewNonLRUHasNoStack pins the fast-path gate: only true-LRU
+// caches expose a recency stack; other policies must force the slow path.
+func TestHitViewNonLRUHasNoStack(t *testing.T) {
+	for _, p := range []PolicyKind{PLRU, FIFO, Random, DRRIP} {
+		c := mustCache(t, Config{SizeBytes: 512, BlockBytes: 16, Ways: 4, Policy: p})
+		if v := c.HitView(); v.Stack != nil {
+			t.Errorf("%v cache exposes an LRU stack", p)
+		}
+	}
+}

@@ -40,7 +40,19 @@ func DefaultCapacitor() CapacitorConfig {
 }
 
 // Validate reports a descriptive error for physically meaningless configs.
+// NaN and ±Inf fields are rejected explicitly: a NaN capacitance would sail
+// through every ordered comparison below (NaN compares false) and then
+// poison the whole energy integration, silently disabling the checkpoint
+// thresholds.
 func (c CapacitorConfig) Validate() error {
+	for _, f := range [...]struct {
+		name string
+		v    float64
+	}{{"capacitance", c.Capacitance}, {"VMax", c.VMax}, {"VMin", c.VMin}, {"leak time constant", c.LeakTau}} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("energy: %s must be finite, got %g", f.name, f.v)
+		}
+	}
 	switch {
 	case c.Capacitance <= 0:
 		return fmt.Errorf("energy: capacitance must be positive, got %g", c.Capacitance)

@@ -164,6 +164,15 @@ func TestCapacitorConfigValidate(t *testing.T) {
 		{"vmin above vmax", func(c *CapacitorConfig) { c.VMin = 4 }},
 		{"negative leak tau", func(c *CapacitorConfig) { c.LeakTau = -1 }},
 		{"zero vmax", func(c *CapacitorConfig) { c.VMax = 0 }},
+		// NaN compares false against every threshold, so without the
+		// explicit finiteness check these would validate and poison the
+		// whole energy integration.
+		{"NaN capacitance", func(c *CapacitorConfig) { c.Capacitance = math.NaN() }},
+		{"NaN vmax", func(c *CapacitorConfig) { c.VMax = math.NaN() }},
+		{"NaN vmin", func(c *CapacitorConfig) { c.VMin = math.NaN() }},
+		{"NaN leak tau", func(c *CapacitorConfig) { c.LeakTau = math.NaN() }},
+		{"infinite capacitance", func(c *CapacitorConfig) { c.Capacitance = math.Inf(1) }},
+		{"infinite vmax", func(c *CapacitorConfig) { c.VMax = math.Inf(1) }},
 	}
 	for _, tc := range cases {
 		cfg := DefaultCapacitor()

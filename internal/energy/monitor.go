@@ -1,6 +1,9 @@
 package energy
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // MonitorConfig holds the JIT-checkpointing voltage thresholds.
 //
@@ -20,7 +23,13 @@ func DefaultMonitor() MonitorConfig {
 }
 
 // Validate checks the thresholds against the capacitor's operating range.
+// NaN thresholds are rejected explicitly: every ordered comparison below is
+// false for NaN, so a NaN Vckpt would otherwise validate and then never
+// trigger a checkpoint (Stored() < NaN is always false).
 func (m MonitorConfig) Validate(cap CapacitorConfig) error {
+	if math.IsNaN(m.VCkpt) || math.IsInf(m.VCkpt, 0) || math.IsNaN(m.VRst) || math.IsInf(m.VRst, 0) {
+		return fmt.Errorf("energy: thresholds must be finite, got Vckpt=%g Vrst=%g", m.VCkpt, m.VRst)
+	}
 	switch {
 	case m.VCkpt <= cap.VMin:
 		return fmt.Errorf("energy: Vckpt (%g) must be above VMin (%g) to reserve checkpoint energy", m.VCkpt, cap.VMin)

@@ -1,6 +1,9 @@
 package energy
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func TestMonitorHysteresis(t *testing.T) {
 	m := NewMonitor(DefaultMonitor())
@@ -72,6 +75,11 @@ func TestMonitorConfigValidate(t *testing.T) {
 		{"vckpt below vmin", MonitorConfig{VCkpt: 2.7, VRst: 3.4}},
 		{"vrst below vckpt", MonitorConfig{VCkpt: 3.2, VRst: 3.1}},
 		{"vrst above vmax", MonitorConfig{VCkpt: 3.2, VRst: 3.6}},
+		// A NaN Vckpt would otherwise validate (ordered comparisons are
+		// false for NaN) and then never trigger a checkpoint.
+		{"NaN vckpt", MonitorConfig{VCkpt: math.NaN(), VRst: 3.4}},
+		{"NaN vrst", MonitorConfig{VCkpt: 3.2, VRst: math.NaN()}},
+		{"infinite vrst", MonitorConfig{VCkpt: 3.2, VRst: math.Inf(1)}},
 	}
 	for _, tc := range cases {
 		if err := tc.cfg.Validate(capCfg); err == nil {

@@ -1,0 +1,142 @@
+package fuzz
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"edbp/internal/sim"
+)
+
+// syntheticAppInvariant fails exactly when the case runs the given kernel:
+// a fully deterministic stand-in for a real bug whose trigger the shrinker
+// must isolate. Every other dimension is noise the shrinker should strip.
+func syntheticAppInvariant(app string) Invariant {
+	return Invariant{
+		Name: "synthetic-app",
+		Desc: "fails whenever the config runs " + app + " (shrinker test fixture)",
+		Check: func(a *Artifacts) error {
+			if a.Case.Config.App == app {
+				return fmt.Errorf("synthetic failure on %s", app)
+			}
+			return nil
+		},
+	}
+}
+
+// TestShrinkGolden pins the shrinker end to end: inject a synthetic
+// invariant that fires on one kernel, hand Shrink a violating case with
+// every dimension dialed off-default, and require deterministic
+// convergence to the known minimal reproducer — the trigger kernel with
+// everything else at Table II defaults.
+func TestShrinkGolden(t *testing.T) {
+	var start Case
+	for _, cs := range Generate(Options{Seed: 1, Cases: 64}) {
+		if cs.Config.App == "fft" {
+			start = cs
+			break
+		}
+	}
+	if start.Config.App != "fft" {
+		t.Fatal("corpus has no fft case to start from")
+	}
+	opts := Options{
+		Extra:      []Invariant{syntheticAppInvariant("fft")},
+		Invariants: []string{"synthetic-app"},
+	}
+	v := Violation{Case: start, Invariant: "synthetic-app"}
+
+	minCase, evals, err := Shrink(context.Background(), v, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	def := sim.Default("crc32", sim.Baseline)
+	want := sim.Config{
+		App:        "fft",
+		Scale:      0.02,
+		SourceSeed: 1,
+		Capacitor:  def.Capacitor,
+		Monitor:    def.Monitor,
+
+		DCacheBytes: def.DCacheBytes,
+		DCacheWays:  def.DCacheWays,
+		BlockBytes:  def.BlockBytes,
+		ICacheBytes: def.ICacheBytes,
+		ICacheWays:  def.ICacheWays,
+
+		MaxSimTime: fuzzMaxSimTime,
+	}
+	if !reflect.DeepEqual(minCase.Config, want) {
+		t.Errorf("minimal reproducer diverged:\n got:  %s\n want: %s",
+			FormatConfig(minCase.Config), FormatConfig(want))
+	}
+
+	// Same violation, same options: the whole trajectory must replay.
+	again, evals2, err := Shrink(context.Background(), v, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again.Config, minCase.Config) || evals2 != evals {
+		t.Errorf("shrink not deterministic: %d vs %d evals", evals, evals2)
+	}
+
+	got := FormatConfig(minCase.Config)
+	for _, frag := range []string{"sim.Config{", `App: "fft"`, "Scheme: sim.Baseline", "MaxSimTime: 10"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("FormatConfig output missing %q:\n%s", frag, got)
+		}
+	}
+}
+
+// TestShrinkNonReproducing pins the guard: handing Shrink a violation
+// that does not fire on re-execution is an error, not a bogus shrink.
+func TestShrinkNonReproducing(t *testing.T) {
+	cs := Generate(Options{Seed: 1, Cases: 1})[0]
+	v := Violation{Case: cs, Invariant: "synthetic-app"}
+	opts := Options{
+		Extra:      []Invariant{syntheticAppInvariant("no-such-kernel")},
+		Invariants: []string{"synthetic-app"},
+	}
+	if _, _, err := Shrink(context.Background(), v, opts); err == nil {
+		t.Error("non-reproducing violation did not error")
+	}
+}
+
+// TestShrinkCancel pins context propagation through the fixpoint loop.
+func TestShrinkCancel(t *testing.T) {
+	cs := Generate(Options{Seed: 1, Cases: 64})[5]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := Shrink(ctx, Violation{Case: cs, Invariant: "synthetic-app"}, Options{
+		Extra:      []Invariant{syntheticAppInvariant(cs.Config.App)},
+		Invariants: []string{"synthetic-app"},
+	})
+	if !errors.Is(err, context.Canceled) && err == nil {
+		t.Error("cancelled shrink returned nil error")
+	}
+}
+
+// TestFormatConfigRoundTrip checks the printed literal lists exactly the
+// non-default dimensions of a fuzzed config.
+func TestFormatConfigRoundTrip(t *testing.T) {
+	cs := Generate(Options{Seed: 9, Cases: 32})[17]
+	got := FormatConfig(cs.Config)
+	cfg := cs.Config
+	checks := map[string]bool{
+		fmt.Sprintf("App: %q", cfg.App):                           true,
+		fmt.Sprintf("DCacheBytes: %d", cfg.DCacheBytes):           true,
+		"Scheme: sim." + schemeIdent(cfg.Scheme):                  true,
+		fmt.Sprintf("SourceSeed: %d", cfg.SourceSeed):             true,
+		fmt.Sprintf("MaxSimTime: %d", int(fuzzMaxSimTime)):        true,
+		fmt.Sprintf("Capacitance: %v", cfg.Capacitor.Capacitance): true,
+	}
+	for frag := range checks {
+		if !strings.Contains(got, frag) {
+			t.Errorf("FormatConfig missing %q:\n%s", frag, got)
+		}
+	}
+}

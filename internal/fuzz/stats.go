@@ -1,0 +1,141 @@
+package fuzz
+
+import (
+	"math"
+
+	"edbp/internal/sim"
+)
+
+// Welford is an online mean/variance accumulator (Welford's algorithm)
+// with a min/max envelope. Accumulation order is fixed by the runner (case
+// order), so the same corpus produces bit-identical statistics.
+type Welford struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one observation in.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the observation count.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the sample mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Std returns the sample standard deviation (n−1 denominator; 0 for n<2).
+func (w *Welford) Std() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n-1))
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval of the mean: 1.96·σ/√n (0 for n<2).
+func (w *Welford) CI95() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return 1.96 * w.Std() / math.Sqrt(float64(w.n))
+}
+
+// Min returns the smallest observation (0 when empty).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 when empty).
+func (w *Welford) Max() float64 { return w.max }
+
+// statMetric is one column of the per-scheme summary.
+type statMetric struct {
+	Name string
+	Get  func(*sim.Result) float64
+}
+
+// statMetrics are the summary columns, in display order.
+var statMetrics = []statMetric{
+	{"wall(s)", func(r *sim.Result) float64 { return r.WallTime }},
+	{"active(s)", func(r *sim.Result) float64 { return r.ActiveTime }},
+	{"energy(mJ)", func(r *sim.Result) float64 { return r.Energy.Total() * 1e3 }},
+	{"D$miss(%)", func(r *sim.Result) float64 { return 100 * r.DCacheStats.MissRate() }},
+	{"outages", func(r *sim.Result) float64 { return float64(r.Outages) }},
+	{"coverage(%)", func(r *sim.Result) float64 { return 100 * r.Prediction.Coverage() }},
+}
+
+// Stats aggregates every summary metric per scheme across the executed
+// corpus: mean ± 95% CI plus the min/max envelope.
+type Stats struct {
+	// cells[schemeRow][metric]; scheme rows follow sim.Schemes order.
+	cells [][]*Welford
+}
+
+func newStats() *Stats {
+	s := &Stats{cells: make([][]*Welford, len(sim.Schemes))}
+	for i := range s.cells {
+		s.cells[i] = make([]*Welford, len(statMetrics))
+		for j := range s.cells[i] {
+			s.cells[i][j] = &Welford{}
+		}
+	}
+	return s
+}
+
+// schemeRow maps a scheme to its row in sim.Schemes presentation order.
+func schemeRow(scheme sim.Scheme) int {
+	for i, s := range sim.Schemes {
+		if s == scheme {
+			return i
+		}
+	}
+	return -1
+}
+
+func (s *Stats) add(r *sim.Result) {
+	row := schemeRow(r.Config.Scheme)
+	if row < 0 {
+		return
+	}
+	for j, m := range statMetrics {
+		s.cells[row][j].Add(m.Get(r))
+	}
+}
+
+// Cell returns the accumulator for (scheme, metric name); nil when either
+// is unknown.
+func (s *Stats) Cell(scheme sim.Scheme, metric string) *Welford {
+	row := schemeRow(scheme)
+	if row < 0 {
+		return nil
+	}
+	for j, m := range statMetrics {
+		if m.Name == metric {
+			return s.cells[row][j]
+		}
+	}
+	return nil
+}
+
+// MetricNames returns the summary columns in display order.
+func MetricNames() []string {
+	names := make([]string, len(statMetrics))
+	for i, m := range statMetrics {
+		names[i] = m.Name
+	}
+	return names
+}

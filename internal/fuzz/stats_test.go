@@ -1,0 +1,78 @@
+package fuzz
+
+import (
+	"math"
+	"testing"
+
+	"edbp/internal/sim"
+)
+
+// TestWelford checks the online accumulator against closed-form values
+// for a small hand-computed sample.
+func TestWelford(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	// Classic sample: mean 5, population σ 2, sample σ 2.138...
+	if w.N() != 8 {
+		t.Errorf("N = %d, want 8", w.N())
+	}
+	if w.Mean() != 5 {
+		t.Errorf("Mean = %g, want 5", w.Mean())
+	}
+	wantStd := math.Sqrt(32.0 / 7.0)
+	if math.Abs(w.Std()-wantStd) > 1e-12 {
+		t.Errorf("Std = %g, want %g", w.Std(), wantStd)
+	}
+	wantCI := 1.96 * wantStd / math.Sqrt(8)
+	if math.Abs(w.CI95()-wantCI) > 1e-12 {
+		t.Errorf("CI95 = %g, want %g", w.CI95(), wantCI)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("envelope [%g, %g], want [2, 9]", w.Min(), w.Max())
+	}
+}
+
+// TestWelfordDegenerate pins the empty and single-sample behaviour the
+// report formatter relies on (no NaNs, zero spreads).
+func TestWelfordDegenerate(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Std() != 0 || w.CI95() != 0 {
+		t.Error("empty accumulator not all-zero")
+	}
+	w.Add(3.5)
+	if w.Mean() != 3.5 || w.Std() != 0 || w.CI95() != 0 || w.Min() != 3.5 || w.Max() != 3.5 {
+		t.Errorf("single sample: mean=%g std=%g ci=%g min=%g max=%g", w.Mean(), w.Std(), w.CI95(), w.Min(), w.Max())
+	}
+}
+
+// TestStatsCells checks per-scheme routing: observations land in their
+// scheme's row and metric column, and unknown lookups return nil.
+func TestStatsCells(t *testing.T) {
+	s := newStats()
+	mk := func(scheme sim.Scheme, wall float64) *sim.Result {
+		r := &sim.Result{WallTime: wall}
+		r.Config.Scheme = scheme
+		return r
+	}
+	s.add(mk(sim.Baseline, 1.0))
+	s.add(mk(sim.Baseline, 3.0))
+	s.add(mk(sim.EDBP, 10.0))
+
+	if c := s.Cell(sim.Baseline, "wall(s)"); c == nil || c.N() != 2 || c.Mean() != 2.0 {
+		t.Errorf("Baseline wall cell = %+v", c)
+	}
+	if c := s.Cell(sim.EDBP, "wall(s)"); c == nil || c.N() != 1 || c.Mean() != 10.0 {
+		t.Errorf("EDBP wall cell = %+v", c)
+	}
+	if c := s.Cell(sim.Ideal, "wall(s)"); c == nil || c.N() != 0 {
+		t.Error("untouched scheme row not empty")
+	}
+	if s.Cell(sim.Baseline, "no-such-metric") != nil {
+		t.Error("unknown metric did not return nil")
+	}
+	if len(MetricNames()) != 6 {
+		t.Errorf("MetricNames() = %v", MetricNames())
+	}
+}

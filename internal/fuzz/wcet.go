@@ -1,0 +1,125 @@
+package fuzz
+
+import (
+	"math"
+	"sort"
+
+	"edbp/internal/energy"
+	"edbp/internal/sim"
+)
+
+// WCETClass aggregates the worst-case completion picture for one
+// (kernel, harvesting environment) class across the corpus.
+type WCETClass struct {
+	App  string
+	Kind energy.TraceKind
+	// Cases counts the completed (untruncated) runs in the class.
+	Cases int
+	// MaxObserved is the worst simulated completion time seen.
+	MaxObserved float64
+	// MaxBound is the worst ETAP-style analytic estimate (see WCETBound);
+	// +Inf when some configuration's mean harvest cannot outrun its own
+	// self-discharge.
+	MaxBound float64
+	// Exceeded counts runs whose observed completion beat their own
+	// estimate — expected occasionally, since the estimate charges each
+	// recharge at the trace's *mean* power while real outages cluster in
+	// lulls. A class that is mostly Exceeded means the estimate is not
+	// usable for that environment.
+	Exceeded int
+}
+
+// WCETReport is the per-class worst-case completion table, sorted by app
+// then environment.
+type WCETReport struct {
+	Classes []WCETClass
+}
+
+// WCETBound returns the ETAP-inspired worst-case time-to-completion
+// estimate for one completed run: the measured active (powered) time plus
+// one worst-case recharge per power failure, with one extra recharge of
+// margin. Each recharge lifts the capacitor from VMin back to VRst —
+// ΔE = ½C(VRst²−VMin²) — at the net rate (mean harvest − worst-case
+// self-discharge at VRst). ETAP composes measured per-segment energy with
+// analytic worst-case charging the same way; this is the whole-kernel
+// version of that composition. Returns +Inf when the net rate is not
+// positive (the configuration can hibernate forever near VRst).
+func WCETBound(r *sim.Result) float64 {
+	cfg := r.Config
+	var mean float64
+	if cfg.Source != nil {
+		// An explicit source has no precomputed series; sample one period
+		// of the synthetic generators' resolution-spaced grid.
+		const n = 1000
+		for i := 0; i < n; i++ {
+			mean += cfg.Source.Power(float64(i) * energy.TraceResolution)
+		}
+		mean /= n
+	} else {
+		mean = energy.CachedTrace(cfg.TraceKind, cfg.SourceSeed).MeanPower()
+	}
+	c := cfg.Capacitor
+	eRst := 0.5 * c.Capacitance * cfg.Monitor.VRst * cfg.Monitor.VRst
+	eMin := 0.5 * c.Capacitance * c.VMin * c.VMin
+	need := eRst - eMin
+	leak := 0.0
+	if c.LeakTau > 0 {
+		// Stored energy decays as e^(−2t/τ), so the self-discharge power
+		// at VRst — the worst point of the recharge ramp — is 2·E(VRst)/τ.
+		leak = 2 * eRst / c.LeakTau
+	}
+	net := mean - leak
+	if net <= 0 {
+		return math.Inf(1)
+	}
+	return r.ActiveTime + float64(r.Outages+1)*need/net
+}
+
+// newWCETReport builds the per-class table from the campaign outcomes, in
+// case order (the per-class aggregates are order-insensitive max/counts,
+// but sorting keys deterministically keeps the table byte-stable).
+func newWCETReport(outcomes []*Outcome) *WCETReport {
+	type key struct {
+		app  string
+		kind energy.TraceKind
+	}
+	classes := map[key]*WCETClass{}
+	for _, out := range outcomes {
+		if out == nil || out.Artifacts == nil {
+			continue
+		}
+		r := out.Artifacts.Res
+		if r.Truncated {
+			continue // never completed; there is no completion time
+		}
+		k := key{r.Config.App, r.Config.TraceKind}
+		cl := classes[k]
+		if cl == nil {
+			cl = &WCETClass{App: k.app, Kind: k.kind}
+			classes[k] = cl
+		}
+		cl.Cases++
+		bound := WCETBound(r)
+		if r.WallTime > cl.MaxObserved {
+			cl.MaxObserved = r.WallTime
+		}
+		if bound > cl.MaxBound {
+			cl.MaxBound = bound
+		}
+		if r.WallTime > bound {
+			cl.Exceeded++
+		}
+	}
+	rep := &WCETReport{Classes: make([]WCETClass, 0, len(classes))}
+	for _, cl := range classes {
+		rep.Classes = append(rep.Classes, *cl)
+	}
+	sort.Slice(rep.Classes, func(i, j int) bool {
+		a, b := rep.Classes[i], rep.Classes[j]
+		if a.App != b.App {
+			return a.App < b.App
+		}
+		return a.Kind < b.Kind
+	})
+	return rep
+}

@@ -1,0 +1,69 @@
+package fuzz
+
+import (
+	"math"
+	"testing"
+
+	"edbp/internal/energy"
+	"edbp/internal/sim"
+)
+
+// TestWCETBoundConstantSource checks the analytic estimate against the
+// closed form for a constant source, where the trace mean is exact.
+func TestWCETBoundConstantSource(t *testing.T) {
+	r := &sim.Result{ActiveTime: 0.5, Outages: 9}
+	r.Config.Source = energy.ConstantSource{P: 2e-3}
+	r.Config.Capacitor = energy.CapacitorConfig{Capacitance: 1e-6, VMax: 4, VMin: 2.8, LeakTau: 0}
+	r.Config.Monitor = energy.MonitorConfig{VCkpt: 3.2, VRst: 3.4}
+
+	need := 0.5 * 1e-6 * (3.4*3.4 - 2.8*2.8)
+	want := 0.5 + 10*need/2e-3
+	if got := WCETBound(r); math.Abs(got-want) > 1e-12 {
+		t.Errorf("WCETBound = %g, want %g", got, want)
+	}
+}
+
+// TestWCETBoundLeakDominated pins the +Inf escape: when worst-case
+// self-discharge at VRst outruns the mean harvest, no completion bound
+// exists.
+func TestWCETBoundLeakDominated(t *testing.T) {
+	r := &sim.Result{ActiveTime: 0.1, Outages: 1}
+	r.Config.Source = energy.ConstantSource{P: 1e-9}
+	r.Config.Capacitor = energy.CapacitorConfig{Capacitance: 1e-6, VMax: 4, VMin: 2.8, LeakTau: 1}
+	r.Config.Monitor = energy.MonitorConfig{VCkpt: 3.2, VRst: 3.4}
+	if got := WCETBound(r); !math.IsInf(got, 1) {
+		t.Errorf("WCETBound = %g, want +Inf", got)
+	}
+}
+
+// TestWCETReportClasses checks class aggregation: truncated runs are
+// excluded, classes key on (app, environment), and the table sorts by
+// app then environment.
+func TestWCETReportClasses(t *testing.T) {
+	mk := func(app string, kind energy.TraceKind, wall float64, truncated bool) *Outcome {
+		r := &sim.Result{WallTime: wall, ActiveTime: wall / 2, Outages: 2, Truncated: truncated}
+		r.Config.App = app
+		r.Config.TraceKind = kind
+		r.Config.Source = energy.ConstantSource{P: 10e-3}
+		r.Config.Capacitor = energy.CapacitorConfig{Capacitance: 1e-6, VMax: 4, VMin: 2.8}
+		r.Config.Monitor = energy.MonitorConfig{VCkpt: 3.2, VRst: 3.4}
+		return &Outcome{Artifacts: &Artifacts{Res: r}}
+	}
+	rep := newWCETReport([]*Outcome{
+		mk("sha", energy.Solar, 2.0, false),
+		mk("crc32", energy.RFHome, 1.0, false),
+		mk("crc32", energy.RFHome, 3.0, false),
+		mk("crc32", energy.Thermal, 9.0, true), // truncated: no completion time
+		nil,                                    // skipped case
+	})
+	if len(rep.Classes) != 2 {
+		t.Fatalf("classes = %+v, want 2", rep.Classes)
+	}
+	first := rep.Classes[0]
+	if first.App != "crc32" || first.Kind != energy.RFHome || first.Cases != 2 || first.MaxObserved != 3.0 {
+		t.Errorf("first class = %+v", first)
+	}
+	if rep.Classes[1].App != "sha" {
+		t.Errorf("second class = %+v", rep.Classes[1])
+	}
+}

@@ -9,6 +9,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"edbp/internal/cache"
 	"edbp/internal/checkpoint"
@@ -230,8 +231,43 @@ func Default(app string, scheme Scheme) Config {
 	}
 }
 
+// ConfigError reports a Config rejected by validation. Field names the
+// offending Config field (dotted for nested configs, e.g.
+// "Capacitor.Capacitance"); Reason says what is wrong with it; Err, when
+// non-nil, carries the subsystem validation error the rejection wraps
+// (energy, cache, cpu) and is exposed through Unwrap.
+//
+// Every invalid configuration — fuzz-generated ones included — must come
+// back as a *ConfigError from Run/RunContext rather than panicking inside
+// the engine or hanging in a degenerate simulation (config_error_test.go
+// pins each rejection).
+type ConfigError struct {
+	Field  string
+	Reason string
+	Err    error
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("sim: invalid Config.%s: %v", e.Field, e.Err)
+	}
+	return fmt.Sprintf("sim: invalid Config.%s: %s", e.Field, e.Reason)
+}
+
+// Unwrap exposes the wrapped subsystem error for errors.Is/As.
+func (e *ConfigError) Unwrap() error { return e.Err }
+
+// cfgErrf builds a *ConfigError with a formatted reason.
+func cfgErrf(field, format string, args ...any) *ConfigError {
+	return &ConfigError{Field: field, Reason: fmt.Sprintf(format, args...)}
+}
+
 // normalize fills zero values with defaults and validates the result.
 func (c Config) normalize() (Config, error) {
+	if math.IsNaN(c.Scale) || math.IsInf(c.Scale, 0) || c.Scale < 0 {
+		return c, cfgErrf("Scale", "must be a finite non-negative factor, got %g", c.Scale)
+	}
 	if c.Scale == 0 {
 		c.Scale = 1.0
 	}
@@ -277,26 +313,62 @@ func (c Config) normalize() (Config, error) {
 	if c.MaxSimTime == 0 {
 		c.MaxSimTime = 600
 	}
+	if math.IsNaN(c.MaxSimTime) || c.MaxSimTime < 0 {
+		return c, cfgErrf("MaxSimTime", "must be a positive simulation horizon in seconds, got %g", c.MaxSimTime)
+	}
 	if c.BatchCap == 0 {
 		c.BatchCap = DefaultBatchCap
 	}
 	if c.BatchCap < 0 {
-		return c, fmt.Errorf("sim: BatchCap must be non-negative, got %d", c.BatchCap)
+		return c, cfgErrf("BatchCap", "must be non-negative, got %d", c.BatchCap)
+	}
+	for _, s := range []struct {
+		field string
+		v     float64
+	}{
+		{"DCacheLeakFactor", c.DCacheLeakFactor},
+		{"CacheDynScale", c.CacheDynScale},
+		{"MemDynScale", c.MemDynScale},
+	} {
+		if math.IsNaN(s.v) || math.IsInf(s.v, 0) || s.v < 0 {
+			return c, cfgErrf(s.field, "must be a finite non-negative scale, got %g", s.v)
+		}
 	}
 	if err := c.Capacitor.Validate(); err != nil {
-		return c, err
+		return c, &ConfigError{Field: "Capacitor", Err: err}
 	}
 	if err := c.Monitor.Validate(c.Capacitor); err != nil {
-		return c, err
+		return c, &ConfigError{Field: "Monitor", Err: err}
 	}
 	if err := c.CPU.Validate(); err != nil {
-		return c, err
+		return c, &ConfigError{Field: "CPU", Err: err}
+	}
+	// Cache geometries are validated here — not left to cache.New inside
+	// the engine — so a zero-way or non-power-of-two fuzz config is
+	// rejected with the offending Config field named.
+	if err := c.dcacheConfig().Validate(); err != nil {
+		return c, &ConfigError{Field: "DCacheBytes/DCacheWays/BlockBytes", Err: err}
+	}
+	if err := c.icacheConfig().Validate(); err != nil {
+		return c, &ConfigError{Field: "ICacheBytes/ICacheWays/BlockBytes", Err: err}
+	}
+	if c.MemBytes < 0 {
+		return c, cfgErrf("MemBytes", "must be positive, got %d", c.MemBytes)
 	}
 	if c.Trace == nil && c.App == "" {
-		return c, fmt.Errorf("sim: config needs App or Trace")
+		return c, cfgErrf("App", "config needs App or Trace")
+	}
+	if c.Trace != nil && len(c.Trace.Events) == 0 {
+		return c, cfgErrf("Trace", "trace %q has no events; a workload trace must contain at least one op", c.Trace.Name)
 	}
 	if c.PredictICache && !c.ICacheSRAM {
-		return c, fmt.Errorf("sim: PredictICache requires ICacheSRAM (the ReRAM I-cache neither leaks much nor gates)")
+		return c, cfgErrf("PredictICache", "requires ICacheSRAM (the ReRAM I-cache neither leaks much nor gates)")
+	}
+	if c.PredictICache && c.Scheme == Ideal {
+		// The two-pass oracle records a gating schedule for the data cache
+		// only; there is no I-cache oracle to apply. Rejecting beats the
+		// engine-construction failure this produced (found by fuzzing).
+		return c, cfgErrf("PredictICache", "the Ideal oracle gates only the data cache; use a real predictor scheme")
 	}
 	return c, nil
 }

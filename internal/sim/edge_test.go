@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"edbp/internal/workload"
+)
+
+// TestBatchCapExceedsTrace pins the oversized-batch edge: a cap far
+// larger than the whole event stream means every batch is bounded by the
+// energy budget or the trace end, never the cap — and the results must
+// still be bit-identical to the reference stepper.
+func TestBatchCapExceedsTrace(t *testing.T) {
+	for _, scheme := range []Scheme{Baseline, EDBP, Ideal} {
+		cfg := Default("crc32", scheme)
+		cfg.Scale = 0.02
+		cfg.BatchCap = 1 << 20 // trace is a few thousand events
+
+		batched := comparableResult(runReplay(t, cfg, false, nil))
+		stepper := comparableResult(runReplay(t, cfg, true, nil))
+		if !reflect.DeepEqual(batched, stepper) {
+			t.Errorf("%v: oversized BatchCap diverged from stepper:\n got:  %+v\n want: %+v",
+				scheme, batched, stepper)
+		}
+	}
+}
+
+// TestCapacitorExactlyAtCheckpointThreshold starts the capacitor with its
+// stored energy exactly at the checkpoint threshold — zero headroom, the
+// knife-edge between "checkpoint now" and "one more flush". The batched
+// loop and the stepper must make the same call, and every hibernation
+// must pair with a checkpoint.
+func TestCapacitorExactlyAtCheckpointThreshold(t *testing.T) {
+	trace, err := workload.Cached("crc32", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []Scheme{Baseline, AMC, EDBP} {
+		run := func(ref bool) *Result {
+			cfg := Default("crc32", scheme)
+			cfg.Trace = trace
+			cfg, err := cfg.normalize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := newEngine(cfg, trace, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.refStepper = ref
+			st := e.cap.State()
+			st.Stored = e.eCkpt // exactly the threshold, no headroom
+			e.cap.SetState(st)
+			res, err := e.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		batched, stepper := run(false), run(true)
+		if !reflect.DeepEqual(batched, stepper) {
+			t.Errorf("%v: at-threshold start diverged:\n got:  %+v\n want: %+v", scheme, batched, stepper)
+		}
+		if batched.Checkpoints != batched.Outages {
+			t.Errorf("%v: %d checkpoints for %d outages", scheme, batched.Checkpoints, batched.Outages)
+		}
+		if batched.Outages == 0 {
+			t.Errorf("%v: an at-threshold start never checkpointed", scheme)
+		}
+	}
+}

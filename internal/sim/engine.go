@@ -143,6 +143,12 @@ type engine struct {
 	done      <-chan struct{}
 	cancelErr error
 
+	// initialStored is the capacitor energy at construction, recorded for
+	// Result.Cap (tests that SetState after newEngine keep both replay
+	// loops consistent because both record the same construction-time
+	// value).
+	initialStored float64
+
 	now        float64
 	eventIdx   uint64
 	instrsDone uint64
@@ -222,6 +228,7 @@ func newEngine(cfg Config, trace *workload.Trace, predOverride predictor.Predict
 		tracker:   metrics.NewTracker(dc.Sets(), dc.Ways()),
 	}
 	e.res.Config = cfg
+	e.initialStored = capac.Stored()
 
 	if cfg.Source != nil {
 		e.src = cfg.Source
@@ -1130,8 +1137,15 @@ func (e *engine) finish() (*Result, error) {
 	e.res.Prediction = e.tracker.Counts()
 	e.res.GatedBlockSeconds = e.tracker.GatedTime()
 	e.res.Truncated = e.truncated
-	_, _, leaked, _ := e.cap.Totals()
+	harvested, drained, leaked, wasted := e.cap.Totals()
 	e.res.Energy.CapacitorLeak = leaked
+	e.res.Cap = CapLedger{
+		Initial:   e.initialStored,
+		Final:     e.cap.Stored(),
+		Harvested: harvested,
+		Wasted:    wasted,
+		Drained:   drained,
+	}
 	if e.edbp != nil {
 		g, wk, down, rst := e.edbp.Stats()
 		e.res.EDBP = &EDBPStats{Gated: g, WrongKills: wk, StepsDown: down, Resets: rst, FinalFPR: e.edbp.FPR()}

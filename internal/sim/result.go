@@ -44,6 +44,32 @@ func (e EnergyBreakdown) Total() float64 {
 	return e.DCache() + e.ICache() + e.Memory + e.Checkpoint + e.Others()
 }
 
+// CapLedger is the capacitor's conservation ledger over one run: every
+// joule that entered or left the energy buffer, plus the endpoints. The
+// bookkeeping identity
+//
+//	Initial + Harvested − Wasted − Leaked − Drained = Final
+//
+// holds up to floating-point accumulation error (the five totals are
+// separate running sums over millions of steps), which is exactly the
+// "energy conservation within self-discharge bounds" invariant
+// internal/fuzz checks on every fuzzed configuration. Leaked is reported
+// as Energy.CapacitorLeak.
+type CapLedger struct {
+	// Initial is the stored energy at engine construction (½·C·VMax² —
+	// runs start fully charged).
+	Initial float64
+	// Final is the stored energy when the run ended.
+	Final float64
+	// Harvested is the energy accepted from the source before clamping.
+	Harvested float64
+	// Wasted is harvested energy discarded at the VMax regulator clamp.
+	Wasted float64
+	// Drained is the energy actually delivered to the load (≤ the demand
+	// accumulated in Energy: a bottomed-out capacitor delivers less).
+	Drained float64
+}
+
 // Result is everything one simulation run produced.
 type Result struct {
 	Config Config
@@ -56,6 +82,8 @@ type Result struct {
 	OffTime    float64
 
 	Energy EnergyBreakdown
+	// Cap is the capacitor's conservation ledger (see CapLedger).
+	Cap CapLedger
 
 	Instructions uint64
 	DCacheStats  cache.Stats

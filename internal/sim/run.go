@@ -57,12 +57,25 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	return runContextMode(ctx, cfg, false)
 }
 
+// RunReference is RunContext routed through the retained per-event
+// reference stepper instead of the default batched replay loop — both
+// Ideal oracle passes included. The two loops are bit-identical on every
+// configuration (batch_golden_test.go pins this package-internally), so
+// RunReference exists for external verification harnesses — notably
+// internal/fuzz, which replays sampled fuzz configurations through the
+// stepper and requires reflect.DeepEqual against the batched Result. It is
+// a verification oracle, not a performance knob: the stepper is ~40%
+// slower than the batched loop.
+func RunReference(ctx context.Context, cfg Config) (*Result, error) {
+	return runContextMode(ctx, cfg, true)
+}
+
 // runContextMode is RunContext with the replay-loop selection exposed for
-// the package's golden tests: refStepper routes every engine the run
-// constructs — both Ideal passes included — through the per-event
-// reference stepper instead of the batched loop. The two paths must
-// produce DeepEqual results (batch_golden_test.go pins this), which is
-// why the selector is not a Config field: Config is embedded in Result.
+// the package's golden tests and RunReference: refStepper routes every
+// engine the run constructs — both Ideal passes included — through the
+// per-event reference stepper instead of the batched loop. The two paths
+// must produce DeepEqual results (batch_golden_test.go pins this), which
+// is why the selector is not a Config field: Config is embedded in Result.
 func runContextMode(ctx context.Context, cfg Config, refStepper bool) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()

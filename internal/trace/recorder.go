@@ -296,11 +296,41 @@ func (r *Recorder) Restore(blocks int) {
 }
 
 // FinishRun closes the final (partial) cycle, if one is open, with the
-// run's final cumulative counts.
+// run's final cumulative counts. When the run ends between cycles — a
+// truncation horizon or cancellation hit during hibernation — the cycle
+// already closed at the outage, but the engine's teardown flush still
+// resolves the blocks left open at that outage; that residual is folded
+// into the last closed cycle so per-cycle sums stay exact.
 func (r *Recorder) FinishRun(counts metrics.Counts) {
 	if r.open {
 		r.closeCycle(counts)
+		return
 	}
+	delta := metrics.Counts{
+		TP:       counts.TP - r.lastCounts.TP,
+		FP:       counts.FP - r.lastCounts.FP,
+		TN:       counts.TN - r.lastCounts.TN,
+		FN:       counts.FN - r.lastCounts.FN,
+		ZombieFN: counts.ZombieFN - r.lastCounts.ZombieFN,
+	}
+	if delta == (metrics.Counts{}) {
+		return
+	}
+	r.lastCounts = counts
+	var last *CycleStats
+	switch {
+	case r.rest != nil:
+		last = r.rest // the overflow bucket holds the newest closed cycle
+	case len(r.cycles) > 0:
+		last = &r.cycles[len(r.cycles)-1]
+	default:
+		return // nothing recorded at all; drop rather than invent a cycle
+	}
+	last.Counts.TP += delta.TP
+	last.Counts.FP += delta.FP
+	last.Counts.TN += delta.TN
+	last.Counts.FN += delta.FN
+	last.Counts.ZombieFN += delta.ZombieFN
 }
 
 func (r *Recorder) closeCycle(counts metrics.Counts) {

@@ -219,3 +219,62 @@ func TestStartRunResetPreservesPriorSummary(t *testing.T) {
 		t.Fatalf("second run events = %d, want 1", second.Events)
 	}
 }
+
+// TestRecorderFinishAfterOutage covers the run-ends-mid-hibernation path:
+// the last cycle closed at the final outage, but the engine's teardown
+// flush still resolves blocks left open there. FinishRun must fold that
+// residual into the last closed cycle so per-cycle sums reproduce the
+// aggregates exactly (the fuzzer's cycle-conservation invariant).
+func TestRecorderFinishAfterOutage(t *testing.T) {
+	r := NewRecorder(Options{Label: "test"})
+	r.StartRun()
+	r.SetNow(1e-3)
+	r.EndCycle(metrics.Counts{TP: 4, TN: 10, FN: 1})
+	// No StartCycle: the horizon hit during hibernation. Teardown resolves
+	// two more TNs and one FN.
+	r.FinishRun(metrics.Counts{TP: 4, TN: 12, FN: 2})
+
+	s := r.Summary()
+	if len(s.Cycles) != 1 {
+		t.Fatalf("cycles = %d, want 1", len(s.Cycles))
+	}
+	want := metrics.Counts{TP: 4, TN: 12, FN: 2}
+	if s.Cycles[0].Counts != want {
+		t.Fatalf("cycle 0 counts = %+v, want %+v", s.Cycles[0].Counts, want)
+	}
+
+	// A second FinishRun (idempotence) must not double-fold.
+	r.FinishRun(metrics.Counts{TP: 4, TN: 12, FN: 2})
+	if got := r.Summary().Cycles[0].Counts; got != want {
+		t.Fatalf("after second FinishRun: %+v, want %+v", got, want)
+	}
+}
+
+// TestRecorderFinishAfterOutageOverflow routes the residual into the
+// overflow bucket when the newest closed cycle was folded there.
+func TestRecorderFinishAfterOutageOverflow(t *testing.T) {
+	r := NewRecorder(Options{Label: "test", MaxCycles: 1})
+	r.StartRun()
+	r.SetNow(1e-3)
+	r.EndCycle(metrics.Counts{TN: 3})
+	r.StartCycle()
+	r.SetNow(2e-3)
+	r.EndCycle(metrics.Counts{TN: 5}) // second close: folds into Rest
+	r.FinishRun(metrics.Counts{TN: 6, FN: 1})
+
+	s := r.Summary()
+	if s.Rest == nil {
+		t.Fatal("no overflow bucket")
+	}
+	var sum metrics.Counts
+	for _, c := range s.AllCycles() {
+		sum.TN += c.Counts.TN
+		sum.FN += c.Counts.FN
+	}
+	if sum.TN != 6 || sum.FN != 1 {
+		t.Fatalf("cycle sum = %+v, want TN 6 FN 1", sum)
+	}
+	if s.Rest.Counts.TN != 3 || s.Rest.Counts.FN != 1 {
+		t.Fatalf("rest counts = %+v, want TN 3 FN 1", s.Rest.Counts)
+	}
+}

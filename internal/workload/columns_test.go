@@ -1,0 +1,41 @@
+package workload
+
+import "testing"
+
+// TestColumnsEmptyTrace pins the zero-length edge: an empty trace has a
+// columnar view with zero-length (not nil-panicking) streams, and the
+// memoized pointer is stable across calls.
+func TestColumnsEmptyTrace(t *testing.T) {
+	tr := NewMem().Finish("empty", 0)
+	c := tr.Columns()
+	if c == nil {
+		t.Fatal("Columns() = nil")
+	}
+	if len(c.Ops) != 0 || len(c.Args) != 0 {
+		t.Fatalf("empty trace columns: %d ops, %d args", len(c.Ops), len(c.Args))
+	}
+	if tr.Columns() != c {
+		t.Error("Columns() not memoized")
+	}
+}
+
+// TestColumnsMatchEvents checks the structure-of-arrays view is an exact
+// transposition of the event stream, on a real recorded kernel.
+func TestColumnsMatchEvents(t *testing.T) {
+	tr, err := Cached("crc32", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("crc32 trace is empty")
+	}
+	c := tr.Columns()
+	if len(c.Ops) != len(tr.Events) || len(c.Args) != len(tr.Events) {
+		t.Fatalf("columns length %d/%d, events %d", len(c.Ops), len(c.Args), len(tr.Events))
+	}
+	for i, ev := range tr.Events {
+		if c.Ops[i] != ev.Op || c.Args[i] != ev.Arg {
+			t.Fatalf("event %d: columns (%v, %d) != event (%v, %d)", i, c.Ops[i], c.Args[i], ev.Op, ev.Arg)
+		}
+	}
+}
