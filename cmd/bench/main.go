@@ -35,7 +35,6 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"os/exec"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -43,6 +42,7 @@ import (
 	"time"
 
 	"edbp/internal/benchfmt"
+	"edbp/internal/buildinfo"
 	"edbp/internal/sim"
 	"edbp/internal/trace"
 	"edbp/internal/workload"
@@ -64,7 +64,12 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark loop to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the loop) to this file")
 	batchCaps := flag.String("batch-cap", "", "comma-separated BatchCap values to sweep (e.g. 1,64,512,4096); rows land in the snapshot's sweep section, outside regression gating")
+	version := flag.Bool("version", false, "print the build stamp and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Stamp("bench"))
+		return
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -85,7 +90,7 @@ func main() {
 	}
 
 	rep := benchfmt.Report{
-		Commit:    gitCommit(),
+		Commit:    buildinfo.Commit(),
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		App:       *app, Scale: *scale,
 		Events:    len(tr.Events),
@@ -158,7 +163,9 @@ func main() {
 	fmt.Printf("wrote %s\n", *out)
 
 	if *history != "" {
-		if err := benchfmt.AppendHistory(*history, &rep); err != nil {
+		// Dedup: re-running on the same commit replaces that commit's
+		// snapshot for this app instead of double-counting it.
+		if err := benchfmt.AppendHistoryDedup(*history, &rep); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("appended to %s\n", *history)
@@ -188,14 +195,4 @@ func parseCaps(s string) ([]int, error) {
 		out = append(out, n)
 	}
 	return out, nil
-}
-
-// gitCommit resolves the short HEAD hash, or "" when git (or the repo)
-// is unavailable — the snapshot is still valid, just unattributed.
-func gitCommit() string {
-	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
-	if err != nil {
-		return ""
-	}
-	return strings.TrimSpace(string(out))
 }

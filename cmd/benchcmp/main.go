@@ -32,6 +32,7 @@ import (
 	"text/tabwriter"
 
 	"edbp/internal/benchfmt"
+	"edbp/internal/buildinfo"
 )
 
 type options struct {
@@ -50,12 +51,17 @@ func main() {
 	flag.BoolVar(&opts.warn, "warn", false, "report regressions but exit 0")
 	flag.BoolVar(&opts.force, "force", false, "compare despite mismatched environment stamps")
 	flag.StringVar(&opts.history, "history", "", "JSONL trajectory to use as the baseline (mean over snapshots)")
+	version := flag.Bool("version", false, "print the build stamp and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: benchcmp [flags] old.json new.json\n       benchcmp [flags] -history hist.jsonl new.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Stamp("benchcmp"))
+		return
+	}
 	opts.args = flag.Args()
 	os.Exit(run(opts, os.Stdout, os.Stderr))
 }

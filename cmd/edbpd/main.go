@@ -19,10 +19,20 @@
 //	GET  /stream     Server-Sent Events feed of sampled gauges (capacitor
 //	                 voltage, live/gated/dirty blocks, FPR, zombie ratio)
 //	                 from an in-flight run; ?job=<id> follows an async job.
+//	GET  /runs       stored runs from the experiment store (-store): filters
+//	                 app/scheme/seed/commit/config_hash, latest=1, limit=N;
+//	                 format=raw returns a run's stored encoding byte for
+//	                 byte.
+//	GET  /query      q=<statement> in the store's SELECT grammar (runs,
+//	                 agg, delta, wcet, apps/schemes/commits); JSON table by
+//	                 default, format=text for the plain rendering.
 //	GET  /debug/pprof/*  net/http/pprof, only when -pprof is set.
 //
 // Identical configs are answered from a sha256 config-hash result cache;
 // fresh runs share the process-wide workload and energy-trace memoization.
+// With -store DIR every fresh completed run is also appended to the
+// persistent experiment store (keyed by config hash and the build's
+// commit), queryable via /runs, /query and cmd/edbpq across restarts.
 // SIGTERM/SIGINT stops intake (healthz flips to 503), finishes queued
 // jobs, and exits 0 — a clean drain for rolling restarts.
 //
@@ -36,12 +46,16 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
+
+	"edbp/internal/buildinfo"
+	"edbp/internal/store"
 )
 
 func main() {
@@ -55,15 +69,32 @@ func main() {
 		runTimeout   = flag.Duration("run-timeout", 15*time.Minute, "per-run deadline, sync and async")
 		drainTimeout = flag.Duration("drain-timeout", time.Minute, "how long to wait for queued jobs on shutdown")
 		pprofFlag    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		storeDir     = flag.String("store", "", "experiment store directory; persists every fresh completed run and enables /runs and /query")
+		version      = flag.Bool("version", false, "print the build stamp and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Stamp("edbpd"))
+		return
+	}
 
-	srv := newServer(serverOptions{
+	opts := serverOptions{
 		queueDepth: *queue,
 		workers:    *workers,
 		runTimeout: *runTimeout,
 		pprof:      *pprofFlag,
-	})
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer st.Close()
+		opts.store = st
+		opts.commit = buildinfo.Commit()
+		log.Printf("experiment store at %s (%d runs, commit %s)", *storeDir, st.Len(), opts.commit)
+	}
+	srv := newServer(opts)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -41,6 +41,12 @@ type serverMetrics struct {
 	traceEvents    [tracepkg.KindCount]*obs.Counter
 	traceDropped   *obs.Counter // ring="events"
 	samplesDropped *obs.Counter // ring="samples"
+
+	storeAppends      *obs.Counter
+	storeAppendErrors *obs.Counter
+	storeAppendSecs   *obs.Histogram
+	storeQueries      *obs.Counter
+	storeQueryErrors  *obs.Counter
 }
 
 // newServerMetrics registers edbpd's families on reg. A nil reg yields a
@@ -78,7 +84,42 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		"Trace-ring overwrites (recorded but no longer exportable), by ring.", "ring")
 	m.traceDropped = dropped.With("events")
 	m.samplesDropped = dropped.With("samples")
+	m.storeAppends = reg.Counter("edbpd_store_appends_total",
+		"Completed runs appended to the experiment store.")
+	m.storeAppendErrors = reg.Counter("edbpd_store_append_errors_total",
+		"Experiment-store appends that failed (the run's response was still served).")
+	m.storeAppendSecs = reg.Histogram("edbpd_store_append_seconds",
+		"Host wall time per experiment-store append.", queueWaitBuckets)
+	m.storeQueries = reg.Counter("edbpd_store_queries_total",
+		"GET /query statements executed against the experiment store.")
+	m.storeQueryErrors = reg.Counter("edbpd_store_query_errors_total",
+		"GET /query statements rejected (parse or execution failure).")
 	return m
+}
+
+// observeStoreAppend records one experiment-store append attempt.
+func (m *serverMetrics) observeStoreAppend(ok bool, seconds float64) {
+	if m == nil {
+		return
+	}
+	if ok {
+		m.storeAppends.Inc()
+	} else {
+		m.storeAppendErrors.Inc()
+	}
+	m.storeAppendSecs.Observe(seconds)
+}
+
+// observeStoreQuery counts one GET /query execution.
+func (m *serverMetrics) observeStoreQuery(ok bool) {
+	if m == nil {
+		return
+	}
+	if ok {
+		m.storeQueries.Inc()
+	} else {
+		m.storeQueryErrors.Inc()
+	}
 }
 
 // observeRun records one successful simulation: aggregate counters, the

@@ -21,6 +21,7 @@ import (
 	"edbp/internal/nvm"
 	"edbp/internal/obs"
 	"edbp/internal/sim"
+	"edbp/internal/store"
 	tracepkg "edbp/internal/trace"
 )
 
@@ -266,6 +267,14 @@ type serverOptions struct {
 	// inject their own to read instruments directly.
 	registry *obs.Registry
 
+	// store, when non-nil, receives every fresh completed run (keyed by
+	// commit) and backs GET /runs and GET /query. The server does not own
+	// it — the caller opens and closes it.
+	store *store.Store
+	// commit attributes persisted runs to the producing build
+	// (buildinfo.Commit() in production; tests pin a constant).
+	commit string
+
 	// holdJobs, when non-nil, blocks each worker after dequeuing until the
 	// channel closes. Test-only: it freezes the pool so queue-bound
 	// behaviour is observable without timing races.
@@ -317,12 +326,18 @@ func newServer(opts serverOptions) *server {
 	// gauge only transiently, but free and impossible to drift).
 	s.reg.GaugeFunc("edbpd_queue_depth", "Async jobs currently in the bounded queue channel.",
 		func() float64 { return float64(len(s.queue)) })
+	if opts.store != nil {
+		s.reg.GaugeFunc("edbpd_store_records", "Result records in the experiment store (superseded included).",
+			func() float64 { return float64(opts.store.Len()) })
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /run", s.handleRun)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /stream", s.handleStream)
+	s.mux.HandleFunc("GET /runs", s.handleRuns)
+	s.mux.HandleFunc("GET /query", s.handleQuery)
 	if opts.pprof {
 		// Gated behind -pprof: profiling endpoints expose execution
 		// details and cost CPU, so production deployments opt in.
@@ -436,9 +451,23 @@ func (s *server) run(ctx context.Context, req runRequest, j *job) (*runOutput, e
 		return nil, err
 	}
 	s.met.observeRun(req.App, cfg.Scheme.String(), res, time.Since(start).Seconds())
+	s.persist(cfg, res)
 	out := output(req, res)
 	s.cache.Store(key, out)
 	return out, nil
+}
+
+// persist appends a fresh completed run to the experiment store (when one
+// is configured), keyed by its config hash and the server's commit. A
+// store failure never fails the request — the result is still correct —
+// but it is counted, so a wedged store is visible in /metrics.
+func (s *server) persist(cfg sim.Config, res *sim.Result) {
+	if s.opts.store == nil {
+		return
+	}
+	start := time.Now()
+	err := s.opts.store.PutResult(store.KeyFor(cfg, s.opts.commit), res, time.Now().Unix())
+	s.met.observeStoreAppend(err == nil, time.Since(start).Seconds())
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -517,13 +546,149 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// validJobID reports whether id has the shape handleRun issues ("job-" + a
+// positive decimal). Anything else is a client-side construction error, not
+// a job that might exist later.
+func validJobID(id string) bool {
+	num, ok := strings.CutPrefix(id, "job-")
+	if !ok || num == "" || num[0] == '0' {
+		return false
+	}
+	for _, r := range num {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
 func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
-	v, ok := s.jobs.Load(r.PathValue("id"))
+	id := r.PathValue("id")
+	// 400 for an id this server could never have issued, 404 for a
+	// well-formed id it simply doesn't know — clients retrying a 404 might
+	// be early; retrying a 400 is pointless.
+	if !validJobID(id) {
+		httpError(w, http.StatusBadRequest, "malformed job id %q (want job-<n>)", id)
+		return
+	}
+	v, ok := s.jobs.Load(id)
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		httpError(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, v.(*job).snapshot())
+}
+
+// storedRun is one GET /runs response item.
+type storedRun struct {
+	Key    store.Key   `json:"key"`
+	Time   int64       `json:"unix_time"`
+	Result *sim.Result `json:"result"`
+}
+
+// handleRuns serves GET /runs from the experiment store. Query params
+// app, scheme, seed, commit and config_hash (prefix allowed) filter;
+// limit caps; latest=1 keeps only each key's newest record. With
+// format=raw (config_hash required) the response is the stored
+// sim.EncodeResult envelope byte for byte — the CI smoke job asserts the
+// exact round trip against it.
+func (s *server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	if s.opts.store == nil {
+		httpError(w, http.StatusNotFound, "no experiment store configured (start edbpd with -store)")
+		return
+	}
+	q := r.URL.Query()
+	f := store.Filter{
+		App:        q.Get("app"),
+		Scheme:     q.Get("scheme"),
+		Commit:     q.Get("commit"),
+		ConfigHash: q.Get("config_hash"),
+		LatestOnly: q.Get("latest") != "",
+	}
+	if v := q.Get("seed"); v != "" {
+		seed, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad seed %q", v)
+			return
+		}
+		f.Seed = &seed
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		f.Limit = n
+	}
+
+	if q.Get("format") == "raw" {
+		if f.ConfigHash == "" {
+			httpError(w, http.StatusBadRequest, "format=raw needs config_hash")
+			return
+		}
+		raw, _, ok, err := s.opts.store.RawByHash(f.ConfigHash)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		if !ok {
+			httpError(w, http.StatusNotFound, "no stored run for config hash %q", f.ConfigHash)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(raw)
+		return
+	}
+
+	runs, err := s.opts.store.Select(f)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	out := make([]storedRun, 0, len(runs))
+	for _, run := range runs {
+		out = append(out, storedRun{Key: run.Key, Time: run.Time, Result: run.Result})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleQuery serves GET /query?q=<statement> over the experiment store's
+// SELECT grammar (see internal/store.ParseQuery). The default response is
+// the result table as JSON; format=text renders the same table as the
+// plain text cmd/experiments emits.
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.opts.store == nil {
+		httpError(w, http.StatusNotFound, "no experiment store configured (start edbpd with -store)")
+		return
+	}
+	stmt := r.URL.Query().Get("q")
+	if stmt == "" {
+		httpError(w, http.StatusBadRequest, "missing query parameter q")
+		return
+	}
+	parsed, err := store.ParseQuery(stmt)
+	if err != nil {
+		s.met.observeStoreQuery(false)
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	table, err := s.opts.store.Execute(r.Context(), parsed)
+	if err != nil {
+		s.met.observeStoreQuery(false)
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	s.met.observeStoreQuery(true)
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		table.Print(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id": table.ID, "title": table.Title,
+		"header": table.Header, "rows": table.Rows, "notes": table.Notes,
+	})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {

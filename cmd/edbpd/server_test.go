@@ -145,8 +145,10 @@ func TestRunAsync(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 	}
 
-	if code := doJSON(t, "GET", ts.URL+"/jobs/nope", "", nil); code != http.StatusNotFound {
-		t.Errorf("GET /jobs/nope = %d, want 404", code)
+	// Malformed ids are client errors; well-formed-but-unknown ids are 404
+	// (TestJobIDResponseCodes pins the full matrix).
+	if code := doJSON(t, "GET", ts.URL+"/jobs/nope", "", nil); code != http.StatusBadRequest {
+		t.Errorf("GET /jobs/nope = %d, want 400", code)
 	}
 }
 

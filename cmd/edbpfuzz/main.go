@@ -28,9 +28,12 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
+	"edbp/internal/buildinfo"
 	"edbp/internal/fuzz"
 	"edbp/internal/obs"
+	"edbp/internal/store"
 )
 
 func main() {
@@ -56,9 +59,15 @@ func run(ctx context.Context, stdout, stderr io.Writer, args []string) int {
 		reproOut    = fs.String("repro-out", "", "write the shrunk minimal reproducer to this file on violation")
 		noShrink    = fs.Bool("no-shrink", false, "skip shrinking on violation (report only)")
 		quiet       = fs.Bool("quiet", false, "suppress progress lines on stderr")
+		storeDir    = fs.String("store", "", "experiment store directory; with -wcet the per-class bounds are appended as trend records")
+		version     = fs.Bool("version", false, "print the build stamp and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.Stamp("edbpfuzz"))
+		return 0
 	}
 
 	opts := fuzz.Options{
@@ -86,6 +95,16 @@ func run(ctx context.Context, stdout, stderr io.Writer, args []string) int {
 		return 2
 	}
 	fuzz.Report(stdout, campaign)
+
+	if *storeDir != "" && campaign.WCET != nil {
+		if err := persistWCET(*storeDir, campaign.WCET); err != nil {
+			fmt.Fprintf(stderr, "edbpfuzz: persisting WCET bounds: %v\n", err)
+			return 2
+		}
+		if !*quiet {
+			fmt.Fprintf(stderr, "edbpfuzz: appended %d WCET class records to %s\n", len(campaign.WCET.Classes), *storeDir)
+		}
+	}
 
 	if len(campaign.Violations) == 0 {
 		return 0
@@ -116,4 +135,34 @@ func run(ctx context.Context, stdout, stderr io.Writer, args []string) int {
 		}
 	}
 	return 1
+}
+
+// persistWCET appends the campaign's per-(kernel, environment) worst-case
+// completion bounds to the experiment store as trend records, stamped with
+// the producing commit — "select wcet" in cmd/edbpq charts them across
+// history.
+func persistWCET(dir string, rep *fuzz.WCETReport) error {
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	commit := buildinfo.Commit()
+	now := time.Now().Unix()
+	for _, cl := range rep.Classes {
+		rec := store.WCETRecord{
+			App:         cl.App,
+			Env:         cl.Kind.String(),
+			Commit:      commit,
+			Time:        now,
+			Cases:       cl.Cases,
+			MaxObserved: cl.MaxObserved,
+			MaxBound:    store.Bound(cl.MaxBound),
+			Exceeded:    cl.Exceeded,
+		}
+		if err := st.PutWCET(rec); err != nil {
+			return err
+		}
+	}
+	return nil
 }

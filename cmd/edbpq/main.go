@@ -1,0 +1,194 @@
+// Command edbpq queries the persistent experiment store: stored runs,
+// per-scheme aggregates, cross-commit regression deltas, WCET trend records
+// and full figure reconstruction, without re-running a single simulation.
+//
+// Usage:
+//
+//	edbpq -store runs.store -q "select agg wall_s where app=crc32"
+//	edbpq -store runs.store -q "figure fig8 scale=0.02 seeds=1 apps=crc32,sha"
+//	edbpq -store runs.store        # REPL; "help" lists the grammar
+//
+// Query results render as box tables; "figure" output is byte-identical to
+// the live cmd/experiments rendering of the same table (see DESIGN.md §11).
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"edbp/internal/buildinfo"
+	"edbp/internal/experiments"
+	"edbp/internal/store"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Stdin, os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+// run is main without the process plumbing, so tests can drive the full
+// CLI — REPL included — and diff its output byte for byte.
+func run(ctx context.Context, stdin io.Reader, stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("edbpq", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dir     = fs.String("store", "", "experiment store directory (required)")
+		query   = fs.String("q", "", "one-shot query; without it edbpq reads a REPL from stdin")
+		version = fs.Bool("version", false, "print the build stamp and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.Stamp("edbpq"))
+		return 0
+	}
+	if *dir == "" {
+		fmt.Fprintln(stderr, "edbpq: -store is required (the experiment store directory)")
+		return 2
+	}
+	s, err := store.Open(*dir, store.Options{})
+	if err != nil {
+		fmt.Fprintf(stderr, "edbpq: %v\n", err)
+		return 2
+	}
+	defer s.Close()
+
+	if *query != "" {
+		if err := execLine(ctx, s, *query, stdout); err != nil {
+			fmt.Fprintf(stderr, "edbpq: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	// REPL: one statement per line; errors report and continue.
+	fmt.Fprintf(stdout, "edbpq — experiment store at %s (%d runs). \"help\" lists the grammar.\n", *dir, s.Len())
+	sc := bufio.NewScanner(stdin)
+	for {
+		fmt.Fprint(stdout, "edbpq> ")
+		if !sc.Scan() {
+			fmt.Fprintln(stdout)
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == "quit" || line == "exit":
+			return 0
+		case line == "help":
+			printHelp(stdout)
+			continue
+		}
+		if err := execLine(ctx, s, line, stdout); err != nil {
+			fmt.Fprintf(stdout, "error: %v\n", err)
+		}
+		if ctx.Err() != nil {
+			return 0
+		}
+	}
+	return 0
+}
+
+func printHelp(w io.Writer) {
+	fmt.Fprint(w, `statements:
+  select runs  [where k=v [and k=v]…] [limit N]     list stored runs
+  select agg <metric> [where …]                      mean ± 95% CI per scheme
+  select delta <metric> from <commit> to <commit>    cross-commit diff with
+         [where …] [threshold 0.10]                  regression flagging
+  select wcet  [where …] [limit N]                   WCET bound trend records
+  select apps | schemes | commits                    distinct key values
+  figure <id> [scale=S] [seeds=N] [seed=K] [apps=a,b]
+                                                     rebuild a figure from
+                                                     stored runs (no sim)
+where fields: app, scheme, seed, commit, hash, env
+metrics:
+`)
+	for _, m := range store.Metrics {
+		dir := "lower is better"
+		if !m.LowerIsBetter {
+			dir = "higher is better"
+		}
+		fmt.Fprintf(w, "  %-13s %s (%s)\n", m.Name, m.Help, dir)
+	}
+}
+
+// execLine runs one statement. "figure …" reconstructs an experiment table
+// from the store and prints it with experiments.Table.Print — the exact
+// bytes a live cmd/experiments run emits; everything else goes through the
+// query engine and the box renderer.
+func execLine(ctx context.Context, s *store.Store, line string, w io.Writer) error {
+	toks := strings.Fields(line)
+	if len(toks) > 0 && strings.EqualFold(toks[0], "figure") {
+		id, opts, err := parseFigure(toks[1:])
+		if err != nil {
+			return err
+		}
+		t, err := s.Reconstruct(ctx, id, opts)
+		if err != nil {
+			return err
+		}
+		t.Print(w)
+		return nil
+	}
+	q, err := store.ParseQuery(line)
+	if err != nil {
+		return err
+	}
+	t, err := s.Execute(ctx, q)
+	if err != nil {
+		return err
+	}
+	renderBox(w, t)
+	return nil
+}
+
+// parseFigure decodes "figure <id> [k=v]…" arguments.
+func parseFigure(toks []string) (string, experiments.Options, error) {
+	var o experiments.Options
+	if len(toks) == 0 {
+		return "", o, fmt.Errorf("figure needs an experiment id (e.g. \"figure fig8\")")
+	}
+	id := toks[0]
+	for _, tok := range toks[1:] {
+		k, v, ok := strings.Cut(tok, "=")
+		if !ok {
+			return "", o, fmt.Errorf("figure option %q is not key=value", tok)
+		}
+		switch strings.ToLower(k) {
+		case "scale":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f <= 0 {
+				return "", o, fmt.Errorf("bad scale %q", v)
+			}
+			o.Scale = f
+		case "seeds":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return "", o, fmt.Errorf("bad seeds %q", v)
+			}
+			o.Seeds = n
+		case "seed":
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return "", o, fmt.Errorf("bad seed %q", v)
+			}
+			o.Seed = n
+		case "apps":
+			o.Apps = strings.Split(v, ",")
+		default:
+			return "", o, fmt.Errorf("unknown figure option %q (want scale, seeds, seed or apps)", k)
+		}
+	}
+	return id, o, nil
+}

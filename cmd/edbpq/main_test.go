@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"context"
+
+	"strings"
+	"testing"
+
+	"edbp/internal/experiments"
+	"edbp/internal/sim"
+	"edbp/internal/store"
+)
+
+// fixture builds a small deterministic store: one NVSRAMCache run, two EDBP
+// runs (seeds 1 and 2) and one WCET record.
+func fixture(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	add := func(scheme sim.Scheme, seed uint64, wall float64) {
+		cfg := sim.Default("crc32", scheme)
+		cfg.SourceSeed = seed
+		res := &sim.Result{Config: cfg, WallTime: wall, ActiveTime: wall, Outages: 2}
+		if err := s.PutResult(store.KeyFor(cfg, "c1"), res, int64(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(sim.Baseline, 1, 10)
+	add(sim.EDBP, 1, 5)
+	add(sim.EDBP, 2, 7)
+	if err := s.PutWCET(store.WCETRecord{App: "crc32", Env: "solar", Commit: "c1", Time: 9, Cases: 3, MaxObserved: 1.5, MaxBound: 2}); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func runQ(t *testing.T, dir, q string) (string, string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(context.Background(), strings.NewReader(""), &out, &errb, []string{"-store", dir, "-q", q})
+	return out.String(), errb.String(), code
+}
+
+// TestAggGolden pins the box-table rendering byte for byte.
+func TestAggGolden(t *testing.T) {
+	out, _, code := runQ(t, fixture(t), "select agg wall_s")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	want := `agg wall_s: simulated end-to-end seconds (hibernation included) per scheme, mean ± 95% CI
+┌─────────────┬───┬───────────┬──────────┬───────────┬───────────┐
+│ scheme      │ n │ mean      │ ci95     │ min       │ max       │
+├─────────────┼───┼───────────┼──────────┼───────────┼───────────┤
+│ NVSRAMCache │ 1 │ 10.000000 │ 0.000000 │ 10.000000 │ 10.000000 │
+│ EDBP        │ 2 │ 6.000000  │ 1.960000 │ 5.000000  │ 7.000000  │
+└─────────────┴───┴───────────┴──────────┴───────────┴───────────┘
+`
+	if out != want {
+		t.Fatalf("agg rendering changed:\n got:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+// TestWCETGolden covers the wcet table including the finite-bound column.
+func TestWCETGolden(t *testing.T) {
+	out, _, code := runQ(t, fixture(t), "select wcet")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	want := `wcet: worst-case completion-time bounds per (app, environment) class, oldest first
+┌───────┬───────┬────────┬──────┬───────┬────────────────┬─────────────┬──────────┐
+│ app   │ env   │ commit │ time │ cases │ max_observed_s │ max_bound_s │ exceeded │
+├───────┼───────┼────────┼──────┼───────┼────────────────┼─────────────┼──────────┤
+│ crc32 │ solar │ c1     │ 9    │ 3     │ 1.500          │ 2.000       │ 0        │
+└───────┴───────┴────────┴──────┴───────┴────────────────┴─────────────┴──────────┘
+1 record(s)
+`
+	if out != want {
+		t.Fatalf("wcet rendering changed:\n got:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+func TestEmptyResultRendering(t *testing.T) {
+	out, _, code := runQ(t, fixture(t), "select runs where app=nosuch")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "(empty)") || !strings.Contains(out, "0 run(s)") {
+		t.Fatalf("empty select should render an (empty) box:\n%s", out)
+	}
+}
+
+func TestOneShotErrors(t *testing.T) {
+	dir := fixture(t)
+	if _, errb, code := runQ(t, dir, "select bogus"); code != 1 || !strings.Contains(errb, "unknown query verb") {
+		t.Fatalf("bad query: code=%d stderr=%q", code, errb)
+	}
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), strings.NewReader(""), &out, &errb, nil); code != 2 || !strings.Contains(errb.String(), "-store is required") {
+		t.Fatalf("missing -store: code=%d stderr=%q", code, errb.String())
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), strings.NewReader(""), &out, &errb, []string{"-version"}); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.HasPrefix(out.String(), "edbp edbpq commit ") {
+		t.Fatalf("version stamp: %q", out.String())
+	}
+}
+
+// TestREPL drives the interactive loop: help, a query, an error (which must
+// not kill the session), quit.
+func TestREPL(t *testing.T) {
+	dir := fixture(t)
+	in := strings.NewReader("help\nselect schemes\nselect bogus\nquit\n")
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), in, &out, &errb, []string{"-store", dir}); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb.String())
+	}
+	s := out.String()
+	if strings.Count(s, "edbpq> ") != 4 {
+		t.Fatalf("want 4 prompts, got %d:\n%s", strings.Count(s, "edbpq> "), s)
+	}
+	for _, frag := range []string{"(3 runs)", "statements:", "EDBP", "NVSRAMCache", "error: store: unknown query verb"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("REPL transcript missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+// TestFigureByteIdentity proves the CLI's "figure" command prints the exact
+// bytes a live cmd/experiments run emits for the same table.
+func TestFigureByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := experiments.Options{
+		Apps: []string{"crc32", "sha"}, Scale: 0.02, Seeds: 1, Workers: 2,
+		Persist: s.PersistHook("c1", func() int64 { return 1 }),
+	}
+	live, err := experiments.Figure8(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	live.Print(&want)
+
+	out, errb, code := runQ(t, dir, "figure fig8 scale=0.02 seeds=1 apps=crc32,sha")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	if out != want.String() {
+		t.Fatalf("figure output differs from the live run\n got:\n%s\nwant:\n%s", out, want.String())
+	}
+}
+
+func TestParseFigureErrors(t *testing.T) {
+	for _, toks := range [][]string{
+		{},
+		{"fig8", "scale"},
+		{"fig8", "scale=-1"},
+		{"fig8", "seeds=0"},
+		{"fig8", "seed=x"},
+		{"fig8", "color=red"},
+	} {
+		if _, _, err := parseFigure(toks); err == nil {
+			t.Errorf("parseFigure(%v): expected an error", toks)
+		}
+	}
+	id, o, err := parseFigure([]string{"fig4", "scale=0.5", "seeds=2", "seed=9", "apps=crc32,sha"})
+	if err != nil || id != "fig4" || o.Scale != 0.5 || o.Seeds != 2 || o.Seed != 9 || len(o.Apps) != 2 {
+		t.Fatalf("parseFigure: id=%q o=%+v err=%v", id, o, err)
+	}
+}

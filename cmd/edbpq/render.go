@@ -1,0 +1,77 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+
+	"edbp/internal/experiments"
+)
+
+// renderBox draws an experiments.Table as a box-drawn grid:
+//
+//	┌────────┬───┐
+//	│ scheme │ n │
+//	├────────┼───┤
+//	│ EDBP   │ 4 │
+//	└────────┴───┘
+//
+// The title prints above the box, notes below. Width accounting is
+// rune-based so the frame stays aligned around future non-ASCII cells.
+func renderBox(w io.Writer, t *experiments.Table) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s: %s\n", t.ID, t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = utf8.RuneCountInString(h)
+	}
+	body := t.Rows
+	if len(body) == 0 && len(widths) > 0 {
+		body = [][]string{{"(empty)"}}
+	}
+	for _, r := range body {
+		for i, c := range r {
+			if i < len(widths) && utf8.RuneCountInString(c) > widths[i] {
+				widths[i] = utf8.RuneCountInString(c)
+			}
+		}
+	}
+	rule := func(left, mid, right string) {
+		var b strings.Builder
+		b.WriteString(left)
+		for i, wd := range widths {
+			if i > 0 {
+				b.WriteString(mid)
+			}
+			b.WriteString(strings.Repeat("─", wd+2))
+		}
+		b.WriteString(right)
+		fmt.Fprintln(w, b.String())
+	}
+	row := func(cells []string) {
+		var b strings.Builder
+		for i, wd := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			b.WriteString("│ ")
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", wd-utf8.RuneCountInString(c)+1))
+		}
+		b.WriteString("│")
+		fmt.Fprintln(w, b.String())
+	}
+	rule("┌", "┬", "┐")
+	row(t.Header)
+	rule("├", "┼", "┤")
+	for _, r := range body {
+		row(r)
+	}
+	rule("└", "┴", "┘")
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "%s\n", n)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"syscall"
 
+	"edbp/internal/buildinfo"
 	"edbp/internal/cache"
 	"edbp/internal/energy"
 	"edbp/internal/nvm"
@@ -108,8 +109,13 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event file (load in Perfetto / chrome://tracing)")
 		traceJSONL = flag.String("trace-jsonl", "", "write the raw event/sample stream as JSON Lines (read with cmd/tracereport)")
 		sampleUS   = flag.Float64("sample-every", 20, "telemetry gauge sampling period in µs (with -trace-out/-trace-jsonl)")
+		version    = flag.Bool("version", false, "print the build stamp and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Stamp("edbpsim"))
+		return
+	}
 
 	if *list {
 		for _, a := range workload.Apps() {

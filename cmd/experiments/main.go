@@ -4,6 +4,11 @@
 //
 //	experiments -run fig8,fig11 [-scale 0.5] [-apps crc32,sha]
 //	experiments -run all
+//	experiments -run fig8 -store runs.store   # persist every simulation
+//
+// With -store every completed simulation of the grid is appended to the
+// persistent experiment store, keyed by config hash and the build's
+// commit; cmd/edbpq can then rebuild the same tables without simulating.
 package main
 
 import (
@@ -20,7 +25,9 @@ import (
 	"syscall"
 	"time"
 
+	"edbp/internal/buildinfo"
 	"edbp/internal/experiments"
+	"edbp/internal/store"
 )
 
 func main() {
@@ -40,8 +47,15 @@ func main() {
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (after the runs) to this file")
+
+		storeDir = flag.String("store", "", "experiment store directory; every completed simulation is appended to it")
+		version  = flag.Bool("version", false, "print the build stamp and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Stamp("experiments"))
+		return
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -71,6 +85,15 @@ func main() {
 	o := experiments.Options{Scale: *scale, Seed: *seed, Seeds: *seeds, Workers: *workers}
 	if *apps != "" {
 		o.Apps = strings.Split(*apps, ",")
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer st.Close()
+		o.Persist = st.PersistHook(buildinfo.Commit(), func() int64 { return time.Now().Unix() })
+		log.Printf("persisting runs to %s (%d already stored)", *storeDir, st.Len())
 	}
 
 	// Ctrl-C / SIGTERM cancels the in-flight simulation grid instead of

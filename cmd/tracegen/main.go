@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 
+	"edbp/internal/buildinfo"
 	"edbp/internal/energy"
 	"edbp/internal/workload"
 )
@@ -21,13 +22,18 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tracegen: ")
 	var (
-		app    = flag.String("app", "", "single workload to record (default: all)")
-		scale  = flag.Float64("scale", 1.0, "workload scale factor")
-		dump   = flag.Int("dump", 0, "print the first N trace events")
-		etrace = flag.String("energy", "", "sample an energy trace (RFHome|RFOffice|Thermal|Solar) instead")
-		seed   = flag.Uint64("seed", 1, "energy trace seed")
+		app     = flag.String("app", "", "single workload to record (default: all)")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor")
+		dump    = flag.Int("dump", 0, "print the first N trace events")
+		etrace  = flag.String("energy", "", "sample an energy trace (RFHome|RFOffice|Thermal|Solar) instead")
+		seed    = flag.Uint64("seed", 1, "energy trace seed")
+		version = flag.Bool("version", false, "print the build stamp and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Stamp("tracegen"))
+		return
+	}
 
 	if *etrace != "" {
 		kind, err := energy.ParseTraceKind(*etrace)

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"text/tabwriter"
 
+	"edbp/internal/buildinfo"
 	"edbp/internal/trace"
 )
 
@@ -28,8 +29,13 @@ func main() {
 	var (
 		cycles  = flag.Int("cycles", 20, "power cycles to list individually (0 = totals only)")
 		profile = flag.String("profile", "", "write the voltage-vs-zombie profile (Figure 4) as CSV to this file")
+		version = flag.Bool("version", false, "print the build stamp and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Stamp("tracereport"))
+		return
+	}
 	if flag.NArg() != 1 {
 		log.Fatal("usage: tracereport [-cycles N] [-profile out.csv] run.jsonl")
 	}

@@ -115,6 +115,57 @@ func AppendHistory(path string, r *Report) error {
 	return f.Close()
 }
 
+// AppendHistoryDedup appends the snapshot like AppendHistory, but first
+// removes any existing snapshot with the same (commit, app) pair:
+// re-running cmd/bench on the same commit replaces that commit's
+// measurement instead of double-counting it, so history-mode mean±stddev
+// reflects one sample per commit per benchmark. Snapshots with an empty
+// commit (unattributable) are never deduplicated. The rewrite goes through
+// a temp file + rename, so a crash leaves either the old or the new
+// history, not a half-written one.
+func AppendHistoryDedup(path string, r *Report) error {
+	if r.Commit == "" {
+		return AppendHistory(path, r)
+	}
+	history, err := ReadHistoryFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	kept := history[:0]
+	for i := range history {
+		if history[i].Commit == r.Commit && history[i].App == r.App {
+			continue
+		}
+		kept = append(kept, history[i])
+	}
+	if len(kept) == len(history) {
+		return AppendHistory(path, r)
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for i := range kept {
+		if err := enc.Encode(&kept[i]); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := enc.Encode(r); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
 // Env renders the snapshot's measurement environment on one line.
 func (r *Report) Env() string {
 	return fmt.Sprintf("app=%s scale=%g gomaxprocs=%d go=%s cpus=%d",
@@ -198,6 +249,23 @@ type Delta struct {
 	N            int
 }
 
+// Mark fills Pct and Regression from Old/New: the signed relative change,
+// flagged when it moves in the bad direction by more than threshold.
+// These are the comparison semantics every regression surface shares —
+// Compare uses it for bench snapshots, internal/store for cross-commit
+// experiment deltas.
+func (d *Delta) Mark(lowerIsBetter bool, threshold float64) {
+	d.Pct = 0
+	if d.Old != 0 {
+		d.Pct = (d.New - d.Old) / d.Old
+	}
+	bad := d.Pct
+	if !lowerIsBetter {
+		bad = -bad
+	}
+	d.Regression = d.Old != 0 && bad > threshold
+}
+
 // Compare diffs two snapshots scheme by scheme (schemes present in both,
 // in old's order). threshold is the relative-change tolerance (0.10 =
 // 10%); direction follows the metric.
@@ -208,16 +276,8 @@ func Compare(old, new *Report, metric Metric, threshold float64) []Delta {
 		if !ok {
 			continue
 		}
-		ov, nv := metric.Value(oe), metric.Value(ne)
-		d := Delta{Scheme: oe.Scheme, Old: ov, New: nv}
-		if ov != 0 {
-			d.Pct = (nv - ov) / ov
-		}
-		bad := d.Pct
-		if !metric.LowerIsBetter() {
-			bad = -bad
-		}
-		d.Regression = ov != 0 && bad > threshold
+		d := Delta{Scheme: oe.Scheme, Old: metric.Value(oe), New: metric.Value(ne)}
+		d.Mark(metric.LowerIsBetter(), threshold)
 		out = append(out, d)
 	}
 	return out

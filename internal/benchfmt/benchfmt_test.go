@@ -186,3 +186,93 @@ func TestMetricParsing(t *testing.T) {
 		t.Error("LowerIsBetter mapping wrong")
 	}
 }
+
+// TestAppendHistoryDedup pins the duplicate-append semantics: re-running
+// cmd/bench on the same (commit, app) replaces that snapshot instead of
+// double-counting it; other commits, other apps, and unattributed
+// (commit-less) snapshots are never touched.
+func TestAppendHistoryDedup(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	rep := func(commit, app string, ns float64) *Report {
+		return &Report{Commit: commit, App: app,
+			Results: []Entry{{Scheme: "EDBP", NsPerEvent: ns}}}
+	}
+
+	// Creation path: file does not exist yet.
+	if err := AppendHistoryDedup(path, rep("c1", "crc32", 100)); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*Report{
+		rep("c1", "sha", 50), // same commit, other app — kept
+		rep("c2", "crc32", 110),
+		rep("", "crc32", 999), // unattributed — never deduplicated
+	} {
+		if err := AppendHistoryDedup(path, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The duplicate-append scenario: c1/crc32 again with a new number.
+	if err := AppendHistoryDedup(path, rep("c1", "crc32", 105)); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := ReadHistoryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 4 {
+		t.Fatalf("history holds %d snapshots, want 4: %+v", len(hist), hist)
+	}
+	var crc []float64
+	for _, h := range hist {
+		if h.Commit == "c1" && h.App == "crc32" {
+			e, _ := h.Entry("EDBP")
+			crc = append(crc, e.NsPerEvent)
+		}
+	}
+	if len(crc) != 1 || crc[0] != 105 {
+		t.Fatalf("c1/crc32 measurements after dedup: %v, want [105]", crc)
+	}
+	// The replacement appends at the end (newest last), earlier records
+	// keep their order.
+	if hist[0].App != "sha" || hist[3].Commit != "c1" || hist[3].App != "crc32" {
+		t.Fatalf("unexpected order: %+v", hist)
+	}
+
+	// A second unattributed snapshot accumulates rather than replacing.
+	if err := AppendHistoryDedup(path, rep("", "crc32", 998)); err != nil {
+		t.Fatal(err)
+	}
+	hist, err = ReadHistoryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 5 {
+		t.Fatalf("unattributed snapshot was deduplicated: %d records", len(hist))
+	}
+}
+
+// TestDeltaMark pins the shared regression semantics reused by
+// internal/store's cross-commit deltas.
+func TestDeltaMark(t *testing.T) {
+	for _, tc := range []struct {
+		old, new  float64
+		lower     bool
+		threshold float64
+		pct       float64
+		regressed bool
+	}{
+		{100, 120, true, 0.10, 0.20, true},
+		{100, 105, true, 0.10, 0.05, false},
+		{100, 80, false, 0.10, -0.20, true},  // higher-is-better dropped 20%
+		{100, 120, false, 0.10, 0.20, false}, // higher-is-better improved
+		{0, 50, true, 0.10, 0, false},        // zero baseline never flags
+	} {
+		d := Delta{Old: tc.old, New: tc.new}
+		d.Mark(tc.lower, tc.threshold)
+		if d.Pct != tc.pct || d.Regression != tc.regressed {
+			t.Errorf("Mark(%v→%v lower=%v thr=%v) = pct %v regression %v, want %v/%v",
+				tc.old, tc.new, tc.lower, tc.threshold, d.Pct, d.Regression, tc.pct, tc.regressed)
+		}
+	}
+}

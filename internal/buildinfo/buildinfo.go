@@ -1,0 +1,64 @@
+// Package buildinfo stamps binaries with the commit and toolchain that
+// built them. Every cmd/* binary exposes the stamp behind -version, and the
+// experiment store uses the same commit string as a result key — so "which
+// build produced this number" has exactly one answer everywhere.
+package buildinfo
+
+import (
+	"fmt"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+)
+
+// commitLen truncates commit hashes for display and keying: 12 hex chars
+// identify a commit unambiguously at any plausible repo size.
+const commitLen = 12
+
+var (
+	once   sync.Once
+	commit string
+)
+
+// Commit returns the VCS revision of the running binary, truncated to 12
+// characters: from the build info stamp when the binary was built inside a
+// checkout (`go build` embeds vcs.revision), falling back to asking git
+// (`go run` and `go test` binaries carry no stamp), or "" when neither
+// works. The value is computed once and cached.
+func Commit() string {
+	once.Do(func() { commit = findCommit() })
+	return commit
+}
+
+func findCommit() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return truncate(s.Value)
+			}
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return truncate(strings.TrimSpace(string(out)))
+}
+
+func truncate(rev string) string {
+	if len(rev) > commitLen {
+		return rev[:commitLen]
+	}
+	return rev
+}
+
+// Stamp renders the uniform -version line for one binary.
+func Stamp(binary string) string {
+	c := Commit()
+	if c == "" {
+		c = "unknown"
+	}
+	return fmt.Sprintf("edbp %s commit %s %s", binary, c, runtime.Version())
+}

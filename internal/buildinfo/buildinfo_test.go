@@ -1,0 +1,46 @@
+package buildinfo
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestCommitShape(t *testing.T) {
+	c := Commit()
+	// Test binaries carry no vcs stamp; in a checkout the git fallback
+	// answers, outside one "" is legal. Whatever the path, the shape holds.
+	if len(c) > 12 {
+		t.Fatalf("commit %q longer than 12 chars", c)
+	}
+	for _, r := range c {
+		if !strings.ContainsRune("0123456789abcdef", r) {
+			t.Fatalf("commit %q is not lowercase hex", c)
+		}
+	}
+	if again := Commit(); again != c {
+		t.Fatalf("Commit not stable: %q then %q", c, again)
+	}
+}
+
+func TestStamp(t *testing.T) {
+	s := Stamp("edbpq")
+	if !strings.HasPrefix(s, "edbp edbpq commit ") {
+		t.Fatalf("stamp %q missing prefix", s)
+	}
+	if !strings.HasSuffix(s, runtime.Version()) {
+		t.Fatalf("stamp %q missing go version", s)
+	}
+	if Commit() == "" && !strings.Contains(s, " commit unknown ") {
+		t.Fatalf("stamp %q should say unknown without a commit", s)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	if got := truncate("abcdef0123456789"); got != "abcdef012345" {
+		t.Fatalf("truncate = %q", got)
+	}
+	if got := truncate("abc"); got != "abc" {
+		t.Fatalf("short rev changed: %q", got)
+	}
+}

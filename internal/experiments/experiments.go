@@ -40,6 +40,21 @@ type Options struct {
 	Seeds int
 	// Workers bounds parallel simulations; 0 means GOMAXPROCS.
 	Workers int
+
+	// Persist, when non-nil, receives every completed simulation of the
+	// grid together with its full (post-mutate) config — the experiment
+	// store's ingestion hook. A persist failure fails the run: silently
+	// dropping results would make the store lie about what was measured.
+	Persist func(cfg sim.Config, res *sim.Result) error
+	// Lookup, when non-nil, is consulted before simulating: returning a
+	// result short-circuits the run (figure reconstruction from the
+	// experiment store). The config it receives is exactly what the
+	// simulation would have used, so sim.ConfigHash keys match between
+	// the persisting run and the lookup.
+	Lookup func(cfg sim.Config) (*sim.Result, bool)
+	// ReplayOnly turns a Lookup miss into an error instead of a fresh
+	// simulation — reconstruction must never quietly re-simulate.
+	ReplayOnly bool
 }
 
 func (o Options) normalize() Options {
@@ -156,6 +171,12 @@ type traceSet struct {
 
 func newTraceSet(o Options) (*traceSet, error) {
 	ts := &traceSet{opts: o, traces: make(map[string]*workload.Trace, len(o.Apps))}
+	if o.ReplayOnly && o.Lookup != nil {
+		// Reconstruction never simulates, so recording the workloads would
+		// be pure wasted work; configs keep Trace nil (App/Scale still
+		// identify the kernel, and sim.ConfigHash excludes Trace anyway).
+		return ts, nil
+	}
 	for _, name := range o.Apps {
 		// workload.Cached shares recordings process-wide, so successive
 		// experiments (and the sim layer itself) reuse the same kernels.
@@ -220,11 +241,30 @@ func (ts *traceSet) runAll(ctx context.Context, jobs []job) ([]*sim.Result, erro
 				if j.mutate != nil {
 					j.mutate(&cfg)
 				}
+				if ts.opts.Lookup != nil {
+					if res, ok := ts.opts.Lookup(cfg); ok {
+						results[i] = res
+						continue
+					}
+					if ts.opts.ReplayOnly {
+						errs[i] = fmt.Errorf("job %s/%s seed %d: not in the experiment store (config hash %s)",
+							j.app, j.scheme, j.seed, sim.ConfigHash(cfg))
+						cancel()
+						continue
+					}
+				}
 				res, err := sim.RunContext(ctx, cfg)
 				if err != nil {
 					errs[i] = fmt.Errorf("job %s/%s seed %d: %w", j.app, j.scheme, j.seed, err)
 					cancel()
 					continue
+				}
+				if ts.opts.Persist != nil {
+					if err := ts.opts.Persist(cfg, res); err != nil {
+						errs[i] = fmt.Errorf("job %s/%s seed %d: persisting result: %w", j.app, j.scheme, j.seed, err)
+						cancel()
+						continue
+					}
 				}
 				results[i] = res
 			}

@@ -1,6 +1,9 @@
 package metrics
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+)
 
 // ZombieProfile reproduces Figure 4: the ratio of zombie blocks to live
 // blocks as a function of capacitor voltage. The simulator samples the
@@ -98,6 +101,57 @@ func (p *ZombieProfile) Merge(o *ZombieProfile) error {
 	for b := 0; b < p.buckets; b++ {
 		p.zombie[b] += o.zombie[b]
 		p.live[b] += o.live[b]
+	}
+	return nil
+}
+
+// zombieProfileJSON is the serialized form of a ZombieProfile. The pending
+// per-cycle buffers are carried too: a profile is usually flushed (empty
+// buffers) when serialized, but round-tripping mid-cycle state exactly
+// keeps the codec lossless either way.
+type zombieProfileJSON struct {
+	VMin    float64   `json:"v_min"`
+	VMax    float64   `json:"v_max"`
+	Buckets int       `json:"buckets"`
+	Zombie  []float64 `json:"zombie"`
+	Live    []float64 `json:"live"`
+	// No omitempty: a flushed profile holds empty-but-allocated buffers
+	// ([] in JSON), and the codec must preserve nil vs empty exactly for
+	// the store's DeepEqual round-trip guarantee.
+	Times   []float64 `json:"times"`
+	Volts   []float64 `json:"volts"`
+	LiveCnt []float64 `json:"live_cnt"`
+	ZCnt    []float64 `json:"z_cnt"`
+}
+
+// MarshalJSON serializes the profile, internal state included, so stored
+// experiment results (internal/store) can reconstruct Figure 4 without
+// re-simulating.
+func (p *ZombieProfile) MarshalJSON() ([]byte, error) {
+	return json.Marshal(zombieProfileJSON{
+		VMin: p.vMin, VMax: p.vMax, Buckets: p.buckets,
+		Zombie: p.zombie, Live: p.live,
+		Times: p.times, Volts: p.volts, LiveCnt: p.liveCnt, ZCnt: p.zCnt,
+	})
+}
+
+// UnmarshalJSON restores a profile serialized by MarshalJSON.
+func (p *ZombieProfile) UnmarshalJSON(data []byte) error {
+	var j zombieProfileJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if j.VMax <= j.VMin || j.Buckets <= 0 {
+		return fmt.Errorf("metrics: invalid serialized zombie profile range [%g, %g] × %d", j.VMin, j.VMax, j.Buckets)
+	}
+	if len(j.Zombie) != j.Buckets || len(j.Live) != j.Buckets {
+		return fmt.Errorf("metrics: serialized zombie profile bucket arrays (%d, %d) do not match bucket count %d",
+			len(j.Zombie), len(j.Live), j.Buckets)
+	}
+	*p = ZombieProfile{
+		vMin: j.VMin, vMax: j.VMax, buckets: j.Buckets,
+		zombie: j.Zombie, live: j.Live,
+		times: j.Times, volts: j.Volts, liveCnt: j.LiveCnt, zCnt: j.ZCnt,
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -303,5 +304,151 @@ func TestBucketKits(t *testing.T) {
 	exp := ExpBuckets(0.1, 10, 3)
 	if exp[0] != 0.1 || exp[1] != 1 || exp[2] != 10 {
 		t.Errorf("ExpBuckets = %v", exp)
+	}
+}
+
+// TestSnapshotDeterminismUnderMutation hammers CounterVec and GaugeVec
+// children from writer goroutines while snapshots are taken concurrently.
+// Run under -race this doubles as the data-race proof for the experiment
+// store's scrape-while-serving paths; beyond that it asserts the snapshot
+// contract: series order is stable across concurrent snapshots, every JSON
+// rendering is valid, and a final quiescent snapshot equals a repeat of
+// itself byte for byte.
+func TestSnapshotDeterminismUnderMutation(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("runs_total", "Runs by app.", "app")
+	gv := r.GaugeVec("depth", "Depth by queue.", "queue")
+	apps := []string{"crc32", "sha", "aes", "fft", "sort", "dijkstra"}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				app := apps[(i+w)%len(apps)]
+				cv.With(app).Inc()
+				gv.With(app).Set(float64(i))
+			}
+		}(w)
+	}
+
+	order := func(snap []SnapshotSeries) []string {
+		var names []string
+		for _, s := range snap {
+			names = append(names, s.Name+"/"+s.Labels["app"]+s.Labels["queue"])
+		}
+		return names
+	}
+	var first []string
+	for i := 0; i < 50; i++ {
+		snap := r.Snapshot()
+		var buf strings.Builder
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var decoded []SnapshotSeries
+		if err := json.Unmarshal([]byte(buf.String()), &decoded); err != nil {
+			t.Fatalf("snapshot %d is not valid JSON: %v", i, err)
+		}
+		got := order(snap)
+		// Mid-flight snapshots may observe children that didn't exist at the
+		// previous scrape, but the order of series both saw must agree.
+		if first == nil && len(got) == 2*len(apps) {
+			first = got
+		}
+		if first != nil && len(got) == len(first) && !reflect.DeepEqual(got, first) {
+			t.Fatalf("snapshot %d order drifted:\n got %v\nwant %v", i, got, first)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Quiescent registry: two renderings are byte-identical.
+	var a, b strings.Builder
+	if err := r.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("quiescent WriteJSON is not deterministic")
+	}
+	var p, q strings.Builder
+	if err := r.WritePrometheus(&p); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&q); err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != q.String() {
+		t.Error("quiescent WritePrometheus is not deterministic")
+	}
+}
+
+// TestPrometheusSeriesCreatedMidScrape: a labelled child minted while
+// scrapes are in flight must surface as a well-formed series — exactly one
+// HELP/TYPE pair for its family, the new sample under it — without
+// corrupting concurrent expositions.
+func TestPrometheusSeriesCreatedMidScrape(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("jobs_total", "Jobs by state.", "state")
+	cv.With("done").Add(5)
+
+	scrape := func() string {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+
+	// Scrapes race the creation of the "failed" child.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			obstest.AssertHelpTypeComplete(t, scrape())
+		}
+	}()
+	cv.With("failed").Inc()
+	cv.With("queued") // minted but never incremented: still a series at 0
+	close(stop)
+	wg.Wait()
+
+	text := scrape()
+	obstest.AssertHelpTypeComplete(t, text)
+	for _, want := range []string{
+		`jobs_total{state="done"} 5`,
+		`jobs_total{state="failed"} 1`,
+		`jobs_total{state="queued"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if n := strings.Count(text, "# HELP jobs_total"); n != 1 {
+		t.Errorf("family has %d HELP lines, want 1:\n%s", n, text)
+	}
+	if n := strings.Count(text, "# TYPE jobs_total"); n != 1 {
+		t.Errorf("family has %d TYPE lines, want 1:\n%s", n, text)
+	}
+	// Children expose in sorted label order regardless of creation order.
+	if d, f := strings.Index(text, `state="done"`), strings.Index(text, `state="failed"`); d > f {
+		t.Error("children not sorted by label value")
 	}
 }

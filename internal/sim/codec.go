@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// ResultCodecVersion is the current serialization format of EncodeResult.
+// Decoders accept exactly the versions they know; bumping the format means
+// bumping this constant and teaching DecodeResult the old layouts.
+const ResultCodecVersion = 1
+
+// portableEnvelope is the on-disk form of a Result: a version stamp around
+// the portable JSON encoding. Field order (and therefore the byte
+// encoding) is fixed by this struct, so the same Result always encodes to
+// the same bytes — internal/store's raw round-trip checks rely on that.
+type portableEnvelope struct {
+	Version int     `json:"v"`
+	Result  *Result `json:"result"`
+}
+
+// Portable returns a copy of the Result with the runtime-only Config
+// fields cleared: the recorded workload trace, the live energy source, the
+// trace recorder and the voltage sampler hook. Those fields exist only in
+// the process that ran the simulation (interfaces, function values,
+// megabyte-scale recordings); everything that determines the run —
+// App/Scale for the workload, TraceKind/SourceSeed for the energy
+// environment, and every numeric knob — survives. Encode/Decode round-trip
+// the portable form DeepEqual-exactly, trace summaries and zombie
+// profiles included.
+func (r *Result) Portable() *Result {
+	p := *r
+	p.Config.Trace = nil
+	p.Config.Source = nil
+	p.Config.Recorder = nil
+	p.Config.VoltageSampler = nil
+	return &p
+}
+
+// EncodeResult serializes the Result's portable form. A Config carrying a
+// custom Source is rejected: an energy.Source is an arbitrary interface
+// value that cannot be reconstructed, and silently dropping it would make
+// the stored run claim a TraceKind environment it never saw. (A nil Source
+// with TraceKind set — every experiments/edbpd run — encodes fine.)
+func EncodeResult(r *Result) ([]byte, error) {
+	if r == nil {
+		return nil, fmt.Errorf("sim: cannot encode a nil Result")
+	}
+	if r.Config.Source != nil {
+		return nil, fmt.Errorf("sim: cannot encode a Result whose Config carries a custom energy.Source (only TraceKind environments are portable)")
+	}
+	data, err := json.Marshal(portableEnvelope{Version: ResultCodecVersion, Result: r.Portable()})
+	if err != nil {
+		return nil, fmt.Errorf("sim: encoding Result: %w", err)
+	}
+	return data, nil
+}
+
+// DecodeResult reverses EncodeResult.
+func DecodeResult(data []byte) (*Result, error) {
+	var env portableEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("sim: decoding Result: %w", err)
+	}
+	if env.Version != ResultCodecVersion {
+		return nil, fmt.Errorf("sim: unsupported Result codec version %d (this build reads version %d)", env.Version, ResultCodecVersion)
+	}
+	if env.Result == nil {
+		return nil, fmt.Errorf("sim: decoded envelope carries no result")
+	}
+	return env.Result, nil
+}
+
+// ConfigHash returns a stable hex digest of the portable configuration:
+// sha256 over the canonical JSON encoding with the runtime-only fields
+// (Trace, Source, Recorder, VoltageSampler) cleared. Two configs that
+// would produce bit-identical simulations — same app, scale, energy
+// environment and knobs — hash identically whether or not a pre-recorded
+// trace or recorder was attached; internal/store keys runs by it.
+func ConfigHash(c Config) string {
+	c.Trace = nil
+	c.Source = nil
+	c.Recorder = nil
+	c.VoltageSampler = nil
+	data, err := json.Marshal(c)
+	if err != nil {
+		// Config is a plain struct of scalars, slices and pointers to
+		// plain structs after the runtime fields are cleared; Marshal can
+		// only fail on non-finite floats, which validation rejects long
+		// before a run completes. Hash the error text so even that case
+		// stays deterministic.
+		data = []byte("unencodable:" + err.Error())
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

@@ -109,11 +109,14 @@ type Config struct {
 	// across schemes is both faster and exactly what the paper does).
 	App   string
 	Scale float64
-	Trace *workload.Trace
+	// Trace is runtime-only (a pre-recorded workload is reproducible from
+	// App+Scale) and excluded from the portable encoding and ConfigHash,
+	// like every `json:"-"` field below.
+	Trace *workload.Trace `json:"-"`
 
 	// Source supplies harvested power; when nil, a synthetic trace of
 	// TraceKind with SourceSeed is generated.
-	Source     energy.Source
+	Source     energy.Source `json:"-"`
 	TraceKind  energy.TraceKind
 	SourceSeed uint64
 
@@ -177,7 +180,7 @@ type Config struct {
 	// can be reused across sequential runs. With Recorder nil, every
 	// instrumentation site is a single untaken branch (zero allocations —
 	// see alloc_test.go).
-	Recorder *trace.Recorder
+	Recorder *trace.Recorder `json:"-"`
 
 	// VoltageSampler, when non-nil, observes the capacitor voltage over
 	// simulated time: it is invoked after every simulation event while
@@ -185,7 +188,7 @@ type Config struct {
 	// (on=false). Timestamps are non-decreasing. Useful for plotting the
 	// power-cycle dynamics (cmd/edbpsim -vtrace); it never influences the
 	// simulation.
-	VoltageSampler func(t, v float64, on bool)
+	VoltageSampler func(t, v float64, on bool) `json:"-"`
 
 	// MaxSimTime aborts runs whose energy supply cannot finish the
 	// workload (simulated seconds; default 600).

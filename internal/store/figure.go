@@ -1,0 +1,57 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"edbp/internal/experiments"
+	"edbp/internal/sim"
+)
+
+// PersistHook returns an experiments.Options.Persist that appends every
+// completed simulation to the store, keyed by its config hash and the given
+// commit. now supplies the append timestamp (injected so replays and tests
+// stay deterministic).
+func (s *Store) PersistHook(commit string, now func() int64) func(sim.Config, *sim.Result) error {
+	return func(cfg sim.Config, res *sim.Result) error {
+		return s.PutResult(KeyFor(cfg, commit), res, now())
+	}
+}
+
+// LookupHook returns an experiments.Options.Lookup that resolves a config
+// to its latest stored result, whichever commit produced it.
+func (s *Store) LookupHook() func(sim.Config) (*sim.Result, bool) {
+	return func(cfg sim.Config) (*sim.Result, bool) {
+		res, _, ok, err := s.GetLatest(cfg.App, cfg.Scheme.String(), cfg.SourceSeed, sim.ConfigHash(cfg))
+		if err != nil || !ok {
+			return nil, false
+		}
+		return res, true
+	}
+}
+
+// Reconstruct re-renders one experiment table (by experiments.All ID)
+// entirely from stored runs: every simulation the harness would perform is
+// answered from the store, and a missing run is an error, never a fresh
+// simulation. Because the harness aggregates stored Results exactly as it
+// aggregates live ones, a reconstruction over the same (apps, scale, seeds)
+// grid is byte-identical to the live run's table.
+func (s *Store) Reconstruct(ctx context.Context, id string, o experiments.Options) (*experiments.Table, error) {
+	var run func(context.Context, experiments.Options) (*experiments.Table, error)
+	var ids []string
+	for _, e := range experiments.All {
+		ids = append(ids, e.ID)
+		if e.ID == id {
+			run = e.Run
+		}
+	}
+	if run == nil {
+		sort.Strings(ids)
+		return nil, fmt.Errorf("store: unknown experiment %q (want one of %v)", id, ids)
+	}
+	o.Lookup = s.LookupHook()
+	o.ReplayOnly = true
+	o.Persist = nil
+	return run(ctx, o)
+}

@@ -1,0 +1,102 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"edbp/internal/experiments"
+	"edbp/internal/sim"
+)
+
+// TestReconstructFigureByteIdentical is the tentpole acceptance test: a
+// live experiment grid run with the persist hook, then reconstructed purely
+// from the store, renders byte-identical figure tables — no re-simulation.
+func TestReconstructFigureByteIdentical(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	opts := experiments.Options{
+		Apps:    []string{"crc32", "sha"},
+		Scale:   0.02,
+		Seeds:   1,
+		Workers: 2,
+		Persist: s.PersistHook("c1", func() int64 { return 1700000000 }),
+	}
+	live, err := experiments.Figure8(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() == 0 {
+		t.Fatal("the live run persisted nothing")
+	}
+	var liveBuf bytes.Buffer
+	live.Print(&liveBuf)
+
+	replay, err := s.Reconstruct(context.Background(), "fig8", experiments.Options{
+		Apps: []string{"crc32", "sha"}, Scale: 0.02, Seeds: 1, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replayBuf bytes.Buffer
+	replay.Print(&replayBuf)
+	if !bytes.Equal(liveBuf.Bytes(), replayBuf.Bytes()) {
+		t.Fatalf("reconstruction is not byte-identical to the live run\nlive:\n%s\nreplay:\n%s", liveBuf.String(), replayBuf.String())
+	}
+}
+
+// TestReconstructMissIsError: reconstruction over a grid the store has
+// never seen must fail loudly, never quietly re-simulate.
+func TestReconstructMissIsError(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	_, err = s.Reconstruct(context.Background(), "fig8", experiments.Options{
+		Apps: []string{"crc32"}, Scale: 0.02, Seeds: 1, Workers: 1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "experiment store") {
+		t.Fatalf("want a store-miss error, got %v", err)
+	}
+}
+
+func TestReconstructUnknownID(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Reconstruct(context.Background(), "fig99", experiments.Options{}); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("want unknown-experiment error, got %v", err)
+	}
+}
+
+// TestLookupHookKeying pins that the hook's key derivation matches
+// KeyFor/PutResult: a config persisted with a recorder attached is found by
+// a bare lookup config.
+func TestLookupHookKeying(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res := fakeResult("crc32", sim.EDBP, 5, 1.5)
+	if err := s.PersistHook("c9", func() int64 { return 42 })(res.Config, res); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.LookupHook()(res.Config)
+	if !ok || got.WallTime != 1.5 {
+		t.Fatalf("lookup: ok=%v res=%+v", ok, got)
+	}
+	other := res.Config
+	other.SourceSeed = 6
+	if _, ok := s.LookupHook()(other); ok {
+		t.Fatal("lookup matched a different seed")
+	}
+}

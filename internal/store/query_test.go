@@ -1,0 +1,196 @@
+package store
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"edbp/internal/sim"
+)
+
+func TestParseQuery(t *testing.T) {
+	seed := uint64(7)
+	for _, tc := range []struct {
+		in   string
+		want Query
+	}{
+		{"select runs", Query{Kind: QueryRuns, Threshold: 0.10}},
+		{"runs where app=crc32 and scheme=EDBP limit 5",
+			Query{Kind: QueryRuns, Threshold: 0.10, Filter: Filter{App: "crc32", Scheme: "EDBP", Limit: 5}}},
+		{"select agg wall_s where seed=7",
+			Query{Kind: QueryAgg, Metric: "wall_s", Threshold: 0.10, Filter: Filter{Seed: &seed}}},
+		{"select delta energy_mj from aaa to bbb threshold 0.25",
+			Query{Kind: QueryDelta, Metric: "energy_mj", From: "aaa", To: "bbb", Threshold: 0.25}},
+		{"select wcet where env=solar",
+			Query{Kind: QueryWCET, Threshold: 0.10, Filter: Filter{Env: "solar"}}},
+		{"select schemes", Query{Kind: QueryDistinct, Distinct: "schemes", Threshold: 0.10}},
+	} {
+		got, err := ParseQuery(tc.in)
+		if err != nil {
+			t.Errorf("%q: %v", tc.in, err)
+			continue
+		}
+		if got.Kind != tc.want.Kind || got.Metric != tc.want.Metric ||
+			got.From != tc.want.From || got.To != tc.want.To ||
+			got.Threshold != tc.want.Threshold || got.Distinct != tc.want.Distinct ||
+			got.Filter.App != tc.want.Filter.App || got.Filter.Scheme != tc.want.Filter.Scheme ||
+			got.Filter.Limit != tc.want.Filter.Limit || got.Filter.Env != tc.want.Filter.Env {
+			t.Errorf("%q parsed to %+v, want %+v", tc.in, got, tc.want)
+		}
+		if tc.want.Filter.Seed != nil && (got.Filter.Seed == nil || *got.Filter.Seed != *tc.want.Filter.Seed) {
+			t.Errorf("%q: seed filter %v, want %v", tc.in, got.Filter.Seed, tc.want.Filter.Seed)
+		}
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"select",
+		"select nonsense",
+		"select agg",
+		"select agg no_such_metric",
+		"select delta wall_s from a",     // missing "to"
+		"select delta wall_s too a to b", // bad keyword
+		"select runs where appcrc32",     // not key=value
+		"select runs where color=red",    // unknown field
+		"select runs where seed=abc",     // bad seed
+		"select runs limit zero",         // bad limit
+		"select runs threshold 0.1",      // threshold outside delta
+		"select delta wall_s from a to b threshold -1",
+		"select runs bogus",
+	} {
+		if _, err := ParseQuery(in); err == nil {
+			t.Errorf("%q: expected a parse error", in)
+		}
+	}
+}
+
+// queryFixture stores a small grid across two commits with a deliberate
+// wall-time regression in EDBP at c2.
+func queryFixture(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	for _, r := range []struct {
+		app    string
+		scheme sim.Scheme
+		seed   uint64
+		wall   float64
+		commit string
+	}{
+		{"crc32", sim.Baseline, 1, 10, "c1"},
+		{"crc32", sim.Baseline, 2, 12, "c1"},
+		{"crc32", sim.EDBP, 1, 5, "c1"},
+		{"crc32", sim.EDBP, 2, 5.5, "c1"},
+		{"crc32", sim.Baseline, 1, 10.1, "c2"},
+		{"crc32", sim.Baseline, 2, 12.1, "c2"},
+		{"crc32", sim.EDBP, 1, 8, "c2"}, // ~52% slower: a regression
+		{"crc32", sim.EDBP, 2, 8.2, "c2"},
+	} {
+		res := fakeResult(r.app, r.scheme, r.seed, r.wall)
+		put(t, s, res, r.commit, int64(r.seed))
+	}
+	if err := s.PutWCET(WCETRecord{App: "crc32", Env: "solar", Commit: "c2", Time: 5, Cases: 4, MaxObserved: 2, MaxBound: Bound(math.Inf(1))}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func exec(t *testing.T, s *Store, q string) [][]string {
+	t.Helper()
+	parsed, err := ParseQuery(q)
+	if err != nil {
+		t.Fatalf("%q: %v", q, err)
+	}
+	table, err := s.Execute(context.Background(), parsed)
+	if err != nil {
+		t.Fatalf("%q: %v", q, err)
+	}
+	return table.Rows
+}
+
+func TestExecuteRuns(t *testing.T) {
+	s := queryFixture(t)
+	rows := exec(t, s, "select runs where scheme=EDBP and commit=c1")
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2: %v", len(rows), rows)
+	}
+	if rows[0][0] != "crc32" || rows[0][1] != "EDBP" || rows[0][3] != "c1" {
+		t.Fatalf("row shape: %v", rows[0])
+	}
+}
+
+func TestExecuteAgg(t *testing.T) {
+	s := queryFixture(t)
+	rows := exec(t, s, "select agg wall_s where commit=c1")
+	if len(rows) != 2 {
+		t.Fatalf("got %d scheme rows, want 2: %v", len(rows), rows)
+	}
+	// sim presentation order puts Baseline before EDBP.
+	if rows[0][0] != "NVSRAMCache" || rows[1][0] != "EDBP" {
+		t.Fatalf("scheme order: %v / %v", rows[0][0], rows[1][0])
+	}
+	if rows[0][1] != "2" || rows[0][2] != "11.000000" {
+		t.Fatalf("Baseline aggregate: %v", rows[0])
+	}
+}
+
+func TestExecuteDelta(t *testing.T) {
+	s := queryFixture(t)
+	rows := exec(t, s, "select delta wall_s from c1 to c2")
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2: %v", len(rows), rows)
+	}
+	byScheme := map[string][]string{}
+	for _, r := range rows {
+		byScheme[r[0]] = r
+	}
+	if v := byScheme["NVSRAMCache"][6]; v != "ok" {
+		t.Fatalf("NVSRAMCache verdict %q, want ok (%v)", v, byScheme["NVSRAMCache"])
+	}
+	if v := byScheme["EDBP"][6]; v != "REGRESSION" {
+		t.Fatalf("EDBP verdict %q, want REGRESSION (%v)", v, byScheme["EDBP"])
+	}
+
+	// A loose threshold clears it; higher-is-better flips the direction.
+	rows = exec(t, s, "select delta wall_s from c1 to c2 threshold 0.60")
+	for _, r := range rows {
+		if r[6] != "ok" {
+			t.Fatalf("threshold 0.60 still flags %v", r)
+		}
+	}
+	rows = exec(t, s, "select delta instructions from c1 to c2")
+	for _, r := range rows {
+		if r[6] != "ok" {
+			t.Fatalf("instructions grew — that is an improvement, got %v", r)
+		}
+	}
+
+	if q, err := ParseQuery("select delta wall_s from nope to c2"); err != nil {
+		t.Fatal(err)
+	} else if _, err := s.Execute(context.Background(), q); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("want missing-commit error, got %v", err)
+	}
+}
+
+func TestExecuteWCETAndDistinct(t *testing.T) {
+	s := queryFixture(t)
+	rows := exec(t, s, "select wcet")
+	if len(rows) != 1 || rows[0][0] != "crc32" || rows[0][6] != "inf" {
+		t.Fatalf("wcet rows: %v", rows)
+	}
+	if rows := exec(t, s, "select commits"); len(rows) != 2 || rows[0][0] != "c1" || rows[1][0] != "c2" {
+		t.Fatalf("commits: %v", rows)
+	}
+	if rows := exec(t, s, "select apps"); len(rows) != 1 || rows[0][0] != "crc32" {
+		t.Fatalf("apps: %v", rows)
+	}
+	if rows := exec(t, s, "select schemes"); len(rows) != 2 {
+		t.Fatalf("schemes: %v", rows)
+	}
+}

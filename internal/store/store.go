@@ -1,0 +1,948 @@
+// Package store is the persistent experiment store: an embedded,
+// append-oriented, dependency-free on-disk database of simulation Results
+// keyed by (app, scheme, seed, config-hash, commit), plus ETAP-style WCET
+// bound records keyed by (app, environment, commit).
+//
+// Layout (DESIGN.md §11): a store is a directory of numbered segment files
+// (000001.seg, 000002.seg, …). Every record is framed as
+//
+//	kind(1) | payloadLen(4, LE) | crc32(payload)(4, LE) | payload
+//
+// and appended to the highest-numbered (active) segment with a single
+// write. A crash can only tear the final record; Open scans the active
+// segment, stops at the first short or CRC-failing frame, and truncates
+// the tail so every complete record survives and the next append lands on
+// a clean boundary. When the active segment exceeds MaxSegmentBytes it is
+// sealed: a sidecar index (000001.idx, one index record in the same
+// framing) records every entry's key and offset so reopening a large store
+// reads indexes, not segments; a missing or corrupt sidecar falls back to
+// a scan.
+//
+// Writes are append-only; a re-run of the same key appends a superseding
+// record (Get returns the latest, Select returns all — trend queries want
+// the history). Compact rewrites the store keeping only each key's latest
+// result and each (app, env, commit)'s latest WCET record, in sorted key
+// order, so compacting the same logical content always produces
+// byte-identical segments.
+//
+// The store is single-process: one *Store owns the directory, and its
+// methods are safe for concurrent use within that process.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"edbp/internal/sim"
+)
+
+// Key identifies one stored simulation run.
+type Key struct {
+	App        string `json:"app"`
+	Scheme     string `json:"scheme"`
+	Seed       uint64 `json:"seed"`
+	ConfigHash string `json:"config_hash"`
+	Commit     string `json:"commit"`
+}
+
+// String renders the key compactly (hash truncated for display).
+func (k Key) String() string {
+	h := k.ConfigHash
+	if len(h) > 12 {
+		h = h[:12]
+	}
+	return fmt.Sprintf("%s/%s seed=%d cfg=%s commit=%s", k.App, k.Scheme, k.Seed, h, k.Commit)
+}
+
+// KeyFor derives the store key of a run from its config: the config hash
+// covers every result-shaping knob (sim.ConfigHash), commit attributes the
+// producing build.
+func KeyFor(cfg sim.Config, commit string) Key {
+	return Key{
+		App:        cfg.App,
+		Scheme:     cfg.Scheme.String(),
+		Seed:       cfg.SourceSeed,
+		ConfigHash: sim.ConfigHash(cfg),
+		Commit:     commit,
+	}
+}
+
+// Bound is a float64 whose JSON form survives +Inf (a WCET bound is
+// infinite when a configuration's mean harvest cannot outrun its own
+// self-discharge; encoding/json rejects non-finite numbers).
+type Bound float64
+
+// MarshalJSON implements json.Marshaler.
+func (b Bound) MarshalJSON() ([]byte, error) {
+	f := float64(b)
+	switch {
+	case math.IsInf(f, 1):
+		return []byte(`"inf"`), nil
+	case math.IsInf(f, -1):
+		return []byte(`"-inf"`), nil
+	case math.IsNaN(f):
+		return []byte(`"nan"`), nil
+	}
+	return json.Marshal(f)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (b *Bound) UnmarshalJSON(data []byte) error {
+	switch string(data) {
+	case `"inf"`:
+		*b = Bound(math.Inf(1))
+		return nil
+	case `"-inf"`:
+		*b = Bound(math.Inf(-1))
+		return nil
+	case `"nan"`:
+		*b = Bound(math.NaN())
+		return nil
+	}
+	var f float64
+	if err := json.Unmarshal(data, &f); err != nil {
+		return err
+	}
+	*b = Bound(f)
+	return nil
+}
+
+// WCETRecord is one persisted worst-case completion-time aggregate for an
+// (app, harvesting environment) class, stamped with the producing commit —
+// the trend-tracking form of internal/fuzz's WCETClass.
+type WCETRecord struct {
+	App    string `json:"app"`
+	Env    string `json:"env"`
+	Commit string `json:"commit"`
+	Time   int64  `json:"unix_time"`
+	Cases  int    `json:"cases"`
+	// MaxObserved is the worst simulated completion seen; MaxBound the
+	// worst analytic estimate (possibly +Inf); Exceeded counts runs whose
+	// observation beat their own estimate.
+	MaxObserved float64 `json:"max_observed_s"`
+	MaxBound    Bound   `json:"max_bound_s"`
+	Exceeded    int     `json:"exceeded"`
+}
+
+// record kinds (the framing's first byte).
+const (
+	kindResult byte = 1
+	kindWCET   byte = 2
+	kindIndex  byte = 3
+)
+
+// frameOverhead is kind + length + crc.
+const frameOverhead = 1 + 4 + 4
+
+// segMagic opens every segment (and index) file; the trailing byte is the
+// layout version.
+var segMagic = []byte("EDBPSTR1")
+
+// resultPayload is the JSON payload of a kindResult record.
+type resultPayload struct {
+	Key  Key   `json:"key"`
+	Time int64 `json:"unix_time"`
+	// Data is the sim.EncodeResult envelope, embedded verbatim so the raw
+	// bytes a client stored are the raw bytes it reads back.
+	Data json.RawMessage `json:"data"`
+}
+
+// idxPayload is the JSON payload of a sidecar index record: everything
+// Open needs to index a sealed segment without scanning it. WCET records
+// are small and stored inline.
+type idxPayload struct {
+	Segment int        `json:"segment"`
+	Entries []idxEntry `json:"entries"`
+}
+
+type idxEntry struct {
+	Kind byte        `json:"kind"`
+	Key  *Key        `json:"key,omitempty"`
+	WCET *WCETRecord `json:"wcet,omitempty"`
+	Time int64       `json:"unix_time,omitempty"`
+	Off  int64       `json:"off"` // payload offset within the segment
+	Len  int64       `json:"len"` // payload length
+}
+
+// entry locates one result record.
+type entry struct {
+	key  Key
+	time int64
+	seg  int
+	off  int64 // payload offset
+	len  int64 // payload length
+}
+
+// runKey is Key minus the commit: figure reconstruction looks a config up
+// whatever commit produced it.
+type runKey struct {
+	app, scheme, hash string
+	seed              uint64
+}
+
+func (k Key) run() runKey { return runKey{k.App, k.Scheme, k.ConfigHash, k.Seed} }
+
+// Options tune a store; the zero value is production-ready.
+type Options struct {
+	// MaxSegmentBytes rolls the active segment once it exceeds this size
+	// (default 8 MiB). Tests use tiny values to exercise sealing.
+	MaxSegmentBytes int64
+	// Sync fsyncs after every append. Off by default: the torn-tail
+	// recovery bounds the loss window to the final record either way.
+	Sync bool
+}
+
+func (o Options) normalize() Options {
+	if o.MaxSegmentBytes == 0 {
+		o.MaxSegmentBytes = 8 << 20
+	}
+	return o
+}
+
+// Store is an open experiment store. See the package comment for the
+// layout and durability model.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu         sync.RWMutex
+	segs       []int // existing segment numbers, ascending
+	active     *os.File
+	activeNum  int
+	activeSize int64
+
+	entries  []entry        // result records, append order (superseded included)
+	byKey    map[Key]int    // -> latest index in entries
+	byRunKey map[runKey]int // commit-agnostic latest
+	wcet     []WCETRecord   // append order
+	segOf    map[int][]int  // segment -> entry indexes (for sealing)
+	wcetSeg  map[int][]int  // segment -> wcet indexes (for sealing)
+}
+
+func segName(n int) string { return fmt.Sprintf("%06d.seg", n) }
+func idxName(n int) string { return fmt.Sprintf("%06d.idx", n) }
+
+// Open opens (creating if needed) the store directory.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.normalize()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir: dir, opts: opts,
+		byKey:    make(map[Key]int),
+		byRunKey: make(map[runKey]int),
+		segOf:    make(map[int][]int),
+		wcetSeg:  make(map[int][]int),
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	for _, de := range names {
+		var n int
+		if _, err := fmt.Sscanf(de.Name(), "%06d.seg", &n); err == nil && segName(n) == de.Name() {
+			s.segs = append(s.segs, n)
+		}
+	}
+	sort.Ints(s.segs)
+	if len(s.segs) == 0 {
+		s.segs = []int{1}
+		if err := s.createSegment(1); err != nil {
+			return nil, err
+		}
+	}
+	for i, n := range s.segs {
+		activeSeg := i == len(s.segs)-1
+		if !activeSeg {
+			if ok := s.loadIndex(n); ok {
+				continue
+			}
+		}
+		if err := s.scanSegment(n, activeSeg); err != nil {
+			return nil, err
+		}
+	}
+	n := s.segs[len(s.segs)-1]
+	f, err := os.OpenFile(filepath.Join(dir, segName(n)), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.active, s.activeNum, s.activeSize = f, n, st.Size()
+	return s, nil
+}
+
+// createSegment writes a fresh segment file containing only the magic.
+func (s *Store) createSegment(n int) error {
+	path := filepath.Join(s.dir, segName(n))
+	if err := os.WriteFile(path, segMagic, 0o644); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// loadIndex indexes a sealed segment from its sidecar; false means scan.
+func (s *Store) loadIndex(n int) bool {
+	data, err := os.ReadFile(filepath.Join(s.dir, idxName(n)))
+	if err != nil || len(data) < len(segMagic) || string(data[:len(segMagic)]) != string(segMagic) {
+		return false
+	}
+	kind, payload, rest, ok := readFrame(data[len(segMagic):])
+	if !ok || kind != kindIndex || len(rest) != 0 {
+		return false
+	}
+	var idx idxPayload
+	if err := json.Unmarshal(payload, &idx); err != nil || idx.Segment != n {
+		return false
+	}
+	for _, e := range idx.Entries {
+		switch e.Kind {
+		case kindResult:
+			if e.Key == nil {
+				return false
+			}
+			s.addEntry(entry{key: *e.Key, time: e.Time, seg: n, off: e.Off, len: e.Len})
+		case kindWCET:
+			if e.WCET == nil {
+				return false
+			}
+			s.addWCET(*e.WCET, n)
+		}
+	}
+	return true
+}
+
+// readFrame decodes one record frame from b; ok is false on a short or
+// corrupt (CRC-mismatching) frame.
+func readFrame(b []byte) (kind byte, payload, rest []byte, ok bool) {
+	if len(b) < frameOverhead {
+		return 0, nil, nil, false
+	}
+	kind = b[0]
+	n := binary.LittleEndian.Uint32(b[1:5])
+	crc := binary.LittleEndian.Uint32(b[5:9])
+	if uint64(len(b)-frameOverhead) < uint64(n) {
+		return 0, nil, nil, false
+	}
+	payload = b[frameOverhead : frameOverhead+int(n)]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return 0, nil, nil, false
+	}
+	return kind, payload, b[frameOverhead+int(n):], true
+}
+
+// appendFrame encodes one record frame.
+func appendFrame(dst []byte, kind byte, payload []byte) []byte {
+	var hdr [frameOverhead]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[5:9], crc32.ChecksumIEEE(payload))
+	return append(append(dst, hdr[:]...), payload...)
+}
+
+// scanSegment indexes a segment by reading it record by record. For the
+// active segment a torn tail (short frame, bad CRC — a crashed append) is
+// recovered by truncating the file back to the last complete record; for
+// sealed segments the tail after a tear is dropped from the index but the
+// file is left untouched.
+func (s *Store) scanSegment(n int, active bool) error {
+	path := filepath.Join(s.dir, segName(n))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != string(segMagic) {
+		if active && len(data) < len(segMagic) {
+			// A segment torn inside its 8-byte header holds no records;
+			// rewrite it clean.
+			return s.createSegment(n)
+		}
+		return fmt.Errorf("store: %s is not a segment file", path)
+	}
+	off := int64(len(segMagic))
+	rest := data[off:]
+	for len(rest) > 0 {
+		kind, payload, next, ok := readFrame(rest)
+		if !ok {
+			break // torn tail: everything before it is intact
+		}
+		payloadOff := off + frameOverhead
+		switch kind {
+		case kindResult:
+			var rp resultPayload
+			if err := json.Unmarshal(payload, &rp); err != nil {
+				return fmt.Errorf("store: %s @%d: corrupt result payload passed CRC: %w", path, off, err)
+			}
+			s.addEntry(entry{key: rp.Key, time: rp.Time, seg: n, off: payloadOff, len: int64(len(payload))})
+		case kindWCET:
+			var w WCETRecord
+			if err := json.Unmarshal(payload, &w); err != nil {
+				return fmt.Errorf("store: %s @%d: corrupt wcet payload passed CRC: %w", path, off, err)
+			}
+			s.addWCET(w, n)
+		default:
+			return fmt.Errorf("store: %s @%d: unknown record kind %d", path, off, kind)
+		}
+		off = payloadOff + int64(len(payload))
+		rest = next
+	}
+	if active && off < int64(len(data)) {
+		if err := os.Truncate(path, off); err != nil {
+			return fmt.Errorf("store: recovering torn tail of %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+func (s *Store) addEntry(e entry) {
+	i := len(s.entries)
+	s.entries = append(s.entries, e)
+	s.byKey[e.key] = i
+	s.byRunKey[e.key.run()] = i
+	s.segOf[e.seg] = append(s.segOf[e.seg], i)
+}
+
+func (s *Store) addWCET(w WCETRecord, seg int) {
+	s.wcetSeg[seg] = append(s.wcetSeg[seg], len(s.wcet))
+	s.wcet = append(s.wcet, w)
+}
+
+// append frames and writes one record, rolling the active segment first
+// when it is full. Returns the payload offset. Caller holds s.mu.
+func (s *Store) append(kind byte, payload []byte) (seg int, off int64, err error) {
+	recLen := int64(frameOverhead + len(payload))
+	if s.activeSize+recLen > s.opts.MaxSegmentBytes && s.activeSize > int64(len(segMagic)) {
+		if err := s.roll(); err != nil {
+			return 0, 0, err
+		}
+	}
+	buf := appendFrame(make([]byte, 0, recLen), kind, payload)
+	if _, err := s.active.Write(buf); err != nil {
+		return 0, 0, fmt.Errorf("store: append: %w", err)
+	}
+	if s.opts.Sync {
+		if err := s.active.Sync(); err != nil {
+			return 0, 0, fmt.Errorf("store: sync: %w", err)
+		}
+	}
+	off = s.activeSize + frameOverhead
+	s.activeSize += recLen
+	return s.activeNum, off, nil
+}
+
+// roll seals the active segment (writing its sidecar index) and opens the
+// next one.
+func (s *Store) roll() error {
+	if err := s.writeSidecar(s.activeNum); err != nil {
+		return err
+	}
+	if err := s.active.Close(); err != nil {
+		return fmt.Errorf("store: sealing %s: %w", segName(s.activeNum), err)
+	}
+	n := s.activeNum + 1
+	if err := s.createSegment(n); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(s.dir, segName(n)), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.segs = append(s.segs, n)
+	s.active, s.activeNum, s.activeSize = f, n, int64(len(segMagic))
+	return nil
+}
+
+// writeSidecar persists the index of one segment's records.
+func (s *Store) writeSidecar(n int) error {
+	idx := idxPayload{Segment: n}
+	for _, i := range s.segOf[n] {
+		e := s.entries[i]
+		k := e.key
+		idx.Entries = append(idx.Entries, idxEntry{Kind: kindResult, Key: &k, Time: e.time, Off: e.off, Len: e.len})
+	}
+	for _, i := range s.wcetSeg[n] {
+		w := s.wcet[i]
+		idx.Entries = append(idx.Entries, idxEntry{Kind: kindWCET, WCET: &w})
+	}
+	payload, err := json.Marshal(idx)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	data := appendFrame(append([]byte{}, segMagic...), kindIndex, payload)
+	tmp := filepath.Join(s.dir, idxName(n)+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, idxName(n))); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// PutResult appends one run keyed by key. unixTime stamps the append (the
+// caller supplies it so replays and tests stay deterministic).
+func (s *Store) PutResult(key Key, res *sim.Result, unixTime int64) error {
+	data, err := sim.EncodeResult(res)
+	if err != nil {
+		return err
+	}
+	payload, err := json.Marshal(resultPayload{Key: key, Time: unixTime, Data: data})
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active == nil {
+		return fmt.Errorf("store: closed")
+	}
+	seg, off, err := s.append(kindResult, payload)
+	if err != nil {
+		return err
+	}
+	s.addEntry(entry{key: key, time: unixTime, seg: seg, off: off, len: int64(len(payload))})
+	return nil
+}
+
+// PutWCET appends one WCET trend record.
+func (s *Store) PutWCET(rec WCETRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active == nil {
+		return fmt.Errorf("store: closed")
+	}
+	seg, _, err := s.append(kindWCET, payload)
+	if err != nil {
+		return err
+	}
+	s.addWCET(rec, seg)
+	return nil
+}
+
+// readPayload fetches and re-verifies one record's payload from disk.
+func (s *Store) readPayload(e entry) ([]byte, error) {
+	f, err := os.Open(filepath.Join(s.dir, segName(e.seg)))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	buf := make([]byte, e.len)
+	if _, err := f.ReadAt(buf, e.off); err != nil {
+		return nil, fmt.Errorf("store: reading %s @%d: %w", segName(e.seg), e.off, err)
+	}
+	return buf, nil
+}
+
+func (s *Store) decodeEntry(e entry) (*sim.Result, error) {
+	payload, err := s.readPayload(e)
+	if err != nil {
+		return nil, err
+	}
+	var rp resultPayload
+	if err := json.Unmarshal(payload, &rp); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return sim.DecodeResult(rp.Data)
+}
+
+// Get returns the latest result stored under exactly key.
+func (s *Store) Get(key Key) (*sim.Result, bool, error) {
+	s.mu.RLock()
+	i, ok := s.byKey[key]
+	var e entry
+	if ok {
+		e = s.entries[i]
+	}
+	s.mu.RUnlock()
+	if !ok {
+		return nil, false, nil
+	}
+	res, err := s.decodeEntry(e)
+	return res, err == nil, err
+}
+
+// GetLatest returns the latest result for a (app, scheme, seed,
+// config-hash) run regardless of which commit stored it — figure
+// reconstruction's lookup.
+func (s *Store) GetLatest(app, scheme string, seed uint64, configHash string) (*sim.Result, Key, bool, error) {
+	s.mu.RLock()
+	i, ok := s.byRunKey[runKey{app, scheme, configHash, seed}]
+	var e entry
+	if ok {
+		e = s.entries[i]
+	}
+	s.mu.RUnlock()
+	if !ok {
+		return nil, Key{}, false, nil
+	}
+	res, err := s.decodeEntry(e)
+	if err != nil {
+		return nil, Key{}, false, err
+	}
+	return res, e.key, true, nil
+}
+
+// RawByHash returns the latest stored sim.EncodeResult bytes for a config
+// hash, whatever app/scheme/seed/commit wrote them last. edbpd's
+// GET /runs?format=raw serves these verbatim, so a client can assert the
+// byte-exact round trip.
+func (s *Store) RawByHash(configHash string) ([]byte, Key, bool, error) {
+	s.mu.RLock()
+	var best *entry
+	for i := range s.entries {
+		if s.entries[i].key.ConfigHash == configHash {
+			best = &s.entries[i]
+		}
+	}
+	var e entry
+	if best != nil {
+		e = *best
+	}
+	s.mu.RUnlock()
+	if best == nil {
+		return nil, Key{}, false, nil
+	}
+	payload, err := s.readPayload(e)
+	if err != nil {
+		return nil, Key{}, false, err
+	}
+	var rp resultPayload
+	if err := json.Unmarshal(payload, &rp); err != nil {
+		return nil, Key{}, false, fmt.Errorf("store: %w", err)
+	}
+	return rp.Data, e.key, true, nil
+}
+
+// Filter narrows Select/WCETs. Zero-valued fields match everything;
+// strings compare case-insensitively for the human-typed fields (app,
+// scheme, env); ConfigHash also accepts an unambiguous prefix.
+type Filter struct {
+	App        string
+	Scheme     string
+	Commit     string
+	Env        string
+	ConfigHash string
+	Seed       *uint64
+	// Limit caps the returned rows (0 = all), keeping append order.
+	Limit int
+	// LatestOnly drops superseded records: only each key's newest append
+	// survives.
+	LatestOnly bool
+}
+
+func (f Filter) matchKey(k Key) bool {
+	if f.App != "" && !strings.EqualFold(f.App, k.App) {
+		return false
+	}
+	if f.Scheme != "" && !strings.EqualFold(f.Scheme, k.Scheme) {
+		return false
+	}
+	if f.Commit != "" && f.Commit != k.Commit {
+		return false
+	}
+	if f.ConfigHash != "" && !strings.HasPrefix(k.ConfigHash, f.ConfigHash) {
+		return false
+	}
+	if f.Seed != nil && *f.Seed != k.Seed {
+		return false
+	}
+	return true
+}
+
+// Run is one selected record, decoded.
+type Run struct {
+	Key    Key
+	Time   int64
+	Result *sim.Result
+}
+
+// Select returns matching runs in append order.
+func (s *Store) Select(f Filter) ([]Run, error) {
+	s.mu.RLock()
+	var picked []entry
+	for i, e := range s.entries {
+		if !f.matchKey(e.key) {
+			continue
+		}
+		if f.LatestOnly && s.byKey[e.key] != i {
+			continue
+		}
+		picked = append(picked, e)
+		if f.Limit > 0 && len(picked) == f.Limit {
+			break
+		}
+	}
+	s.mu.RUnlock()
+	out := make([]Run, 0, len(picked))
+	for _, e := range picked {
+		res, err := s.decodeEntry(e)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Run{Key: e.key, Time: e.time, Result: res})
+	}
+	return out, nil
+}
+
+// WCETs returns matching WCET records in append order.
+func (s *Store) WCETs(f Filter) []WCETRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []WCETRecord
+	for _, w := range s.wcet {
+		if f.App != "" && !strings.EqualFold(f.App, w.App) {
+			continue
+		}
+		if f.Env != "" && !strings.EqualFold(f.Env, w.Env) {
+			continue
+		}
+		if f.Commit != "" && f.Commit != w.Commit {
+			continue
+		}
+		out = append(out, w)
+		if f.Limit > 0 && len(out) == f.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// Len returns the number of result records (superseded included).
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+// distinct collects sorted unique values of one key field.
+func (s *Store) distinct(get func(Key) string) []string {
+	s.mu.RLock()
+	set := map[string]bool{}
+	for _, e := range s.entries {
+		set[get(e.key)] = true
+	}
+	s.mu.RUnlock()
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Apps returns the distinct stored app names, sorted.
+func (s *Store) Apps() []string { return s.distinct(func(k Key) string { return k.App }) }
+
+// SchemeNames returns the distinct stored scheme names, sorted.
+func (s *Store) SchemeNames() []string { return s.distinct(func(k Key) string { return k.Scheme }) }
+
+// Commits returns the distinct stored commits, sorted.
+func (s *Store) Commits() []string { return s.distinct(func(k Key) string { return k.Commit }) }
+
+// Compact rewrites the store keeping only the latest result per key and
+// the latest WCET record per (app, env, commit), in sorted key order. The
+// output is deterministic: the same logical content always compacts to
+// byte-identical segments (append timestamps are preserved from the
+// surviving records). The swap window (delete old, rename new) is not
+// crash-atomic; the append path's torn-tail recovery is the durability
+// story, compaction is maintenance.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active == nil {
+		return fmt.Errorf("store: closed")
+	}
+
+	// Survivors, deterministically ordered.
+	resIdx := make([]int, 0, len(s.byKey))
+	for _, i := range s.byKey {
+		resIdx = append(resIdx, i)
+	}
+	sort.Slice(resIdx, func(a, b int) bool { return keyLess(s.entries[resIdx[a]].key, s.entries[resIdx[b]].key) })
+	type wkey struct{ app, env, commit string }
+	lastW := map[wkey]int{}
+	for i, w := range s.wcet {
+		lastW[wkey{w.App, w.Env, w.Commit}] = i
+	}
+	wIdx := make([]int, 0, len(lastW))
+	for _, i := range lastW {
+		wIdx = append(wIdx, i)
+	}
+	sort.Slice(wIdx, func(a, b int) bool {
+		x, y := s.wcet[wIdx[a]], s.wcet[wIdx[b]]
+		if x.App != y.App {
+			return x.App < y.App
+		}
+		if x.Env != y.Env {
+			return x.Env < y.Env
+		}
+		return x.Commit < y.Commit
+	})
+
+	// Build the compacted segment set in memory (payloads re-framed; the
+	// stored bytes themselves are reused untouched).
+	type newRec struct {
+		kind    byte
+		payload []byte
+		entry   *entry // result records only; offsets filled during write
+		wcet    *WCETRecord
+	}
+	var recs []newRec
+	for _, i := range resIdx {
+		e := s.entries[i]
+		payload, err := s.readPayload(e)
+		if err != nil {
+			return err
+		}
+		ne := e
+		recs = append(recs, newRec{kind: kindResult, payload: payload, entry: &ne})
+	}
+	for _, i := range wIdx {
+		w := s.wcet[i]
+		payload, err := json.Marshal(w)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		recs = append(recs, newRec{kind: kindWCET, payload: payload, wcet: &w})
+	}
+
+	// Write segments to temp files, splitting at MaxSegmentBytes.
+	var tmpFiles []string
+	cleanup := func() {
+		for _, p := range tmpFiles {
+			os.Remove(p)
+		}
+	}
+	segNo := 1
+	buf := append([]byte{}, segMagic...)
+	newEntries := []entry{}
+	newWCET := []WCETRecord{}
+	newSegOf := map[int][]int{}
+	newWcetSeg := map[int][]int{}
+	flush := func() error {
+		tmp := filepath.Join(s.dir, segName(segNo)+".cmp")
+		if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		tmpFiles = append(tmpFiles, tmp)
+		return nil
+	}
+	for _, r := range recs {
+		recLen := int64(frameOverhead + len(r.payload))
+		if int64(len(buf))+recLen > s.opts.MaxSegmentBytes && int64(len(buf)) > int64(len(segMagic)) {
+			if err := flush(); err != nil {
+				cleanup()
+				return err
+			}
+			segNo++
+			buf = append([]byte{}, segMagic...)
+		}
+		off := int64(len(buf)) + frameOverhead
+		buf = appendFrame(buf, r.kind, r.payload)
+		switch r.kind {
+		case kindResult:
+			e := *r.entry
+			e.seg, e.off, e.len = segNo, off, int64(len(r.payload))
+			newSegOf[segNo] = append(newSegOf[segNo], len(newEntries))
+			newEntries = append(newEntries, e)
+		case kindWCET:
+			newWcetSeg[segNo] = append(newWcetSeg[segNo], len(newWCET))
+			newWCET = append(newWCET, *r.wcet)
+		}
+	}
+	if err := flush(); err != nil {
+		cleanup()
+		return err
+	}
+
+	// Swap: retire the old files, promote the new.
+	s.active.Close()
+	s.active = nil
+	for _, n := range s.segs {
+		os.Remove(filepath.Join(s.dir, segName(n)))
+		os.Remove(filepath.Join(s.dir, idxName(n)))
+	}
+	for i, tmp := range tmpFiles {
+		if err := os.Rename(tmp, filepath.Join(s.dir, segName(i+1))); err != nil {
+			return fmt.Errorf("store: promoting compacted segment: %w", err)
+		}
+	}
+
+	// Adopt the new state; the last segment becomes active.
+	s.entries, s.wcet = newEntries, newWCET
+	s.segOf, s.wcetSeg = newSegOf, newWcetSeg
+	s.byKey = make(map[Key]int, len(newEntries))
+	s.byRunKey = make(map[runKey]int, len(newEntries))
+	for i, e := range s.entries {
+		s.byKey[e.key] = i
+		s.byRunKey[e.key.run()] = i
+	}
+	s.segs = s.segs[:0]
+	for i := range tmpFiles {
+		s.segs = append(s.segs, i+1)
+	}
+	// Seal every compacted segment but the last with a sidecar.
+	for _, n := range s.segs[:len(s.segs)-1] {
+		if err := s.writeSidecar(n); err != nil {
+			return err
+		}
+	}
+	n := s.segs[len(s.segs)-1]
+	f, err := os.OpenFile(filepath.Join(s.dir, segName(n)), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	s.active, s.activeNum, s.activeSize = f, n, st.Size()
+	return nil
+}
+
+// keyLess orders keys for deterministic compaction.
+func keyLess(a, b Key) bool {
+	if a.App != b.App {
+		return a.App < b.App
+	}
+	if a.Scheme != b.Scheme {
+		return a.Scheme < b.Scheme
+	}
+	if a.Seed != b.Seed {
+		return a.Seed < b.Seed
+	}
+	if a.ConfigHash != b.ConfigHash {
+		return a.ConfigHash < b.ConfigHash
+	}
+	return a.Commit < b.Commit
+}
+
+// Close flushes and releases the active segment. The store is unusable
+// afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active == nil {
+		return nil
+	}
+	err := s.active.Close()
+	s.active = nil
+	return err
+}
