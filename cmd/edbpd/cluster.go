@@ -1,0 +1,357 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"edbp/internal/cluster"
+	"edbp/internal/obs"
+)
+
+// maxGridEntries bounds one POST /grid expansion: a full paper matrix is
+// ~13 apps x 12 schemes x a few seeds, so this is generous while still
+// refusing a runaway cross product.
+const maxGridEntries = 4096
+
+// clusterMetrics is the coordinator's instrument set over the server
+// registry, alongside the cluster package's own dispatch counters.
+type clusterMetrics struct {
+	coord       cluster.Metrics
+	grids       *obs.Counter
+	gridEntries *obs.Counter
+	gridFailed  *obs.Counter
+}
+
+// initCluster wires coordinator mode into the server: membership, the
+// consistent-hash dispatcher, the /cluster/* registration endpoints, and
+// the /grid sharded-dispatch API. Called from newServer.
+func (s *server) initCluster() {
+	liveness := s.opts.liveness
+	if liveness <= 0 {
+		liveness = 6 * time.Second
+	}
+	vnodes := s.opts.vnodes
+	if vnodes <= 0 {
+		vnodes = cluster.DefaultVnodes
+	}
+	s.members = cluster.NewMembership(liveness, vnodes)
+	s.cmet = &clusterMetrics{
+		coord: cluster.Metrics{
+			Dispatches: s.reg.CounterVec("edbpd_cluster_dispatch_total",
+				"Runs completed on a remote worker, by worker id.", "worker"),
+			Retries: s.reg.Counter("edbpd_cluster_retries_total",
+				"Run re-dispatches after a worker failed mid-job."),
+			Deaths: s.reg.Counter("edbpd_cluster_deaths_total",
+				"Workers marked dead by a failed dispatch."),
+			Frames: s.reg.Counter("edbpd_cluster_frames_total",
+				"SSE gauge frames relayed from workers into grid streams."),
+		},
+		grids: s.reg.Counter("edbpd_grids_total",
+			"Sharded grids accepted via POST /grid."),
+		gridEntries: s.reg.Counter("edbpd_grid_entries_total",
+			"Grid cells dispatched across all grids."),
+		gridFailed: s.reg.Counter("edbpd_grid_entries_failed_total",
+			"Grid cells that exhausted retry-with-exclusion and failed."),
+	}
+	s.reg.GaugeFunc("edbpd_cluster_workers",
+		"Live (routable) workers registered with this coordinator.",
+		func() float64 { return float64(s.members.AliveCount()) })
+	s.coord = &cluster.Coordinator{Members: s.members, Metrics: &s.cmet.coord}
+
+	s.mux.HandleFunc("POST /cluster/join", s.handleClusterJoin)
+	s.mux.HandleFunc("POST /cluster/heartbeat", s.handleClusterHeartbeat)
+	s.mux.HandleFunc("POST /cluster/leave", s.handleClusterLeave)
+	s.mux.HandleFunc("GET /cluster/nodes", s.handleClusterNodes)
+	s.mux.HandleFunc("POST /grid", s.handleGrid)
+	s.mux.HandleFunc("GET /grid/{id}", s.handleGridStatus)
+	s.mux.HandleFunc("GET /grid/{id}/stream", s.handleGridStream)
+}
+
+// dispatch routes one run to the worker fleet when this server is a
+// coordinator with live workers. handled=false means the caller should
+// simulate locally: not a coordinator, or an empty fleet (ErrNoWorkers) —
+// a coordinator alone is still a working single-node edbpd.
+func (s *server) dispatch(ctx context.Context, key string, req runRequest) (out *runOutput, handled bool, err error) {
+	if s.coord == nil {
+		return nil, false, nil
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, true, err
+	}
+	raw, node, _, err := s.coord.Execute(ctx, key, body, nil)
+	if errors.Is(err, cluster.ErrNoWorkers) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, true, err
+	}
+	out = &runOutput{}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return nil, true, fmt.Errorf("cluster: bad result from %s: %w", node, err)
+	}
+	out.Node = node
+	return out, true, nil
+}
+
+func (s *server) decodeNode(w http.ResponseWriter, r *http.Request) (cluster.Node, bool) {
+	var n cluster.Node
+	if err := json.NewDecoder(r.Body).Decode(&n); err != nil {
+		httpError(w, http.StatusBadRequest, "bad node body: %v", err)
+		return n, false
+	}
+	if n.ID == "" || n.URL == "" {
+		httpError(w, http.StatusBadRequest, "node needs id and url, got %+v", n)
+		return n, false
+	}
+	return n, true
+}
+
+func (s *server) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
+	n, ok := s.decodeNode(w, r)
+	if !ok {
+		return
+	}
+	s.members.Join(n)
+	writeJSON(w, http.StatusOK, map[string]string{"status": "joined", "id": n.ID})
+}
+
+func (s *server) handleClusterHeartbeat(w http.ResponseWriter, r *http.Request) {
+	n, ok := s.decodeNode(w, r)
+	if !ok {
+		return
+	}
+	if !s.members.Heartbeat(n.ID) {
+		// Unknown worker (we restarted, or it never joined): 404 tells it
+		// to re-join rather than keep heartbeating into the void.
+		httpError(w, http.StatusNotFound, "unknown worker %q — re-join", n.ID)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *server) handleClusterLeave(w http.ResponseWriter, r *http.Request) {
+	n, ok := s.decodeNode(w, r)
+	if !ok {
+		return
+	}
+	s.members.Leave(n.ID)
+	writeJSON(w, http.StatusOK, map[string]string{"status": "left", "id": n.ID})
+}
+
+func (s *server) handleClusterNodes(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.members.All())
+}
+
+// gridRequest is the POST /grid body: either an explicit list of runs, or
+// a cross product of apps x schemes x seeds over a base request. Every
+// expanded cell is normalized, validated, and deduplicated by config hash
+// before dispatch.
+type gridRequest struct {
+	Runs    []runRequest `json:"runs,omitempty"`
+	Base    runRequest   `json:"base,omitempty"`
+	Apps    []string     `json:"apps,omitempty"`
+	Schemes []string     `json:"schemes,omitempty"`
+	Seeds   []uint64     `json:"seeds,omitempty"`
+}
+
+// expand materializes the grid cells. Cross-product axes left empty
+// default to the base request's (normalized) value.
+func (g gridRequest) expand() ([]runRequest, error) {
+	if len(g.Runs) > 0 {
+		if len(g.Apps) > 0 || len(g.Schemes) > 0 || len(g.Seeds) > 0 {
+			return nil, errors.New("give either runs or a base cross product, not both")
+		}
+		return g.Runs, nil
+	}
+	apps := g.Apps
+	if len(apps) == 0 {
+		apps = []string{g.Base.App}
+	}
+	schemes := g.Schemes
+	if len(schemes) == 0 {
+		schemes = []string{g.Base.Scheme}
+	}
+	seeds := g.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{g.Base.Seed}
+	}
+	if n := len(apps) * len(schemes) * len(seeds); n > maxGridEntries {
+		return nil, fmt.Errorf("grid expands to %d cells (max %d)", n, maxGridEntries)
+	}
+	out := make([]runRequest, 0, len(apps)*len(schemes)*len(seeds))
+	for _, app := range apps {
+		for _, scheme := range schemes {
+			for _, seed := range seeds {
+				req := g.Base
+				req.App = app
+				if scheme != "" {
+					req.Scheme = scheme
+				}
+				req.Seed = seed
+				out = append(out, req)
+			}
+		}
+	}
+	return out, nil
+}
+
+// gridView is the GET /grid/{id} (and POST /grid?wait=1) response shape.
+type gridView struct {
+	Summary cluster.GridSummary   `json:"summary"`
+	Entries []cluster.EntryStatus `json:"entries"`
+}
+
+func gridViewOf(g *cluster.Grid) gridView {
+	return gridView{Summary: g.Summary(), Entries: g.Snapshot()}
+}
+
+// handleGrid serves POST /grid: expand, validate, dedupe, and dispatch
+// every cell to the worker owning its config hash. The default response is
+// 202 with the grid id for GET /grid/{id} and /grid/{id}/stream; ?wait=1
+// blocks until every cell is terminal and returns the full result set.
+func (s *server) handleGrid(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpUnavailable(w, drainRetryAfterSeconds, "draining")
+		return
+	}
+	var greq gridRequest
+	if err := json.NewDecoder(r.Body).Decode(&greq); err != nil {
+		httpError(w, http.StatusBadRequest, "bad grid body: %v", err)
+		return
+	}
+	reqs, err := greq.expand()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(reqs) == 0 {
+		httpError(w, http.StatusBadRequest, "empty grid")
+		return
+	}
+	if len(reqs) > maxGridEntries {
+		httpError(w, http.StatusBadRequest, "grid has %d cells (max %d)", len(reqs), maxGridEntries)
+		return
+	}
+	seen := make(map[string]bool, len(reqs))
+	entries := make([]cluster.GridEntry, 0, len(reqs))
+	for i, req := range reqs {
+		req = req.normalize()
+		if _, err := req.config(); err != nil {
+			httpError(w, http.StatusBadRequest, "cell %d: %v", i, err)
+			return
+		}
+		key := req.hash()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		body, err := json.Marshal(req)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "cell %d: %v", i, err)
+			return
+		}
+		entries = append(entries, cluster.GridEntry{Key: key, Body: body})
+	}
+	if s.members.AliveCount() == 0 {
+		httpUnavailable(w, drainRetryAfterSeconds, "no live workers — grids need a fleet (POST /cluster/join)")
+		return
+	}
+
+	id := fmt.Sprintf("grid-%d", s.nextGrid.Add(1))
+	s.cmet.grids.Inc()
+	s.cmet.gridEntries.Add(float64(len(entries)))
+	// Grids outlive their submitting request: dispatch under the server's
+	// lifetime, bounded per-entry by the run timeout the workers enforce.
+	g := s.coord.StartGrid(context.Background(), id, entries, func(key string, result json.RawMessage) {
+		out := &runOutput{}
+		if err := json.Unmarshal(result, out); err == nil {
+			s.cache.Store(key, out)
+		}
+	})
+	s.grids.Store(id, g)
+
+	if r.URL.Query().Get("wait") == "" {
+		writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "entries": len(entries)})
+		return
+	}
+	select {
+	case <-g.Done():
+		if failed := g.Summary().Failed; failed > 0 {
+			s.cmet.gridFailed.Add(float64(failed))
+		}
+		writeJSON(w, http.StatusOK, gridViewOf(g))
+	case <-r.Context().Done():
+		// The client gave up; the grid keeps running and stays pollable.
+	}
+}
+
+func (s *server) loadGrid(w http.ResponseWriter, r *http.Request) (*cluster.Grid, bool) {
+	id := r.PathValue("id")
+	v, ok := s.grids.Load(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown grid %q", id)
+		return nil, false
+	}
+	return v.(*cluster.Grid), true
+}
+
+func (s *server) handleGridStatus(w http.ResponseWriter, r *http.Request) {
+	g, ok := s.loadGrid(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, gridViewOf(g))
+}
+
+// handleGridStream serves GET /grid/{id}/stream: the fan-in SSE feed of a
+// grid — "gauge" envelopes ({node, key, gauge}) relayed from every worker,
+// one "entry" event per terminal cell, and a final "done" summary. The
+// subscription is severed when the client disconnects. Subscribing to a
+// grid that already finished ends immediately with a synthetic "done"
+// summary (the hub is closed, so no per-cell events replay).
+func (s *server) handleGridStream(w http.ResponseWriter, r *http.Request) {
+	g, ok := s.loadGrid(w, r)
+	if !ok {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	events, cancel := g.Subscribe()
+	defer cancel()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-events:
+			if !ok {
+				// Hub closed (grid finished before or during this stream):
+				// emit the summary so late subscribers still get closure.
+				if data, err := json.Marshal(g.Summary()); err == nil {
+					fmt.Fprintf(w, "event: done\ndata: %s\n\n", data)
+					fl.Flush()
+				}
+				return
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, ev.Data)
+			fl.Flush()
+			if ev.Type == "done" {
+				return
+			}
+		}
+	}
+}

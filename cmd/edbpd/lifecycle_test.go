@@ -1,0 +1,223 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	tracepkg "edbp/internal/trace"
+)
+
+// TestDrainEnqueueRace hammers intake from 8 goroutines while Drain flips
+// the server, repeatedly. Every submission must resolve deterministically:
+// 202 accepted (and then actually finished by the pool — Drain returning
+// nil proves that), or 503 with a Retry-After header and a typed reason.
+// No hung request, no send-on-closed-channel panic (the race detector
+// covers the close-during-send window), no bare 503.
+func TestDrainEnqueueRace(t *testing.T) {
+	type rejection struct {
+		code       int
+		retryAfter string
+		reason     string
+	}
+	for round := 0; round < 4; round++ {
+		s := newServer(serverOptions{queueDepth: 4, workers: 2})
+		ts := httptest.NewServer(s.Handler())
+
+		const clients, perClient = 8, 6
+		results := make(chan rejection, clients*perClient)
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < clients; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				<-start
+				for k := 0; k < perClient; k++ {
+					body := fmt.Sprintf(`{"app":"crc32","scheme":"baseline","scale":0.05,"seed":%d}`,
+						round*1000+i*100+k+1)
+					resp, err := http.Post(ts.URL+"/run?async=1", "application/json", strings.NewReader(body))
+					if err != nil {
+						t.Errorf("submit: %v", err)
+						return
+					}
+					var e struct {
+						Error string `json:"error"`
+					}
+					json.NewDecoder(resp.Body).Decode(&e)
+					resp.Body.Close()
+					results <- rejection{resp.StatusCode, resp.Header.Get("Retry-After"), e.Error}
+				}
+			}(i)
+		}
+		close(start)
+
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := s.Drain(ctx); err != nil {
+			t.Fatalf("round %d: drain: %v", round, err)
+		}
+		cancel()
+		wg.Wait()
+		ts.Close()
+		close(results)
+
+		for r := range results {
+			switch r.code {
+			case http.StatusAccepted:
+			case http.StatusServiceUnavailable:
+				if r.retryAfter == "" {
+					t.Fatalf("round %d: 503 %q without Retry-After", round, r.reason)
+				}
+				if r.reason != "draining" && !strings.HasPrefix(r.reason, "queue full") {
+					t.Fatalf("round %d: 503 with untyped reason %q", round, r.reason)
+				}
+			default:
+				t.Fatalf("round %d: submission = %d (%q), want 202 or 503", round, r.code, r.reason)
+			}
+		}
+	}
+}
+
+// TestDrainAbortMarksPendingFailed wedges the single worker on the
+// holdJobs gate, then drains with a deadline far shorter than the wedge.
+// The aborted drain must (a) return an error naming the pending count,
+// (b) mark both the parked and the queued job failed with the typed
+// drain-abort reason — no phantom "queued"/"running" after shutdown — and
+// (c) keep them failed even after the worker wakes up and dequeues them.
+func TestDrainAbortMarksPendingFailed(t *testing.T) {
+	gate := make(chan struct{})
+	s := newServer(serverOptions{queueDepth: 4, workers: 1, holdJobs: gate})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	submit := func(seed int) jobView {
+		var j jobView
+		body := fmt.Sprintf(`{"app":"crc32","scheme":"baseline","scale":0.05,"seed":%d}`, seed)
+		if code := doJSON(t, "POST", ts.URL+"/run?async=1", body, &j); code != http.StatusAccepted {
+			t.Fatalf("submit seed %d = %d", seed, code)
+		}
+		return j
+	}
+	a := submit(1) // worker dequeues this one and parks on the gate
+	b := submit(2) // stays in the queue channel
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	err := s.Drain(ctx)
+	cancel()
+	if err == nil {
+		t.Fatal("drain with a wedged worker returned nil")
+	}
+	if !strings.Contains(err.Error(), "drain aborted with 2 jobs") {
+		t.Errorf("drain error = %v, want it to count 2 pending jobs", err)
+	}
+
+	for _, id := range []string{a.ID, b.ID} {
+		var got jobView
+		doJSON(t, "GET", ts.URL+"/jobs/"+id, "", &got)
+		if got.Status != "failed" || !strings.Contains(got.Error, "drain aborted") {
+			t.Errorf("job %s after aborted drain = %q (%q), want failed with drain-abort reason",
+				id, got.Status, got.Error)
+		}
+	}
+
+	// Release the worker. It dequeues the already-failed jobs; job.start
+	// must refuse them so neither is resurrected (or simulated).
+	close(gate)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel2()
+	if err := s.Drain(ctx2); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+	for _, id := range []string{a.ID, b.ID} {
+		var got jobView
+		doJSON(t, "GET", ts.URL+"/jobs/"+id, "", &got)
+		if got.Status != "failed" {
+			t.Errorf("job %s resurrected to %q after the worker woke", id, got.Status)
+		}
+	}
+	if s.met.runsOK.Value() != 0 {
+		t.Errorf("aborted jobs were simulated anyway (runs_ok = %g)", s.met.runsOK.Value())
+	}
+}
+
+// TestStreamSamplerUnbound drives sampleRun directly through the client-
+// disconnect path: ctx is cancelled while the run (runDone) is still open.
+// The sampler must close its frames channel and exit — the ranged read
+// below only returns if it does.
+func TestStreamSamplerUnbound(t *testing.T) {
+	rec := tracepkg.NewRecorder(tracepkg.Options{Label: "t", EventCap: 8, SampleCap: 8, SampleEvery: 1e-3})
+	lr := &liveRun{label: "t", rec: rec, done: make(chan struct{})}
+	defer close(lr.done)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	frames := sampleRun(ctx, lr, time.Millisecond, lr.done)
+	cancel() // the client went away; the run is still in flight
+	select {
+	case _, ok := <-frames:
+		for ok {
+			_, ok = <-frames
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sampler did not close frames after ctx cancellation")
+	}
+}
+
+// TestStreamAbortGoroutineBaseline opens /stream against a held job (the
+// handler parks waiting for a live run that never comes), aborts the
+// client, and asserts the process goroutine count returns to its
+// pre-stream baseline — neither the handler's wait loop nor a sampler may
+// outlive the request.
+func TestStreamAbortGoroutineBaseline(t *testing.T) {
+	gate := make(chan struct{})
+	_, ts := testServer(t, serverOptions{workers: 1, holdJobs: gate})
+	defer close(gate)
+
+	var j jobView
+	if code := doJSON(t, "POST", ts.URL+"/run?async=1",
+		`{"app":"crc32","scheme":"baseline","scale":0.05}`, &j); code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	baseline := runtime.NumGoroutine()
+
+	for i := 0; i < 3; i++ {
+		// The handler parks in its wait-for-live-run loop (the worker holds
+		// the job before it ever starts) and hasn't sent headers yet, so the
+		// only way out is the request context expiring — exactly a client
+		// that gave up.
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/stream?job="+j.ID+"&interval_ms=1", nil)
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		cancel()
+	}
+
+	// Connection teardown is asynchronous; give the runtime a bounded
+	// window to shed the per-request goroutines.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines %d > baseline %d after aborted streams\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}

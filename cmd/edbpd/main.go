@@ -28,13 +28,43 @@
 //	                 default, format=text for the plain rendering.
 //	GET  /debug/pprof/*  net/http/pprof, only when -pprof is set.
 //
+// Cluster mode (see DESIGN.md §12). With -coordinator the process also
+// serves:
+//
+//	POST /cluster/join       worker registration ({"id","url"})
+//	POST /cluster/heartbeat  liveness renewal; 404 tells the worker to
+//	                         re-join (the coordinator restarted)
+//	POST /cluster/leave      graceful deregistration before a drain
+//	GET  /cluster/nodes      every registered worker with liveness state
+//	POST /grid               a sharded experiment grid: cells (explicit
+//	                         runs, or base x apps x schemes x seeds) are
+//	                         deduplicated by config hash and dispatched to
+//	                         the worker owning each hash on a consistent
+//	                         ring; 202 + grid id, or the full result set
+//	                         with ?wait=1
+//	GET  /grid/{id}          grid summary + per-cell status
+//	GET  /grid/{id}/stream   fan-in SSE: relayed worker gauges wrapped
+//	                         {node,key,gauge}, per-cell "entry" events, a
+//	                         final "done" summary
+//
+// A worker is an ordinary edbpd started with -join <coordinator-url>: it
+// registers, heartbeats, and serves the same /run API the coordinator
+// dispatches to. Each worker's result cache and -store shard hold exactly
+// the config hashes the ring routes to it, so the fleet's stores form a
+// partitioned, disjoint result set (audited via store.ConfigHashes).
+// Workers that die mid-job are marked dead and their cells re-dispatched
+// to the next ring owner (retry-with-exclusion); a coordinator with no
+// live workers falls back to simulating locally. -node-id stamps every
+// metrics series with a node="..." label so fleet dashboards aggregate.
+//
 // Identical configs are answered from a sha256 config-hash result cache;
 // fresh runs share the process-wide workload and energy-trace memoization.
 // With -store DIR every fresh completed run is also appended to the
 // persistent experiment store (keyed by config hash and the build's
 // commit), queryable via /runs, /query and cmd/edbpq across restarts.
-// SIGTERM/SIGINT stops intake (healthz flips to 503), finishes queued
-// jobs, and exits 0 — a clean drain for rolling restarts.
+// SIGTERM/SIGINT stops intake (healthz flips to 503), deregisters from
+// the coordinator when in worker mode, finishes queued jobs, and exits 0
+// — a clean drain for rolling restarts.
 //
 // Example:
 //
@@ -51,10 +81,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"edbp/internal/buildinfo"
+	"edbp/internal/cluster"
 	"edbp/internal/store"
 )
 
@@ -71,6 +103,14 @@ func main() {
 		pprofFlag    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		storeDir     = flag.String("store", "", "experiment store directory; persists every fresh completed run and enables /runs and /query")
 		version      = flag.Bool("version", false, "print the build stamp and exit")
+
+		coordinator = flag.Bool("coordinator", false, "enable cluster-coordinator mode: /cluster/* registration and /grid sharded dispatch")
+		joinURL     = flag.String("join", "", "coordinator base URL to register with (worker mode), e.g. http://host:8080")
+		nodeID      = flag.String("node-id", "", "this process's fleet id; labels every metrics series node=\"...\" (default: derived from -addr in cluster modes)")
+		advertise   = flag.String("advertise", "", "base URL the coordinator should reach this worker at (default http://127.0.0.1<addr> when -addr is :port)")
+		heartbeat   = flag.Duration("heartbeat", 2*time.Second, "worker heartbeat cadence")
+		liveness    = flag.Duration("liveness", 6*time.Second, "coordinator: how long a silent worker keeps owning shards")
+		vnodes      = flag.Int("vnodes", 0, "coordinator: virtual nodes per worker on the hash ring (0 = default)")
 	)
 	flag.Parse()
 	if *version {
@@ -78,11 +118,21 @@ func main() {
 		return
 	}
 
+	if *coordinator && *joinURL != "" {
+		log.Fatal("-coordinator and -join are mutually exclusive (a worker is not a coordinator)")
+	}
+	if (*coordinator || *joinURL != "") && *nodeID == "" {
+		*nodeID = "edbpd" + strings.ReplaceAll(*addr, ":", "-")
+	}
 	opts := serverOptions{
-		queueDepth: *queue,
-		workers:    *workers,
-		runTimeout: *runTimeout,
-		pprof:      *pprofFlag,
+		queueDepth:  *queue,
+		workers:     *workers,
+		runTimeout:  *runTimeout,
+		pprof:       *pprofFlag,
+		coordinator: *coordinator,
+		liveness:    *liveness,
+		vnodes:      *vnodes,
+		nodeID:      *nodeID,
 	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir, store.Options{})
@@ -103,6 +153,31 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	log.Printf("listening on %s", *addr)
+	if *coordinator {
+		log.Printf("coordinator mode: workers register at POST /cluster/join")
+	}
+
+	var wk *cluster.Worker
+	var stopHeartbeats context.CancelFunc
+	if *joinURL != "" {
+		adv := *advertise
+		if adv == "" {
+			if strings.HasPrefix(*addr, ":") {
+				adv = "http://127.0.0.1" + *addr
+			} else {
+				adv = "http://" + *addr
+			}
+		}
+		wk = &cluster.Worker{
+			Node:           cluster.Node{ID: *nodeID, URL: adv},
+			CoordinatorURL: strings.TrimRight(*joinURL, "/"),
+			Heartbeat:      *heartbeat,
+			Logf:           log.Printf,
+		}
+		var wctx context.Context
+		wctx, stopHeartbeats = context.WithCancel(context.Background())
+		go wk.Run(wctx)
+	}
 
 	select {
 	case err := <-errCh:
@@ -113,6 +188,14 @@ func main() {
 	log.Printf("signal received; draining (up to %v)", *drainTimeout)
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	if wk != nil {
+		// Deregister first so the coordinator reroutes this worker's shards
+		// while we finish the jobs already queued here.
+		if err := wk.Leave(dctx); err != nil {
+			log.Printf("%v (draining anyway)", err)
+		}
+		stopHeartbeats()
+	}
 	// Stop intake and wait for queued jobs first, then close HTTP with the
 	// remaining budget so in-flight sync requests finish too.
 	if err := srv.Drain(dctx); err != nil {

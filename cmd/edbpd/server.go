@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"edbp/internal/cache"
+	"edbp/internal/cluster"
 	"edbp/internal/energy"
 	"edbp/internal/nvm"
 	"edbp/internal/obs"
@@ -184,6 +185,9 @@ type runOutput struct {
 
 	Truncated bool `json:"truncated"`
 	CacheHit  bool `json:"cache_hit"`
+	// Node is the worker that simulated this run, set by a coordinator on
+	// dispatched results. Empty for locally simulated runs.
+	Node string `json:"node,omitempty"`
 }
 
 func output(req runRequest, res *sim.Result) *runOutput {
@@ -244,8 +248,30 @@ func (j *job) snapshot() job {
 	return job{ID: j.ID, Status: j.Status, Result: j.Result, Error: j.Error}
 }
 
-func (j *job) finish(out *runOutput, err error) {
+// start moves a queued job to running. It refuses when the job is already
+// terminal — the drain-abort path may have failed it while it sat in the
+// queue, and a worker dequeuing it afterwards must not resurrect it into a
+// phantom "running" (or waste a simulation on it).
+func (j *job) start() bool {
 	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.Status != "queued" {
+		return false
+	}
+	j.Status = "running"
+	return true
+}
+
+// finish moves the job to its terminal state and closes done. It is
+// idempotent: the first terminal transition wins, so a worker completing
+// a job the drain-abort path already failed is a no-op (never a double
+// close or a resurrected status). Reports whether this call transitioned.
+func (j *job) finish(out *runOutput, err error) bool {
+	j.mu.Lock()
+	if j.Status == "done" || j.Status == "failed" {
+		j.mu.Unlock()
+		return false
+	}
 	if err != nil {
 		j.Status = "failed"
 		j.Error = err.Error()
@@ -255,6 +281,7 @@ func (j *job) finish(out *runOutput, err error) {
 	}
 	j.mu.Unlock()
 	close(j.done)
+	return true
 }
 
 type serverOptions struct {
@@ -279,6 +306,19 @@ type serverOptions struct {
 	// channel closes. Test-only: it freezes the pool so queue-bound
 	// behaviour is observable without timing races.
 	holdJobs chan struct{}
+
+	// coordinator enables cluster-coordinator mode: /cluster/* membership
+	// endpoints, /grid sharded dispatch, and remote execution of runs
+	// whenever live workers exist (local simulation is the fallback).
+	// liveness bounds how long a silent worker keeps owning shards
+	// (default 6s); vnodes tunes ring granularity.
+	coordinator bool
+	liveness    time.Duration
+	vnodes      int
+
+	// nodeID, when non-empty, names this process in the fleet and becomes
+	// the node="..." const label on every metrics series it exports.
+	nodeID string
 }
 
 // server is the edbpd HTTP service. newServer starts the worker pool;
@@ -304,6 +344,13 @@ type server struct {
 	// lastLive points at the most recently started run's live view; the
 	// SSE stream falls back to it when no job id is given.
 	lastLive atomic.Pointer[liveRun]
+
+	// Coordinator-mode state (nil in single-node and worker modes).
+	members  *cluster.Membership
+	coord    *cluster.Coordinator
+	cmet     *clusterMetrics
+	grids    sync.Map // grid id -> *cluster.Grid
+	nextGrid atomic.Uint64
 }
 
 func newServer(opts serverOptions) *server {
@@ -318,6 +365,9 @@ func newServer(opts serverOptions) *server {
 	}
 	if opts.registry == nil {
 		opts.registry = obs.NewRegistry()
+	}
+	if opts.nodeID != "" {
+		opts.registry.SetConstLabels("node", opts.nodeID)
 	}
 	s := &server{opts: opts, queue: make(chan *job, opts.queueDepth)}
 	s.reg = opts.registry
@@ -338,6 +388,9 @@ func newServer(opts serverOptions) *server {
 	s.mux.HandleFunc("GET /stream", s.handleStream)
 	s.mux.HandleFunc("GET /runs", s.handleRuns)
 	s.mux.HandleFunc("GET /query", s.handleQuery)
+	if opts.coordinator {
+		s.initCluster()
+	}
 	if opts.pprof {
 		// Gated behind -pprof: profiling endpoints expose execution
 		// details and cost CPU, so production deployments opt in.
@@ -364,9 +417,15 @@ func (s *server) Handler() http.Handler {
 	})
 }
 
+// errDrainAborted is the typed reason stamped on jobs the drain gave up
+// waiting for: /jobs/{id} must never report a phantom in-flight job after
+// the server has shut down.
+var errDrainAborted = errors.New("edbpd: drain aborted before this job completed")
+
 // Drain stops accepting work, waits for queued jobs to finish (bounded by
 // ctx), and releases the worker pool. /healthz reports 503 from the first
-// moment so load balancers stop routing.
+// moment so load balancers stop routing. If ctx expires first, every job
+// still queued or running is marked failed with errDrainAborted.
 func (s *server) Drain(ctx context.Context) error {
 	s.queueMu.Lock()
 	if !s.draining.Swap(true) {
@@ -380,8 +439,22 @@ func (s *server) Drain(ctx context.Context) error {
 	case <-done:
 		return nil
 	case <-ctx.Done():
-		return fmt.Errorf("edbpd: drain aborted with jobs still running: %w", ctx.Err())
+		n := s.failPendingJobs(errDrainAborted)
+		return fmt.Errorf("edbpd: drain aborted with %d jobs still pending: %w", n, ctx.Err())
 	}
+}
+
+// failPendingJobs force-fails every non-terminal job with reason. Workers
+// racing a job to completion lose harmlessly: job.finish is idempotent.
+func (s *server) failPendingJobs(reason error) int {
+	n := 0
+	s.jobs.Range(func(_, v any) bool {
+		if v.(*job).finish(nil, reason) {
+			n++
+		}
+		return true
+	})
+	return n
 }
 
 func (s *server) worker() {
@@ -392,12 +465,15 @@ func (s *server) worker() {
 		}
 		if s.met != nil {
 			s.met.jobsQueued.Dec()
+		}
+		if !j.start() {
+			// Already terminal: a drain abort failed it while queued.
+			continue
+		}
+		if s.met != nil {
 			s.met.jobsRunning.Inc()
 			s.met.queueWait.Observe(time.Since(j.enqueuedAt).Seconds())
 		}
-		j.mu.Lock()
-		j.Status = "running"
-		j.mu.Unlock()
 		// Async jobs run to completion even during drain; only the
 		// per-run deadline bounds them.
 		ctx, cancel := context.WithTimeout(context.Background(), s.opts.runTimeout)
@@ -424,6 +500,13 @@ func (s *server) run(ctx context.Context, req runRequest, j *job) (*runOutput, e
 		return &hit, nil
 	}
 	s.met.observeCache(false)
+	if out, handled, err := s.dispatch(ctx, key, req); handled {
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Store(key, out)
+		return out, nil
+	}
 	cfg, err := req.config()
 	if err != nil {
 		return nil, err
@@ -476,6 +559,49 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// drainRetryAfterSeconds is the Retry-After clients get while the server
+// drains: long enough for a rolling restart to converge, short enough
+// that retrying clients land on the replacement promptly.
+const drainRetryAfterSeconds = 5
+
+// httpUnavailable is a 503 with an explicit Retry-After, so intake
+// rejection during drain (or a momentarily full queue) is a deterministic,
+// machine-actionable backpressure signal instead of a bare error.
+func httpUnavailable(w http.ResponseWriter, retryAfterSeconds int, format string, args ...any) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	httpError(w, http.StatusServiceUnavailable, format, args...)
+}
+
+// Typed intake-rejection reasons for tryEnqueue.
+var (
+	errDraining  = errors.New("draining")
+	errQueueFull = errors.New("queue full")
+)
+
+// tryEnqueue places j in the bounded queue, or reports why it cannot. The
+// draining check and the channel send happen under the same read lock
+// Drain write-locks before closing the queue, so a submission racing the
+// drain flip either lands before the close (and will be finished by the
+// pool) or observes errDraining — it can never send on a closed channel
+// or be misreported as a full-queue rejection.
+func (s *server) tryEnqueue(j *job) error {
+	s.queueMu.RLock()
+	defer s.queueMu.RUnlock()
+	if s.draining.Load() {
+		return errDraining
+	}
+	select {
+	case s.queue <- j:
+		s.jobs.Store(j.ID, j)
+		if s.met != nil {
+			s.met.jobsQueued.Inc()
+		}
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -488,7 +614,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // the response is 202 with the job id for GET /jobs/{id}.
 func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		httpError(w, http.StatusServiceUnavailable, "draining")
+		httpUnavailable(w, drainRetryAfterSeconds, "draining")
 		return
 	}
 	var req runRequest
@@ -510,24 +636,16 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 			done:       make(chan struct{}),
 			enqueuedAt: time.Now(),
 		}
-		s.queueMu.RLock()
-		defer s.queueMu.RUnlock()
-		if s.draining.Load() {
-			httpError(w, http.StatusServiceUnavailable, "draining")
-			return
-		}
-		select {
-		case s.queue <- j:
-			s.jobs.Store(j.ID, j)
-			if s.met != nil {
-				s.met.jobsQueued.Inc()
-			}
+		switch err := s.tryEnqueue(j); {
+		case err == nil:
 			writeJSON(w, http.StatusAccepted, j.snapshot())
+		case errors.Is(err, errDraining):
+			httpUnavailable(w, drainRetryAfterSeconds, "draining")
 		default:
 			if s.met != nil {
 				s.met.queueFull.Inc()
 			}
-			httpError(w, http.StatusServiceUnavailable, "queue full (%d deep)", s.opts.queueDepth)
+			httpUnavailable(w, 1, "queue full (%d deep)", s.opts.queueDepth)
 		}
 		return
 	}
@@ -693,7 +811,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		httpError(w, http.StatusServiceUnavailable, "draining")
+		httpUnavailable(w, drainRetryAfterSeconds, "draining")
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -753,10 +871,7 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 		interval = time.Duration(ms) * time.Millisecond
 	}
 
-	var (
-		lr      *liveRun
-		jobDone chan struct{} // closed when the followed job finishes
-	)
+	var lr *liveRun
 	if id := r.URL.Query().Get("job"); id != "" {
 		v, ok := s.jobs.Load(id)
 		if !ok {
@@ -764,7 +879,6 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		j := v.(*job)
-		jobDone = j.done
 		// Wait for the worker to attach a live run. A job that finishes
 		// without one (cache hit, config error) yields an empty stream.
 		wait := time.NewTicker(time.Millisecond)
@@ -796,49 +910,83 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
 
-	var lastSeq uint64
-	emit := func() {
-		if lr == nil {
-			return
-		}
-		sample, seq := lr.rec.LatestSample()
-		if seq == 0 || seq == lastSeq {
-			return
-		}
-		lastSeq = seq
-		frame := gaugeFrame{
-			Label: lr.label, Seq: seq, SimS: sample.Time, Cycle: sample.Cycle,
-			VoltageV: sample.Voltage, StoredUJ: sample.Stored * 1e6,
-			Live: sample.Live, Gated: sample.Gated, Dirty: sample.Dirty,
-			Level: sample.Level, FPR: sample.FPR, ZombieRatio: sample.ZombieRatio,
-		}
+	var frames <-chan gaugeFrame
+	if lr != nil {
+		// lr.done closes when the simulation returns (strictly before the
+		// job's own done), so it is the tighter signal for both paths.
+		frames = sampleRun(r.Context(), lr, interval, lr.done)
+	} else {
+		// The job finished without ever attaching a live run (cache hit or
+		// config error): serve an empty stream that closes immediately.
+		closed := make(chan gaugeFrame)
+		close(closed)
+		frames = closed
+	}
+	for frame := range frames {
 		data, err := json.Marshal(frame)
 		if err != nil {
-			return
+			continue
 		}
 		fmt.Fprintf(w, "event: gauge\ndata: %s\n\n", data)
 		fl.Flush()
 	}
+	// frames closed: the run finished, or the client went away. Only a
+	// finished run earns the terminal event — writing to a gone client is
+	// pointless (and the write would just error into the void).
+	if r.Context().Err() == nil {
+		io.WriteString(w, "event: done\ndata: {}\n\n")
+		fl.Flush()
+	}
+}
 
-	runDone := jobDone
-	if lr != nil {
-		runDone = lr.done
-	}
-	tick := time.NewTicker(interval)
-	defer tick.Stop()
-	for {
-		select {
-		case <-r.Context().Done():
-			return
-		case <-runDone:
-			// Flush the final sample (the run may have finished between
-			// ticks) so short runs still deliver their last gauges.
-			emit()
-			io.WriteString(w, "event: done\ndata: {}\n\n")
-			fl.Flush()
-			return
-		case <-tick.C:
-			emit()
+// sampleRun polls lr's race-safe live gauge every interval on a dedicated
+// goroutine and delivers each fresh sample on the returned channel. The
+// goroutine is bound to BOTH ctx and runDone: when the client disconnects
+// mid-run, ctx cancellation tears it down even though the run is still
+// going (the unbuffered send also selects on ctx, so a reader that left
+// between frames cannot wedge it); when the run finishes first, it flushes
+// the final sample (short runs may complete between ticks) and closes the
+// channel. Either way the goroutine exits — an aborted stream never leaks
+// its sampler.
+func sampleRun(ctx context.Context, lr *liveRun, interval time.Duration, runDone <-chan struct{}) <-chan gaugeFrame {
+	frames := make(chan gaugeFrame)
+	go func() {
+		defer close(frames)
+		var lastSeq uint64
+		emit := func() bool {
+			sample, seq := lr.rec.LatestSample()
+			if seq == 0 || seq == lastSeq {
+				return true
+			}
+			lastSeq = seq
+			frame := gaugeFrame{
+				Label: lr.label, Seq: seq, SimS: sample.Time, Cycle: sample.Cycle,
+				VoltageV: sample.Voltage, StoredUJ: sample.Stored * 1e6,
+				Live: sample.Live, Gated: sample.Gated, Dirty: sample.Dirty,
+				Level: sample.Level, FPR: sample.FPR, ZombieRatio: sample.ZombieRatio,
+			}
+			select {
+			case frames <- frame:
+				return true
+			case <-ctx.Done():
+				return false
+			}
 		}
-	}
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-runDone:
+				emit()
+				return
+			case <-tick.C:
+				if !emit() {
+					return
+				}
+			}
+		}
+	}()
+	return frames
 }

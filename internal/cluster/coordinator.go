@@ -1,0 +1,333 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"edbp/internal/obs"
+)
+
+// ErrNoWorkers means the fleet has no live worker at all — the caller
+// (edbpd's coordinator mode) falls back to simulating locally.
+var ErrNoWorkers = errors.New("cluster: no live workers")
+
+// TerminalError is a dispatch failure that retrying on another worker
+// cannot fix: the worker rejected the config (4xx) or the simulation
+// itself failed. Transport failures and 5xx responses are NOT terminal —
+// they mark the worker dead and move the run to the next ring owner.
+type TerminalError struct {
+	Node   string
+	Status int
+	Msg    string
+}
+
+func (e *TerminalError) Error() string {
+	return fmt.Sprintf("cluster: %s on %s (HTTP %d)", e.Msg, e.Node, e.Status)
+}
+
+// Metrics is the coordinator's instrument set, wired by cmd/edbpd against
+// its obs.Registry. Every field is nil-safe (obs instruments no-op when
+// nil), so a zero Metrics disables observation.
+type Metrics struct {
+	Dispatches *obs.CounterVec // label: node — runs completed remotely
+	Retries    *obs.Counter    // re-dispatches after a worker failure
+	Deaths     *obs.Counter    // workers marked dead by a failed dispatch
+	Frames     *obs.Counter    // SSE gauge frames relayed from workers
+}
+
+func (m *Metrics) dispatched(node string) {
+	if m != nil {
+		m.Dispatches.With(node).Inc()
+	}
+}
+
+func (m *Metrics) retried() {
+	if m != nil {
+		m.Retries.Inc()
+	}
+}
+
+func (m *Metrics) died() {
+	if m != nil {
+		m.Deaths.Inc()
+	}
+}
+
+func (m *Metrics) framed() {
+	if m != nil {
+		m.Frames.Inc()
+	}
+}
+
+// Coordinator routes runs to the worker owning their config hash and
+// supervises them to completion.
+type Coordinator struct {
+	Members *Membership
+	Client  *http.Client // nil: http.DefaultClient
+
+	// PollInterval is the job-status poll cadence (default 25ms); the
+	// worker-side simulation is the long pole, so polling stays coarse.
+	PollInterval time.Duration
+	// SubmitBackoff is how long to wait before re-submitting to a worker
+	// whose bounded queue was full (default 50ms).
+	SubmitBackoff time.Duration
+	// StreamIntervalMS is the interval_ms the relay asks workers for
+	// (default 25).
+	StreamIntervalMS int
+
+	Metrics *Metrics
+}
+
+func (c *Coordinator) client() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	return http.DefaultClient
+}
+
+func (c *Coordinator) pollInterval() time.Duration {
+	if c.PollInterval > 0 {
+		return c.PollInterval
+	}
+	return 25 * time.Millisecond
+}
+
+func (c *Coordinator) submitBackoff() time.Duration {
+	if c.SubmitBackoff > 0 {
+		return c.SubmitBackoff
+	}
+	return 50 * time.Millisecond
+}
+
+func (c *Coordinator) streamIntervalMS() int {
+	if c.StreamIntervalMS > 0 {
+		return c.StreamIntervalMS
+	}
+	return 25
+}
+
+// EventFunc receives relayed SSE events from the worker running a
+// dispatched job: node is the worker id, event the SSE event name
+// ("gauge"), data the frame's JSON payload.
+type EventFunc func(node, event string, data []byte)
+
+// Execute runs one request body (a normalized edbpd run request) on the
+// worker owning key, retrying with exclusion when workers fail at the
+// transport level. It returns the worker's Result JSON, the id of the
+// node that produced it, and how many workers were tried (>1 means the
+// run survived at least one worker failure). onEvent, when non-nil,
+// receives the run's relayed /stream frames while it is in flight.
+func (c *Coordinator) Execute(ctx context.Context, key string, body []byte, onEvent EventFunc) (json.RawMessage, string, int, error) {
+	excluded := make(map[string]bool)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		node, ok := c.Members.Owner(key, excluded)
+		if !ok {
+			if attempt == 0 {
+				return nil, "", 0, ErrNoWorkers
+			}
+			return nil, "", attempt, fmt.Errorf("cluster: no workers left for %s after %d attempts: %w",
+				shortKey(key), attempt, lastErr)
+		}
+		if attempt > 0 {
+			c.Metrics.retried()
+		}
+		raw, err := c.execOn(ctx, node, body, onEvent)
+		if err == nil {
+			c.Metrics.dispatched(node.ID)
+			return raw, node.ID, attempt + 1, nil
+		}
+		var term *TerminalError
+		if errors.As(err, &term) {
+			return nil, node.ID, attempt + 1, err
+		}
+		if ctx.Err() != nil {
+			return nil, node.ID, attempt + 1, ctx.Err()
+		}
+		// Transport-level failure: the worker is gone (or unreachable).
+		// Exclude it and let the next ring owner take the shard over.
+		c.Members.MarkDead(node.ID)
+		c.Metrics.died()
+		excluded[node.ID] = true
+		lastErr = err
+	}
+}
+
+func shortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}
+
+// errorBody extracts edbpd's {"error": "..."} message from a response
+// body, falling back to the raw text.
+func errorBody(body []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(body))
+}
+
+// execOn submits body to one worker asynchronously and polls the job to
+// completion, relaying its stream in between. Errors are terminal
+// (*TerminalError) when retrying elsewhere is pointless, transport-level
+// otherwise.
+func (c *Coordinator) execOn(ctx context.Context, node Node, body []byte, onEvent EventFunc) (json.RawMessage, error) {
+	jobID, err := c.submit(ctx, node, body)
+	if err != nil {
+		return nil, err
+	}
+
+	if onEvent != nil {
+		sctx, scancel := context.WithCancel(ctx)
+		defer scancel()
+		relayed := make(chan struct{})
+		go func() {
+			defer close(relayed)
+			c.relayStream(sctx, node, jobID, onEvent)
+		}()
+		// The relay usually ends with the worker's terminal "done" event;
+		// on worker death scancel aborts the body read. Wait for it below
+		// so frames never trail the returned result.
+		defer func() {
+			scancel()
+			<-relayed
+		}()
+	}
+
+	tick := time.NewTicker(c.pollInterval())
+	defer tick.Stop()
+	for {
+		status, result, errMsg, err := c.pollJob(ctx, node, jobID)
+		if err != nil {
+			return nil, err
+		}
+		switch status {
+		case "done":
+			return result, nil
+		case "failed":
+			return nil, &TerminalError{Node: node.ID, Status: http.StatusOK, Msg: "job failed: " + errMsg}
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// submit POSTs the run to the worker's bounded queue, backing off while
+// the queue is full. A draining worker is a transport-level failure (it
+// is leaving the ring; the run belongs elsewhere).
+func (c *Coordinator) submit(ctx context.Context, node Node, body []byte) (string, error) {
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, node.URL+"/run?async=1", bytes.NewReader(body))
+		if err != nil {
+			return "", err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.client().Do(req)
+		if err != nil {
+			return "", fmt.Errorf("cluster: submit to %s: %w", node.ID, err)
+		}
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if err != nil {
+			return "", fmt.Errorf("cluster: submit to %s: %w", node.ID, err)
+		}
+		switch {
+		case resp.StatusCode == http.StatusAccepted:
+			var j struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal(raw, &j); err != nil || j.ID == "" {
+				return "", fmt.Errorf("cluster: submit to %s: bad 202 body %q", node.ID, raw)
+			}
+			return j.ID, nil
+		case resp.StatusCode == http.StatusServiceUnavailable:
+			msg := errorBody(raw)
+			if strings.Contains(msg, "queue full") {
+				// The shard owner is busy, not gone: wait for a slot.
+				select {
+				case <-ctx.Done():
+					return "", ctx.Err()
+				case <-time.After(c.submitBackoff()):
+				}
+				continue
+			}
+			// "draining" (or an LB in between): treat as node loss.
+			return "", fmt.Errorf("cluster: submit to %s: %s", node.ID, msg)
+		case resp.StatusCode >= 400 && resp.StatusCode < 500:
+			return "", &TerminalError{Node: node.ID, Status: resp.StatusCode, Msg: errorBody(raw)}
+		default:
+			return "", fmt.Errorf("cluster: submit to %s: HTTP %d: %s", node.ID, resp.StatusCode, errorBody(raw))
+		}
+	}
+}
+
+// pollJob fetches one job snapshot. err is transport-level only; HTTP
+// status mapping mirrors submit.
+func (c *Coordinator) pollJob(ctx context.Context, node Node, jobID string) (status string, result json.RawMessage, errMsg string, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node.URL+"/jobs/"+jobID, nil)
+	if err != nil {
+		return "", nil, "", err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return "", nil, "", fmt.Errorf("cluster: poll %s on %s: %w", jobID, node.ID, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
+	if err != nil {
+		return "", nil, "", fmt.Errorf("cluster: poll %s on %s: %w", jobID, node.ID, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		// A worker that restarted forgot the job: transport-level, so the
+		// run is re-dispatched (404 included — job state is per-process).
+		return "", nil, "", fmt.Errorf("cluster: poll %s on %s: HTTP %d: %s", jobID, node.ID, resp.StatusCode, errorBody(raw))
+	}
+	var j struct {
+		Status string          `json:"status"`
+		Result json.RawMessage `json:"result"`
+		Error  string          `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &j); err != nil {
+		return "", nil, "", fmt.Errorf("cluster: poll %s on %s: bad body: %w", jobID, node.ID, err)
+	}
+	return j.Status, j.Result, j.Error, nil
+}
+
+// relayStream follows one dispatched job's SSE feed on its worker and
+// forwards each event to onEvent. It returns when the worker ends the
+// stream (terminal "done" event), the connection drops, or ctx is
+// canceled — it never outlives the Execute call that started it.
+func (c *Coordinator) relayStream(ctx context.Context, node Node, jobID string, onEvent EventFunc) {
+	url := fmt.Sprintf("%s/stream?job=%s&interval_ms=%d", node.URL, jobID, c.streamIntervalMS())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	ParseSSE(resp.Body, func(event string, data []byte) {
+		c.Metrics.framed()
+		onEvent(node.ID, event, data)
+	})
+}

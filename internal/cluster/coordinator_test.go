@@ -1,0 +1,484 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"edbp/internal/obs"
+)
+
+// stubJob is one fake async run on a stub worker.
+type stubJob struct {
+	mu     sync.Mutex
+	status string
+	result json.RawMessage
+	errMsg string
+	done   chan struct{}
+}
+
+// stubWorker emulates exactly the slice of edbpd's surface the
+// coordinator uses: POST /run?async=1, GET /jobs/{id}, GET /stream?job=.
+type stubWorker struct {
+	id string
+	ts *httptest.Server
+
+	mu     sync.Mutex
+	jobs   map[string]*stubJob
+	nextID int
+
+	runDelay      time.Duration
+	failJobs      bool         // every job finishes "failed"
+	queueFullLeft atomic.Int32 // respond 503 queue-full this many times
+	runs          atomic.Int32 // jobs actually executed
+}
+
+func newStubWorker(t *testing.T, id string) *stubWorker {
+	t.Helper()
+	w := &stubWorker{id: id, jobs: make(map[string]*stubJob)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /run", w.handleRun)
+	mux.HandleFunc("GET /jobs/{id}", w.handleJob)
+	mux.HandleFunc("GET /stream", w.handleStream)
+	w.ts = httptest.NewServer(mux)
+	t.Cleanup(w.ts.Close)
+	return w
+}
+
+func (w *stubWorker) node() Node { return Node{ID: w.id, URL: w.ts.URL} }
+
+func (w *stubWorker) handleRun(rw http.ResponseWriter, r *http.Request) {
+	if w.queueFullLeft.Load() > 0 {
+		w.queueFullLeft.Add(-1)
+		rw.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(rw).Encode(map[string]string{"error": "queue full (1 deep)"})
+		return
+	}
+	var req map[string]any
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		rw.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(rw).Encode(map[string]string{"error": "bad body"})
+		return
+	}
+	w.mu.Lock()
+	w.nextID++
+	id := fmt.Sprintf("job-%d", w.nextID)
+	j := &stubJob{status: "running", done: make(chan struct{})}
+	w.jobs[id] = j
+	w.mu.Unlock()
+	go func() {
+		time.Sleep(w.runDelay)
+		w.runs.Add(1)
+		j.mu.Lock()
+		if w.failJobs {
+			j.status = "failed"
+			j.errMsg = "stub simulation exploded"
+		} else {
+			j.status = "done"
+			j.result, _ = json.Marshal(map[string]any{"node": w.id, "app": req["app"], "seed": req["seed"]})
+		}
+		j.mu.Unlock()
+		close(j.done)
+	}()
+	rw.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(rw).Encode(map[string]string{"id": id, "status": "queued"})
+}
+
+func (w *stubWorker) job(id string) *stubJob {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.jobs[id]
+}
+
+func (w *stubWorker) handleJob(rw http.ResponseWriter, r *http.Request) {
+	j := w.job(r.PathValue("id"))
+	if j == nil {
+		rw.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(rw).Encode(map[string]string{"error": "unknown job"})
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	json.NewEncoder(rw).Encode(map[string]any{"id": r.PathValue("id"), "status": j.status, "result": j.result, "error": j.errMsg})
+}
+
+func (w *stubWorker) handleStream(rw http.ResponseWriter, r *http.Request) {
+	j := w.job(r.URL.Query().Get("job"))
+	if j == nil {
+		rw.WriteHeader(http.StatusNotFound)
+		return
+	}
+	fl := rw.(http.Flusher)
+	rw.Header().Set("Content-Type", "text/event-stream")
+	rw.WriteHeader(http.StatusOK)
+	seq := 0
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-j.done:
+			fmt.Fprintf(rw, "event: gauge\ndata: {\"node\":%q,\"seq\":%d,\"final\":true}\n\n", w.id, seq+1)
+			fmt.Fprintf(rw, "event: done\ndata: {}\n\n")
+			fl.Flush()
+			return
+		case <-tick.C:
+			seq++
+			fmt.Fprintf(rw, "event: gauge\ndata: {\"node\":%q,\"seq\":%d}\n\n", w.id, seq)
+			fl.Flush()
+		}
+	}
+}
+
+func testFleet(t *testing.T, n int) (*Coordinator, []*stubWorker) {
+	t.Helper()
+	m := NewMembership(0, 16)
+	workers := make([]*stubWorker, n)
+	for i := range workers {
+		workers[i] = newStubWorker(t, fmt.Sprintf("w%d", i+1))
+		m.Join(workers[i].node())
+	}
+	c := &Coordinator{Members: m, PollInterval: 2 * time.Millisecond, SubmitBackoff: 2 * time.Millisecond}
+	return c, workers
+}
+
+func findWorker(workers []*stubWorker, id string) *stubWorker {
+	for _, w := range workers {
+		if w.id == id {
+			return w
+		}
+	}
+	return nil
+}
+
+// TestExecuteRoutesByRing: the same key always lands on its ring owner.
+func TestExecuteRoutesByRing(t *testing.T) {
+	c, workers := testFleet(t, 3)
+	body := []byte(`{"app":"crc32","seed":1}`)
+	owner, ok := c.Members.Owner("some-config-hash", nil)
+	if !ok {
+		t.Fatal("no owner")
+	}
+	for i := 0; i < 3; i++ {
+		raw, node, attempts, err := c.Execute(context.Background(), "some-config-hash", body, nil)
+		if err != nil {
+			t.Fatalf("execute: %v", err)
+		}
+		if attempts != 1 {
+			t.Fatalf("run %d took %d attempts on a healthy fleet", i, attempts)
+		}
+		if node != owner.ID {
+			t.Fatalf("run %d landed on %s, ring owner is %s", i, node, owner.ID)
+		}
+		var res struct {
+			Node string `json:"node"`
+		}
+		if json.Unmarshal(raw, &res) != nil || res.Node != owner.ID {
+			t.Fatalf("result %s not from owner %s", raw, owner.ID)
+		}
+	}
+	if n := findWorker(workers, owner.ID).runs.Load(); n != 3 {
+		t.Errorf("owner ran %d jobs, want 3", n)
+	}
+}
+
+// TestExecuteRetryWithExclusion: killing the owner mid-fleet re-routes the
+// run to the next ring member and marks the dead node.
+func TestExecuteRetryWithExclusion(t *testing.T) {
+	reg := obs.NewRegistry()
+	c, workers := testFleet(t, 3)
+	c.Metrics = &Metrics{
+		Dispatches: reg.CounterVec("dispatch_total", "", "node"),
+		Retries:    reg.Counter("retries_total", ""),
+		Deaths:     reg.Counter("deaths_total", ""),
+	}
+	key := "dead-owner-key"
+	owner, _ := c.Members.Owner(key, nil)
+	findWorker(workers, owner.ID).ts.Close() // the owner is gone before dispatch
+
+	raw, node, attempts, err := c.Execute(context.Background(), key, []byte(`{"app":"aes","seed":2}`), nil)
+	if err != nil {
+		t.Fatalf("execute after owner death: %v", err)
+	}
+	if node == owner.ID {
+		t.Fatalf("run still reported dead owner %s", node)
+	}
+	if attempts != 2 {
+		t.Errorf("attempts = %d, want 2 (dead owner, then fallback)", attempts)
+	}
+	var res struct {
+		Node string `json:"node"`
+	}
+	if json.Unmarshal(raw, &res) != nil || res.Node != node {
+		t.Fatalf("result %s not from fallback %s", raw, node)
+	}
+	if got := c.Metrics.Deaths.Value(); got != 1 {
+		t.Errorf("deaths = %g, want 1", got)
+	}
+	if got := c.Metrics.Retries.Value(); got != 1 {
+		t.Errorf("retries = %g, want 1", got)
+	}
+	// The dead node no longer owns anything.
+	if n, ok := c.Members.Owner(key, nil); !ok || n.ID == owner.ID {
+		t.Errorf("dead node still routable: %+v ok=%v", n, ok)
+	}
+}
+
+// TestExecuteQueueFullBackoff: a full bounded queue is a busy shard owner,
+// not a dead one — the coordinator waits instead of re-routing.
+func TestExecuteQueueFullBackoff(t *testing.T) {
+	c, workers := testFleet(t, 2)
+	key := "busy-key"
+	owner, _ := c.Members.Owner(key, nil)
+	findWorker(workers, owner.ID).queueFullLeft.Store(3)
+
+	_, node, _, err := c.Execute(context.Background(), key, []byte(`{"app":"fft"}`), nil)
+	if err != nil {
+		t.Fatalf("execute through full queue: %v", err)
+	}
+	if node != owner.ID {
+		t.Fatalf("queue-full run moved to %s; must stay on owner %s", node, owner.ID)
+	}
+}
+
+// TestExecuteTerminalFailure: a failed simulation is not retried on other
+// workers — the config would fail there identically.
+func TestExecuteTerminalFailure(t *testing.T) {
+	c, workers := testFleet(t, 2)
+	for _, w := range workers {
+		w.failJobs = true
+	}
+	_, _, _, err := c.Execute(context.Background(), "some-key", []byte(`{"app":"crc32"}`), nil)
+	var term *TerminalError
+	if err == nil || !errors.As(err, &term) {
+		t.Fatalf("err = %v, want TerminalError", err)
+	}
+	total := workers[0].runs.Load() + workers[1].runs.Load()
+	if total != 1 {
+		t.Errorf("failed run executed %d times, want exactly 1 (no cross-worker retry)", total)
+	}
+}
+
+// TestExecuteNoWorkers: an empty fleet is ErrNoWorkers, the signal for
+// local fallback.
+func TestExecuteNoWorkers(t *testing.T) {
+	c := &Coordinator{Members: NewMembership(0, 16)}
+	_, _, _, err := c.Execute(context.Background(), "k", []byte(`{}`), nil)
+	if err != ErrNoWorkers {
+		t.Fatalf("err = %v, want ErrNoWorkers", err)
+	}
+}
+
+// TestGridFanIn: a sharded grid completes every entry, relays gauge frames
+// wrapped with node+key provenance, emits one entry event per cell, and
+// terminates the hub with a done summary.
+func TestGridFanIn(t *testing.T) {
+	c, workers := testFleet(t, 2)
+	for _, w := range workers {
+		w.runDelay = 10 * time.Millisecond
+	}
+	entries := make([]GridEntry, 6)
+	for i := range entries {
+		entries[i] = GridEntry{
+			Key:  fmt.Sprintf("hash-%d", i),
+			Body: []byte(fmt.Sprintf(`{"app":"crc32","seed":%d}`, i+1)),
+		}
+	}
+	var results sync.Map
+	g := c.StartGrid(context.Background(), "grid-1", entries, func(key string, res json.RawMessage) {
+		results.Store(key, res)
+	})
+	ch, cancel := g.Subscribe()
+	defer cancel()
+
+	var gauges, entryEvents, doneEvents int
+	timeout := time.After(10 * time.Second)
+	for {
+		var ev Event
+		var open bool
+		select {
+		case ev, open = <-ch:
+		case <-timeout:
+			t.Fatal("grid stream never finished")
+		}
+		if !open {
+			goto finished
+		}
+		switch ev.Type {
+		case "gauge":
+			var env gaugeEnvelope
+			if err := json.Unmarshal(ev.Data, &env); err != nil || env.Node == "" || env.Key == "" || len(env.Gauge) == 0 {
+				t.Fatalf("bad gauge envelope %s: %v", ev.Data, err)
+			}
+			gauges++
+		case "entry":
+			var st EntryStatus
+			if err := json.Unmarshal(ev.Data, &st); err != nil || st.Status != "done" {
+				t.Fatalf("bad entry event %s: %v", ev.Data, err)
+			}
+			entryEvents++
+		case "done":
+			var sum GridSummary
+			if err := json.Unmarshal(ev.Data, &sum); err != nil || sum.Done != 6 || sum.Failed != 0 {
+				t.Fatalf("bad done summary %s: %v", ev.Data, err)
+			}
+			doneEvents++
+		}
+	}
+finished:
+	<-g.Done()
+	if gauges == 0 {
+		t.Error("no gauge frames relayed")
+	}
+	if entryEvents != 6 || doneEvents != 1 {
+		t.Errorf("entry events = %d, done events = %d; want 6 and 1", entryEvents, doneEvents)
+	}
+	for _, st := range g.Snapshot() {
+		if st.Status != "done" || st.Node == "" {
+			t.Errorf("entry %s finished %q on %q", st.Key, st.Status, st.Node)
+		}
+		if _, ok := results.Load(st.Key); !ok {
+			t.Errorf("onResult never saw %s", st.Key)
+		}
+	}
+	// Shard exclusivity: every key's node must equal its ring owner.
+	for _, st := range g.Snapshot() {
+		owner, _ := c.Members.Owner(st.Key, nil)
+		if st.Node != owner.ID {
+			t.Errorf("entry %s ran on %s, ring owner is %s", st.Key, st.Node, owner.ID)
+		}
+	}
+}
+
+// TestWorkerLoop: the worker joins, heartbeats, re-joins after the
+// coordinator forgets it, and leaves cleanly.
+func TestWorkerLoop(t *testing.T) {
+	var mu sync.Mutex
+	joins, beats, leaves := 0, 0, 0
+	forget := true // answer the first heartbeat 404 to force a re-join
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /cluster/join", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		joins++
+		mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("POST /cluster/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		beats++
+		if forget {
+			forget = false
+			mu.Unlock()
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("POST /cluster/leave", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		leaves++
+		mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	w := &Worker{
+		Node:           Node{ID: "w1", URL: "http://127.0.0.1:0"},
+		CoordinatorURL: ts.URL,
+		Heartbeat:      5 * time.Millisecond,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	loopDone := make(chan struct{})
+	go func() { defer close(loopDone); w.Run(ctx) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		ok := joins >= 2 && beats >= 2
+		mu.Unlock()
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker loop stuck: joins=%d beats=%d", joins, beats)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-loopDone
+	if err := w.Leave(context.Background()); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if leaves != 1 {
+		t.Errorf("leaves = %d, want 1", leaves)
+	}
+}
+
+// TestParseSSE: the parser handles multi-field events, default event
+// names, and multi-line data.
+func TestParseSSE(t *testing.T) {
+	input := "event: gauge\ndata: {\"a\":1}\n\n" +
+		"data: plain\n\n" +
+		"event: done\ndata: {}\ndata: more\n\n"
+	var got []string
+	ParseSSE(strings.NewReader(input), func(event string, data []byte) {
+		got = append(got, event+"|"+string(data))
+	})
+	want := []string{`gauge|{"a":1}`, "message|plain", "done|{}\nmore"}
+	if len(got) != len(want) {
+		t.Fatalf("events = %q, want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestHubLifecycle: cancel and close are idempotent and never deadlock;
+// late subscribers to a closed hub get an immediately closed channel.
+func TestHubLifecycle(t *testing.T) {
+	h := NewHub()
+	ch1, cancel1 := h.Subscribe()
+	ch2, cancel2 := h.Subscribe()
+	h.Emit(Event{Type: "x", Data: []byte("1")})
+	if ev := <-ch1; ev.Type != "x" {
+		t.Fatalf("sub1 got %+v", ev)
+	}
+	cancel1()
+	cancel1() // idempotent
+	if _, open := <-ch1; open {
+		t.Fatal("canceled subscriber channel still open")
+	}
+	if ev := <-ch2; ev.Type != "x" {
+		t.Fatalf("sub2 got %+v, want the broadcast x", ev)
+	}
+	h.Emit(Event{Type: "y", Data: []byte("2")})
+	if ev := <-ch2; ev.Type != "y" {
+		t.Fatalf("sub2 got %+v", ev)
+	}
+	h.Close()
+	h.Close()
+	if _, open := <-ch2; open {
+		t.Fatal("closed hub left subscriber open")
+	}
+	ch3, cancel3 := h.Subscribe()
+	if _, open := <-ch3; open {
+		t.Fatal("late subscriber to closed hub got an open channel")
+	}
+	cancel3()
+	cancel2()
+}

@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Node identifies one worker as it registers itself: a stable id (the
+// metrics node label) and the base URL other processes reach it at.
+type Node struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// MemberStatus is one row of GET /cluster/nodes.
+type MemberStatus struct {
+	Node
+	Alive        bool  `json:"alive"`
+	Dead         bool  `json:"dead"` // explicitly failed (transport error or missed heartbeats)
+	LastBeatUnix int64 `json:"last_beat_unix_ms"`
+}
+
+// member is a registered worker's coordinator-side state.
+type member struct {
+	node     Node
+	lastBeat time.Time
+	dead     bool
+}
+
+// Membership tracks the registered workers and derives the consistent-hash
+// ring over the live ones. Liveness is evaluated lazily against the last
+// heartbeat — there is no sweeper goroutine, so tests inject a clock and
+// the zero-downtime path has nothing to start or stop.
+type Membership struct {
+	mu        sync.Mutex
+	nodes     map[string]*member
+	ring      *Ring
+	ringDirty bool
+
+	liveness time.Duration // ≤0: heartbeats never expire
+	vnodes   int
+	now      func() time.Time
+}
+
+// NewMembership returns an empty membership with the given liveness
+// timeout (how long a worker may go silent before it stops owning shards).
+func NewMembership(liveness time.Duration, vnodes int) *Membership {
+	return &Membership{
+		nodes:    make(map[string]*member),
+		liveness: liveness,
+		vnodes:   vnodes,
+		now:      time.Now,
+	}
+}
+
+// SetClock replaces the time source (tests only).
+func (m *Membership) SetClock(now func() time.Time) {
+	m.mu.Lock()
+	m.now = now
+	m.mu.Unlock()
+}
+
+// Join registers (or re-registers) a worker and revives it if it was
+// marked dead — a rejoin after a restart is a fresh start.
+func (m *Membership) Join(n Node) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nodes[n.ID] = &member{node: n, lastBeat: m.now()}
+	m.ringDirty = true
+}
+
+// Heartbeat renews a worker's liveness. It reports false for an unknown
+// id, telling the worker to re-join (the coordinator may have restarted).
+// A heartbeat from a node previously marked dead revives it.
+func (m *Membership) Heartbeat(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mem, ok := m.nodes[id]
+	if !ok {
+		return false
+	}
+	mem.lastBeat = m.now()
+	if mem.dead {
+		mem.dead = false
+		m.ringDirty = true
+	}
+	return true
+}
+
+// Leave deregisters a worker (graceful drain). Unknown ids are a no-op.
+func (m *Membership) Leave(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.nodes[id]; ok {
+		delete(m.nodes, id)
+		m.ringDirty = true
+	}
+}
+
+// MarkDead records a dispatch-observed failure: the node stays listed (so
+// /cluster/nodes shows what happened) but owns no shards until it
+// heartbeats or rejoins.
+func (m *Membership) MarkDead(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if mem, ok := m.nodes[id]; ok && !mem.dead {
+		mem.dead = true
+		m.ringDirty = true
+	}
+}
+
+// aliveLocked reports whether mem is routable now. Callers hold m.mu.
+func (m *Membership) aliveLocked(mem *member, now time.Time) bool {
+	if mem.dead {
+		return false
+	}
+	return m.liveness <= 0 || now.Sub(mem.lastBeat) <= m.liveness
+}
+
+// Alive returns the currently routable workers.
+func (m *Membership) Alive() []Node {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	out := make([]Node, 0, len(m.nodes))
+	for _, mem := range m.nodes {
+		if m.aliveLocked(mem, now) {
+			out = append(out, mem.node)
+		}
+	}
+	return out
+}
+
+// AliveCount returns len(Alive()) without allocating (metrics gauge).
+func (m *Membership) AliveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	n := 0
+	for _, mem := range m.nodes {
+		if m.aliveLocked(mem, now) {
+			n++
+		}
+	}
+	return n
+}
+
+// All returns every registered worker's status, sorted by id.
+func (m *Membership) All() []MemberStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	out := make([]MemberStatus, 0, len(m.nodes))
+	for _, mem := range m.nodes {
+		out = append(out, MemberStatus{
+			Node:         mem.node,
+			Alive:        m.aliveLocked(mem, now),
+			Dead:         mem.dead,
+			LastBeatUnix: mem.lastBeat.UnixMilli(),
+		})
+	}
+	sortMemberStatuses(out)
+	return out
+}
+
+func sortMemberStatuses(s []MemberStatus) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].ID < s[j-1].ID; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Owner resolves the live worker owning key, skipping excluded ids. The
+// ring is rebuilt only when the live set changed since the last lookup, so
+// steady-state routing costs one mutex and one binary search.
+func (m *Membership) Owner(key string, exclude map[string]bool) (Node, bool) {
+	m.mu.Lock()
+	now := m.now()
+	// Liveness can expire between mutations; detect by comparing the
+	// cached ring's member set against the live set.
+	live := make([]string, 0, len(m.nodes))
+	for id, mem := range m.nodes {
+		if m.aliveLocked(mem, now) {
+			live = append(live, id)
+		}
+	}
+	if m.ringDirty || m.ring == nil || !sameMembers(m.ring, live) {
+		m.ring = BuildRing(live, m.vnodes)
+		m.ringDirty = false
+	}
+	ring := m.ring
+	id, ok := ring.Owner(key, func(id string) bool { return exclude[id] })
+	if !ok {
+		m.mu.Unlock()
+		return Node{}, false
+	}
+	node := m.nodes[id].node
+	m.mu.Unlock()
+	return node, true
+}
+
+// sameMembers reports whether ring's member set equals ids (order-free).
+func sameMembers(r *Ring, ids []string) bool {
+	if r.Len() != len(ids) {
+		return false
+	}
+	set := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		set[id] = true
+	}
+	for _, id := range r.ids {
+		if !set[id] {
+			return false
+		}
+	}
+	return true
+}

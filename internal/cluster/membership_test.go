@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMembershipLifecycle(t *testing.T) {
+	now := time.Unix(1000, 0)
+	m := NewMembership(5*time.Second, 16)
+	m.SetClock(func() time.Time { return now })
+
+	m.Join(Node{ID: "w1", URL: "http://w1"})
+	m.Join(Node{ID: "w2", URL: "http://w2"})
+	if n := m.AliveCount(); n != 2 {
+		t.Fatalf("alive = %d, want 2", n)
+	}
+
+	// Silence past the liveness timeout expires a worker without any
+	// sweeper goroutine.
+	now = now.Add(4 * time.Second)
+	if ok := m.Heartbeat("w1"); !ok {
+		t.Fatal("heartbeat for known worker rejected")
+	}
+	now = now.Add(3 * time.Second) // w2 silent for 7s, w1 for 3s
+	if n := m.AliveCount(); n != 1 {
+		t.Fatalf("alive after expiry = %d, want 1", n)
+	}
+	if node, ok := m.Owner("some-key", nil); !ok || node.ID != "w1" {
+		t.Fatalf("owner = %+v ok=%v, want w1", node, ok)
+	}
+
+	// A heartbeat revives the expired worker.
+	if ok := m.Heartbeat("w2"); !ok {
+		t.Fatal("revival heartbeat rejected")
+	}
+	if n := m.AliveCount(); n != 2 {
+		t.Fatalf("alive after revival = %d, want 2", n)
+	}
+
+	// Unknown ids must be told to re-join.
+	if ok := m.Heartbeat("ghost"); ok {
+		t.Error("heartbeat for unknown worker accepted")
+	}
+
+	// MarkDead excludes from routing but keeps the row visible.
+	m.MarkDead("w1")
+	if node, _ := m.Owner("some-key", nil); node.ID == "w1" {
+		t.Error("dead worker still owns shards")
+	}
+	all := m.All()
+	if len(all) != 2 || all[0].ID != "w1" || !all[0].Dead || all[0].Alive {
+		t.Fatalf("All() = %+v, want w1 listed dead", all)
+	}
+
+	// Leave removes entirely.
+	m.Leave("w1")
+	m.Leave("w1") // idempotent
+	if len(m.All()) != 1 {
+		t.Fatalf("All() after leave = %+v", m.All())
+	}
+}
+
+// TestMembershipOwnerExclusion: exclusion on live lookup falls through to
+// the next live member, and an all-excluded lookup reports not-ok.
+func TestMembershipOwnerExclusion(t *testing.T) {
+	m := NewMembership(0, 16) // liveness 0: never expire
+	m.Join(Node{ID: "w1"})
+	m.Join(Node{ID: "w2"})
+	first, ok := m.Owner("k", nil)
+	if !ok {
+		t.Fatal("no owner")
+	}
+	second, ok := m.Owner("k", map[string]bool{first.ID: true})
+	if !ok || second.ID == first.ID {
+		t.Fatalf("excluded lookup = %+v ok=%v", second, ok)
+	}
+	if _, ok := m.Owner("k", map[string]bool{"w1": true, "w2": true}); ok {
+		t.Error("all-excluded lookup reported ok")
+	}
+}

@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("key-%d", i)
+	}
+	return out
+}
+
+// TestRingDeterministic: the ring is a pure function of the member set,
+// independent of insertion order.
+func TestRingDeterministic(t *testing.T) {
+	a := BuildRing([]string{"w1", "w2", "w3"}, 64)
+	b := BuildRing([]string{"w3", "w1", "w2"}, 64)
+	for _, k := range keys(500) {
+		oa, _ := a.Owner(k, nil)
+		ob, _ := b.Owner(k, nil)
+		if oa != ob {
+			t.Fatalf("owner(%s) differs by insertion order: %s vs %s", k, oa, ob)
+		}
+	}
+}
+
+// TestRingCoverage: with vnode smoothing every member owns a share, and no
+// member owns everything.
+func TestRingCoverage(t *testing.T) {
+	r := BuildRing([]string{"w1", "w2", "w3"}, 64)
+	counts := map[string]int{}
+	for _, k := range keys(3000) {
+		id, ok := r.Owner(k, nil)
+		if !ok {
+			t.Fatal("owner not found on non-empty ring")
+		}
+		counts[id]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d of 3 members own keys: %v", len(counts), counts)
+	}
+	for id, n := range counts {
+		if n < 300 || n > 2000 {
+			t.Errorf("member %s owns %d of 3000 keys — distribution badly skewed: %v", id, n, counts)
+		}
+	}
+}
+
+// TestRingStability: removing one member only remaps the keys it owned —
+// the consistent-hashing property that makes per-worker caches shards.
+func TestRingStability(t *testing.T) {
+	full := BuildRing([]string{"w1", "w2", "w3"}, 64)
+	reduced := BuildRing([]string{"w1", "w3"}, 64)
+	for _, k := range keys(2000) {
+		before, _ := full.Owner(k, nil)
+		after, _ := reduced.Owner(k, nil)
+		if before != "w2" && after != before {
+			t.Fatalf("key %s moved %s -> %s although its owner survived", k, before, after)
+		}
+		if before == "w2" && (after != "w1" && after != "w3") {
+			t.Fatalf("orphaned key %s landed on %q", k, after)
+		}
+	}
+}
+
+// TestRingExclusion: skipping the owner yields the next distinct member;
+// skipping everyone yields not-ok.
+func TestRingExclusion(t *testing.T) {
+	r := BuildRing([]string{"w1", "w2", "w3"}, 64)
+	for _, k := range keys(200) {
+		owner, _ := r.Owner(k, nil)
+		second, ok := r.Owner(k, func(id string) bool { return id == owner })
+		if !ok || second == owner {
+			t.Fatalf("exclusion of %s for %s yielded %q ok=%v", owner, k, second, ok)
+		}
+	}
+	if _, ok := r.Owner("k", func(string) bool { return true }); ok {
+		t.Error("all-excluded lookup reported ok")
+	}
+	if _, ok := BuildRing(nil, 64).Owner("k", nil); ok {
+		t.Error("empty ring reported an owner")
+	}
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestConstLabelsGolden pins the per-node exposition byte for byte: the
+// const labels appear on every series — scalars, vec children (first, in
+// name-sorted order), histogram buckets, and GaugeFuncs — exactly as a
+// cluster worker's /metrics must render them.
+func TestConstLabelsGolden(t *testing.T) {
+	r := NewRegistry()
+	r.SetConstLabels("node", "w1")
+	r.Counter("b_runs_total", "Runs.").Add(2)
+	r.Gauge("a_depth", "Depth.").Set(1.5)
+	r.CounterVec("c_by_app_total", "By app.", "app").With("crc32").Inc()
+	r.Histogram("d_seconds", "Latency.", []float64{1}).Observe(0.5)
+	r.GaugeFunc("e_live", "Live.", func() float64 { return 4 })
+
+	const want = `# HELP a_depth Depth.
+# TYPE a_depth gauge
+a_depth{node="w1"} 1.5
+# HELP b_runs_total Runs.
+# TYPE b_runs_total counter
+b_runs_total{node="w1"} 2
+# HELP c_by_app_total By app.
+# TYPE c_by_app_total counter
+c_by_app_total{node="w1",app="crc32"} 1
+# HELP d_seconds Latency.
+# TYPE d_seconds histogram
+d_seconds_bucket{node="w1",le="1"} 1
+d_seconds_bucket{node="w1",le="+Inf"} 1
+d_seconds_sum{node="w1"} 0.5
+d_seconds_count{node="w1"} 1
+# HELP e_live Live.
+# TYPE e_live gauge
+e_live{node="w1"} 4
+`
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != want {
+		t.Errorf("const-label exposition mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestConstLabelsSnapshot: the JSON snapshot carries the const labels on
+// every series, merged under the family's own labels.
+func TestConstLabelsSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.SetConstLabels("node", "w2")
+	r.Counter("runs_total", "Runs.").Inc()
+	r.CounterVec("by_app_total", "By app.", "app").With("fft").Inc()
+	r.Histogram("lat_seconds", "Latency.", []float64{1}).Observe(2)
+
+	for _, s := range r.Snapshot() {
+		if s.Labels["node"] != "w2" {
+			t.Errorf("series %s labels = %v, missing node=w2", s.Name, s.Labels)
+		}
+	}
+}
+
+// TestConstLabelsDefaultUnchanged: a registry without const labels renders
+// exactly as before (no stray braces).
+func TestConstLabelsDefaultUnchanged(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs_total", "Runs.").Inc()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "\nruns_total 1\n") {
+		t.Errorf("plain exposition changed:\n%s", b.String())
+	}
+	for _, s := range r.Snapshot() {
+		if s.Labels != nil {
+			t.Errorf("series %s grew labels %v without const labels", s.Name, s.Labels)
+		}
+	}
+}
+
+// TestConstLabelsValidation: odd arity panics; nil registry no-ops.
+func TestConstLabelsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("odd SetConstLabels arity did not panic")
+		}
+	}()
+	var nilReg *Registry
+	nilReg.SetConstLabels("node", "x") // must not panic
+	NewRegistry().SetConstLabels("node")
+}

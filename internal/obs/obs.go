@@ -37,6 +37,32 @@ type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
 	order    []string // registration order; exposition re-sorts by name
+
+	// constLabels are rendered on every exposed series (Prometheus text
+	// and JSON snapshot). Sorted by name; set once via SetConstLabels.
+	constLabels [][2]string
+}
+
+// SetConstLabels attaches name/value pairs to every series the registry
+// exposes — edbpd cluster nodes stamp node="<id>" so a fleet's scraped
+// metrics stay distinguishable after aggregation. kv alternates name,
+// value; an odd count panics. Call before exposition; instruments observe
+// identically with or without const labels.
+func (r *Registry) SetConstLabels(kv ...string) {
+	if r == nil {
+		return
+	}
+	if len(kv)%2 != 0 {
+		panic("obs: SetConstLabels needs name/value pairs")
+	}
+	pairs := make([][2]string, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, [2]string{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i][0] < pairs[j][0] })
+	r.mu.Lock()
+	r.constLabels = pairs
+	r.mu.Unlock()
 }
 
 // family is one named series group: a single instrument, or a labeled set
@@ -344,18 +370,32 @@ func escapeLabel(v string) string {
 	return strings.ReplaceAll(v, `"`, `\"`)
 }
 
-// labelPairs renders {name="value",...} for a child key.
-func (f *family) labelPairs(key string) string {
+// labelPairs renders {name="value",...} for a child key, with the
+// registry's const-label pairs (pre-rendered, possibly empty) first.
+func (f *family) labelPairs(constPairs, key string) string {
 	values := strings.Split(key, "\xff")
 	var b strings.Builder
 	b.WriteByte('{')
+	b.WriteString(constPairs)
 	for i, n := range f.labels {
-		if i > 0 {
+		if i > 0 || constPairs != "" {
 			b.WriteByte(',')
 		}
 		fmt.Fprintf(&b, "%s=%q", n, escapeLabel(values[i]))
 	}
 	b.WriteByte('}')
+	return b.String()
+}
+
+// renderConstPairs renders const labels as `a="x",b="y"` (no braces).
+func renderConstPairs(pairs [][2]string) string {
+	var b strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p[0], escapeLabel(p[1]))
+	}
 	return b.String()
 }
 
@@ -372,8 +412,22 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for i, n := range names {
 		fams[i] = r.families[n]
 	}
+	constPairs := renderConstPairs(r.constLabels)
 	r.mu.Unlock()
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	// scalarSuffix renders the const labels for series with no labels of
+	// their own: "" without const labels, `{node="w1"}` with.
+	scalarSuffix := ""
+	if constPairs != "" {
+		scalarSuffix = "{" + constPairs + "}"
+	}
+	histLabel := func(extra string) string {
+		if constPairs == "" {
+			return "{" + extra + "}"
+		}
+		return "{" + constPairs + "," + extra + "}"
+	}
 
 	var b strings.Builder
 	for _, f := range fams {
@@ -395,23 +449,23 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				case *Gauge:
 					v = inst.Value()
 				}
-				fmt.Fprintf(&b, "%s%s %s\n", f.name, f.labelPairs(key), fmtValue(v))
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, f.labelPairs(constPairs, key), fmtValue(v))
 			}
 		case f.hist != nil:
 			h := f.hist
 			cum := uint64(0)
 			for i, bound := range append(h.bounds, math.Inf(1)) {
 				cum += h.counts[i].Load()
-				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", f.name, fmtLe(bound), cum)
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, histLabel(fmt.Sprintf("le=%q", fmtLe(bound))), cum)
 			}
-			fmt.Fprintf(&b, "%s_sum %s\n", f.name, fmtValue(h.Sum()))
-			fmt.Fprintf(&b, "%s_count %d\n", f.name, h.Count())
+			fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, scalarSuffix, fmtValue(h.Sum()))
+			fmt.Fprintf(&b, "%s_count%s %d\n", f.name, scalarSuffix, h.Count())
 		case f.gfn != nil:
-			fmt.Fprintf(&b, "%s %s\n", f.name, fmtValue(f.gfn()))
+			fmt.Fprintf(&b, "%s%s %s\n", f.name, scalarSuffix, fmtValue(f.gfn()))
 		case f.counter != nil:
-			fmt.Fprintf(&b, "%s %s\n", f.name, fmtValue(f.counter.Value()))
+			fmt.Fprintf(&b, "%s%s %s\n", f.name, scalarSuffix, fmtValue(f.counter.Value()))
 		case f.gauge != nil:
-			fmt.Fprintf(&b, "%s %s\n", f.name, fmtValue(f.gauge.Value()))
+			fmt.Fprintf(&b, "%s%s %s\n", f.name, scalarSuffix, fmtValue(f.gauge.Value()))
 		}
 	}
 	_, err := io.WriteString(w, b.String())
@@ -452,8 +506,22 @@ func (r *Registry) Snapshot() []SnapshotSeries {
 	for _, n := range r.order {
 		fams = append(fams, r.families[n])
 	}
+	constLabels := r.constLabels
 	r.mu.Unlock()
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	// constMap returns a fresh label map seeded with the const labels, or
+	// nil when there are none and no family labels follow.
+	constMap := func(extra int) map[string]string {
+		if len(constLabels) == 0 && extra == 0 {
+			return nil
+		}
+		m := make(map[string]string, len(constLabels)+extra)
+		for _, p := range constLabels {
+			m[p[0]] = p[1]
+		}
+		return m
+	}
 
 	var out []SnapshotSeries
 	fv := func(v float64) *float64 { return &v }
@@ -468,7 +536,7 @@ func (r *Registry) Snapshot() []SnapshotSeries {
 				f.childMu.RLock()
 				c := f.children[key]
 				f.childMu.RUnlock()
-				labels := make(map[string]string, len(f.labels))
+				labels := constMap(len(f.labels))
 				for i, v := range strings.Split(key, "\xff") {
 					labels[f.labels[i]] = v
 				}
@@ -485,7 +553,7 @@ func (r *Registry) Snapshot() []SnapshotSeries {
 			}
 		case f.hist != nil:
 			h := f.hist
-			s := SnapshotSeries{Name: f.name, Type: f.typ, Help: f.help}
+			s := SnapshotSeries{Name: f.name, Type: f.typ, Help: f.help, Labels: constMap(0)}
 			n, sum := h.Count(), h.Sum()
 			s.Count, s.Sum = &n, &sum
 			cum := uint64(0)
@@ -495,11 +563,11 @@ func (r *Registry) Snapshot() []SnapshotSeries {
 			}
 			out = append(out, s)
 		case f.gfn != nil:
-			out = append(out, SnapshotSeries{Name: f.name, Type: f.typ, Help: f.help, Value: fv(f.gfn())})
+			out = append(out, SnapshotSeries{Name: f.name, Type: f.typ, Help: f.help, Labels: constMap(0), Value: fv(f.gfn())})
 		case f.counter != nil:
-			out = append(out, SnapshotSeries{Name: f.name, Type: f.typ, Help: f.help, Value: fv(f.counter.Value())})
+			out = append(out, SnapshotSeries{Name: f.name, Type: f.typ, Help: f.help, Labels: constMap(0), Value: fv(f.counter.Value())})
 		case f.gauge != nil:
-			out = append(out, SnapshotSeries{Name: f.name, Type: f.typ, Help: f.help, Value: fv(f.gauge.Value())})
+			out = append(out, SnapshotSeries{Name: f.name, Type: f.typ, Help: f.help, Labels: constMap(0), Value: fv(f.gauge.Value())})
 		}
 	}
 	return out

@@ -1,0 +1,63 @@
+package store
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"edbp/internal/sim"
+)
+
+// TestConfigHashes: distinct sorted hashes, superseding appends collapse,
+// and two stores fed disjoint configs report disjoint hash sets — the
+// shard-exclusivity audit a sharded edbpd fleet runs over its per-node
+// store directories.
+func TestConfigHashes(t *testing.T) {
+	a, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	put(t, a, fakeResult("crc32", sim.EDBP, 1, 1), "c1", 1)
+	put(t, a, fakeResult("crc32", sim.EDBP, 1, 2), "c1", 2) // supersedes: same hash
+	put(t, a, fakeResult("aes", sim.Baseline, 2, 1), "c1", 3)
+	put(t, b, fakeResult("fft", sim.Decay, 3, 1), "c1", 4)
+
+	ha, hb := a.ConfigHashes(), b.ConfigHashes()
+	if len(ha) != 2 {
+		t.Fatalf("store a hashes = %v, want 2 distinct", ha)
+	}
+	if len(hb) != 1 {
+		t.Fatalf("store b hashes = %v, want 1", hb)
+	}
+	if !sort.StringsAreSorted(ha) {
+		t.Errorf("hashes not sorted: %v", ha)
+	}
+	for _, h := range ha {
+		for _, g := range hb {
+			if h == g {
+				t.Errorf("shards intersect on %s", h)
+			}
+		}
+	}
+
+	// The audit must survive a reopen (read from segments, not memory).
+	dir := a.dir
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.ConfigHashes(); !reflect.DeepEqual(got, ha) {
+		t.Errorf("reopened hashes = %v, want %v", got, ha)
+	}
+}

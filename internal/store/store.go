@@ -755,6 +755,15 @@ func (s *Store) SchemeNames() []string { return s.distinct(func(k Key) string { 
 // Commits returns the distinct stored commits, sorted.
 func (s *Store) Commits() []string { return s.distinct(func(k Key) string { return k.Commit }) }
 
+// ConfigHashes returns the distinct stored config hashes, sorted. In a
+// sharded edbpd fleet each worker's store is one exclusive shard of the
+// distributed result cache, so comparing ConfigHashes across the
+// per-node store directories audits shard exclusivity: the sets must be
+// pairwise disjoint when no worker died mid-grid.
+func (s *Store) ConfigHashes() []string {
+	return s.distinct(func(k Key) string { return k.ConfigHash })
+}
+
 // Compact rewrites the store keeping only the latest result per key and
 // the latest WCET record per (app, env, commit), in sorted key order. The
 // output is deterministic: the same logical content always compacts to
