@@ -33,7 +33,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -43,6 +42,7 @@ import (
 
 	"edbp/internal/benchfmt"
 	"edbp/internal/buildinfo"
+	"edbp/internal/obs/olog"
 	"edbp/internal/sim"
 	"edbp/internal/trace"
 	"edbp/internal/workload"
@@ -65,20 +65,22 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the loop) to this file")
 	batchCaps := flag.String("batch-cap", "", "comma-separated BatchCap values to sweep (e.g. 1,64,512,4096); rows land in the snapshot's sweep section, outside regression gating")
 	version := flag.Bool("version", false, "print the build stamp and exit")
+	lf := olog.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if *version {
 		fmt.Println(buildinfo.Stamp("bench"))
 		return
 	}
+	logger := olog.MustNew(lf.Options("bench"))
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			log.Fatal(err)
+			logger.Fatal(err)
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Fatal(err)
+			logger.Fatal(err)
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -86,7 +88,7 @@ func main() {
 	// Record (or fetch) the kernel once; every scheme below replays it.
 	tr, err := workload.Cached(*app, *scale)
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatal(err)
 	}
 
 	rep := benchfmt.Report{
@@ -138,7 +140,7 @@ func main() {
 	if *batchCaps != "" {
 		caps, err := parseCaps(*batchCaps)
 		if err != nil {
-			log.Fatal(err)
+			logger.Fatal(err)
 		}
 		for _, cap := range caps {
 			for _, v := range variants[:2] { // NVSRAMCache and EDBP, untraced
@@ -154,11 +156,11 @@ func main() {
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatal(err)
 	}
 	data = append(data, '\n')
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		log.Fatal(err)
+		logger.Fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
 
@@ -166,7 +168,7 @@ func main() {
 		// Dedup: re-running on the same commit replaces that commit's
 		// snapshot for this app instead of double-counting it.
 		if err := benchfmt.AppendHistoryDedup(*history, &rep); err != nil {
-			log.Fatal(err)
+			logger.Fatal(err)
 		}
 		fmt.Printf("appended to %s\n", *history)
 	}
@@ -174,12 +176,12 @@ func main() {
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
-			log.Fatal(err)
+			logger.Fatal(err)
 		}
 		defer f.Close()
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			log.Fatal(err)
+			logger.Fatal(err)
 		}
 	}
 }

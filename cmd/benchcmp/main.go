@@ -33,6 +33,7 @@ import (
 
 	"edbp/internal/benchfmt"
 	"edbp/internal/buildinfo"
+	"edbp/internal/obs/olog"
 )
 
 type options struct {
@@ -41,6 +42,8 @@ type options struct {
 	warn      bool
 	force     bool
 	history   string
+	logLevel  string
+	logFormat string
 	args      []string
 }
 
@@ -52,6 +55,7 @@ func main() {
 	flag.BoolVar(&opts.force, "force", false, "compare despite mismatched environment stamps")
 	flag.StringVar(&opts.history, "history", "", "JSONL trajectory to use as the baseline (mean over snapshots)")
 	version := flag.Bool("version", false, "print the build stamp and exit")
+	lf := olog.RegisterFlags(flag.CommandLine)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: benchcmp [flags] old.json new.json\n       benchcmp [flags] -history hist.jsonl new.json\n")
@@ -62,15 +66,23 @@ func main() {
 		fmt.Println(buildinfo.Stamp("benchcmp"))
 		return
 	}
+	opts.logLevel, opts.logFormat = lf.Level, lf.Format
 	opts.args = flag.Args()
 	os.Exit(run(opts, os.Stdout, os.Stderr))
 }
 
 // run is the testable entry point; it returns the process exit code.
 func run(opts options, stdout, stderr io.Writer) int {
+	logger, lerr := olog.New(olog.Options{
+		Component: "benchcmp", Level: opts.logLevel, Format: opts.logFormat, W: stderr,
+	})
+	if lerr != nil {
+		fmt.Fprintf(stderr, "benchcmp: %v\n", lerr)
+		return 2
+	}
 	metric, err := benchfmt.ParseMetric(opts.metric)
 	if err != nil {
-		fmt.Fprintf(stderr, "benchcmp: %v\n", err)
+		logger.Error(err.Error())
 		return 2
 	}
 
@@ -83,11 +95,11 @@ func run(opts options, stdout, stderr io.Writer) int {
 	case opts.history != "" && len(opts.args) == 1:
 		history, err = benchfmt.ReadHistoryFile(opts.history)
 		if err != nil {
-			fmt.Fprintf(stderr, "benchcmp: %v\n", err)
+			logger.Error(err.Error())
 			return 2
 		}
 		if len(history) == 0 {
-			fmt.Fprintf(stderr, "benchcmp: %s holds no snapshots\n", opts.history)
+			logger.Error("holds no snapshots", "file", opts.history)
 			return 2
 		}
 		baseline = &history[len(history)-1]
@@ -95,7 +107,7 @@ func run(opts options, stdout, stderr io.Writer) int {
 	case opts.history == "" && len(opts.args) == 2:
 		baseline, err = benchfmt.Read(opts.args[0])
 		if err != nil {
-			fmt.Fprintf(stderr, "benchcmp: %v\n", err)
+			logger.Error(err.Error())
 			return 2
 		}
 		baseName = opts.args[0]
@@ -106,22 +118,22 @@ func run(opts options, stdout, stderr io.Writer) int {
 
 	candidate, err := benchfmt.Read(opts.args[len(opts.args)-1])
 	if err != nil {
-		fmt.Fprintf(stderr, "benchcmp: %v\n", err)
+		logger.Error(err.Error())
 		return 2
 	}
 
 	if m := benchfmt.EnvMismatch(baseline, candidate); m != "" {
 		if !opts.force {
-			fmt.Fprintf(stderr, "benchcmp: refusing apples-to-oranges diff (%s); rerun with -force to override\n", m)
-			fmt.Fprintf(stderr, "  old: %s\n  new: %s\n", baseline.Env(), candidate.Env())
+			logger.Error(fmt.Sprintf("refusing apples-to-oranges diff (%s); rerun with -force to override", m),
+				"old", baseline.Env(), "new", candidate.Env())
 			return 2
 		}
-		fmt.Fprintf(stderr, "benchcmp: warning: environments differ (%s), comparing anyway (-force)\n", m)
+		logger.Warn(fmt.Sprintf("environments differ (%s), comparing anyway (-force)", m))
 	}
 
 	deltas := benchfmt.Compare(baseline, candidate, metric, opts.threshold)
 	if len(deltas) == 0 {
-		fmt.Fprintf(stderr, "benchcmp: no schemes in common between %s and %s\n", baseName, opts.args[len(opts.args)-1])
+		logger.Error(fmt.Sprintf("no schemes in common between %s and %s", baseName, opts.args[len(opts.args)-1]))
 		return 2
 	}
 	// In history mode, annotate each delta with the trajectory's spread and

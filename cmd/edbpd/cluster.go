@@ -6,10 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"edbp/internal/cluster"
 	"edbp/internal/obs"
+	"edbp/internal/span"
 )
 
 // maxGridEntries bounds one POST /grid expansion: a full paper matrix is
@@ -60,15 +62,17 @@ func (s *server) initCluster() {
 	s.reg.GaugeFunc("edbpd_cluster_workers",
 		"Live (routable) workers registered with this coordinator.",
 		func() float64 { return float64(s.members.AliveCount()) })
-	s.coord = &cluster.Coordinator{Members: s.members, Metrics: &s.cmet.coord}
+	s.coord = &cluster.Coordinator{Members: s.members, Metrics: &s.cmet.coord, Spans: s.spans}
 
 	s.mux.HandleFunc("POST /cluster/join", s.handleClusterJoin)
 	s.mux.HandleFunc("POST /cluster/heartbeat", s.handleClusterHeartbeat)
 	s.mux.HandleFunc("POST /cluster/leave", s.handleClusterLeave)
 	s.mux.HandleFunc("GET /cluster/nodes", s.handleClusterNodes)
+	s.mux.HandleFunc("GET /cluster/metrics", s.handleClusterMetrics)
 	s.mux.HandleFunc("POST /grid", s.handleGrid)
 	s.mux.HandleFunc("GET /grid/{id}", s.handleGridStatus)
 	s.mux.HandleFunc("GET /grid/{id}/stream", s.handleGridStream)
+	s.mux.HandleFunc("GET /trace/{id}", s.handleGridTrace)
 }
 
 // dispatch routes one run to the worker fleet when this server is a
@@ -267,13 +271,32 @@ func (s *server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	s.cmet.gridEntries.Add(float64(len(entries)))
 	// Grids outlive their submitting request: dispatch under the server's
 	// lifetime, bounded per-entry by the run timeout the workers enforce.
-	g := s.coord.StartGrid(context.Background(), id, entries, func(key string, result json.RawMessage) {
+	// The grid root span anchors the cross-node trace: every dispatch span
+	// (and, over the traceparent header, every worker-side span) descends
+	// from it, so GET /trace/{grid-id} can assemble the whole picture.
+	gctx := context.Background()
+	gsp := s.spans.Start(span.FromCtx(r.Context()), "grid")
+	var trace span.TraceID
+	if gsp != nil {
+		gsp.Attr("grid", id).Attr("entries", strconv.Itoa(len(entries)))
+		gctx = span.With(gctx, gsp.Ctx())
+		trace = gsp.Ctx().Trace
+	}
+	g := s.coord.StartGrid(gctx, id, entries, func(key string, result json.RawMessage) {
 		out := &runOutput{}
 		if err := json.Unmarshal(result, out); err == nil {
 			s.cache.Store(key, out)
 		}
 	})
-	s.grids.Store(id, g)
+	s.grids.Store(id, &gridRecord{grid: g, trace: trace})
+	if gsp != nil {
+		go func() {
+			<-g.Done()
+			sum := g.Summary()
+			gsp.Attr("done", strconv.Itoa(sum.Done)).Attr("failed", strconv.Itoa(sum.Failed))
+			gsp.End()
+		}()
+	}
 
 	if r.URL.Query().Get("wait") == "" {
 		writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "entries": len(entries)})
@@ -297,7 +320,7 @@ func (s *server) loadGrid(w http.ResponseWriter, r *http.Request) (*cluster.Grid
 		httpError(w, http.StatusNotFound, "unknown grid %q", id)
 		return nil, false
 	}
-	return v.(*cluster.Grid), true
+	return v.(*gridRecord).grid, true
 }
 
 func (s *server) handleGridStatus(w http.ResponseWriter, r *http.Request) {

@@ -3,6 +3,7 @@
 // Usage:
 //
 //	edbpd [-addr :8080] [-queue 64] [-workers N] [-run-timeout 15m] [-pprof]
+//	      [-log-level info] [-log-format text] [-span-off]
 //
 // Endpoints:
 //
@@ -26,7 +27,20 @@
 //	GET  /query      q=<statement> in the store's SELECT grammar (runs,
 //	                 agg, delta, wcet, apps/schemes/commits); JSON table by
 //	                 default, format=text for the plain rendering.
+//	GET  /trace      this process's recorded service spans (dispatch,
+//	                 queue-wait, run, cache-lookup, simulate, store-append)
+//	                 as JSONL; ?trace=<32 hex> filters one trace and
+//	                 ?format=chrome renders a Perfetto-loadable Chrome
+//	                 trace_event document. Incoming requests carrying a
+//	                 W3C traceparent header join the caller's trace; the
+//	                 minted/continued traceparent is echoed back.
 //	GET  /debug/pprof/*  net/http/pprof, only when -pprof is set.
+//
+// Logging: every binary in this repo takes -log-level (debug|info|warn|
+// error) and -log-format (text|json). Text keeps the historical
+// "edbpd: msg" lines; json emits one slog object per line with
+// component, node, and — on request logs — trace_id correlation fields.
+// Every 5xx response logs exactly one structured error line.
 //
 // Cluster mode (see DESIGN.md §12). With -coordinator the process also
 // serves:
@@ -46,6 +60,15 @@
 //	GET  /grid/{id}/stream   fan-in SSE: relayed worker gauges wrapped
 //	                         {node,key,gauge}, per-cell "entry" events, a
 //	                         final "done" summary
+//	GET  /cluster/metrics    federation: the coordinator's own metrics
+//	                         snapshot merged with a live scrape of every
+//	                         worker's /metrics (series keyed by node="..."
+//	                         labels); unreachable workers are served from
+//	                         the last successful scrape, marked stale
+//	GET  /trace/{grid-id}    the assembled cross-node trace of one grid:
+//	                         coordinator grid/dispatch spans merged with
+//	                         every worker's spans for that trace, sorted;
+//	                         ?format=chrome for Perfetto
 //
 // A worker is an ordinary edbpd started with -join <coordinator-url>: it
 // registers, heartbeats, and serves the same /run API the coordinator
@@ -77,7 +100,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -87,13 +109,11 @@ import (
 
 	"edbp/internal/buildinfo"
 	"edbp/internal/cluster"
+	"edbp/internal/obs/olog"
 	"edbp/internal/store"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("edbpd: ")
-
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
 		queue        = flag.Int("queue", 64, "async job queue depth (503 when full)")
@@ -111,18 +131,27 @@ func main() {
 		heartbeat   = flag.Duration("heartbeat", 2*time.Second, "worker heartbeat cadence")
 		liveness    = flag.Duration("liveness", 6*time.Second, "coordinator: how long a silent worker keeps owning shards")
 		vnodes      = flag.Int("vnodes", 0, "coordinator: virtual nodes per worker on the hash ring (0 = default)")
+		spanOff     = flag.Bool("span-off", false, "disable service span recording (/trace and /trace/{grid-id} return 404)")
 	)
+	lf := olog.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if *version {
 		fmt.Println(buildinfo.Stamp("edbpd"))
 		return
 	}
 
+	logger := olog.MustNew(lf.Options("edbpd"))
 	if *coordinator && *joinURL != "" {
-		log.Fatal("-coordinator and -join are mutually exclusive (a worker is not a coordinator)")
+		logger.Fatal("-coordinator and -join are mutually exclusive (a worker is not a coordinator)")
 	}
 	if (*coordinator || *joinURL != "") && *nodeID == "" {
 		*nodeID = "edbpd" + strings.ReplaceAll(*addr, ":", "-")
+	}
+	if *nodeID != "" {
+		// Rebuild with the node correlation field once the ID is settled.
+		lo := lf.Options("edbpd")
+		lo.Node = *nodeID
+		logger = olog.MustNew(lo)
 	}
 	opts := serverOptions{
 		queueDepth:  *queue,
@@ -133,16 +162,18 @@ func main() {
 		liveness:    *liveness,
 		vnodes:      *vnodes,
 		nodeID:      *nodeID,
+		spansOff:    *spanOff,
+		logger:      logger,
 	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir, store.Options{})
 		if err != nil {
-			log.Fatal(err)
+			logger.Fatal(err)
 		}
 		defer st.Close()
 		opts.store = st
 		opts.commit = buildinfo.Commit()
-		log.Printf("experiment store at %s (%d runs, commit %s)", *storeDir, st.Len(), opts.commit)
+		logger.Printf("experiment store at %s (%d runs, commit %s)", *storeDir, st.Len(), opts.commit)
 	}
 	srv := newServer(opts)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -152,9 +183,9 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("listening on %s", *addr)
+	logger.Printf("listening on %s", *addr)
 	if *coordinator {
-		log.Printf("coordinator mode: workers register at POST /cluster/join")
+		logger.Printf("coordinator mode: workers register at POST /cluster/join")
 	}
 
 	var wk *cluster.Worker
@@ -172,7 +203,7 @@ func main() {
 			Node:           cluster.Node{ID: *nodeID, URL: adv},
 			CoordinatorURL: strings.TrimRight(*joinURL, "/"),
 			Heartbeat:      *heartbeat,
-			Logf:           log.Printf,
+			Logf:           logger.Printf,
 		}
 		var wctx context.Context
 		wctx, stopHeartbeats = context.WithCancel(context.Background())
@@ -181,28 +212,28 @@ func main() {
 
 	select {
 	case err := <-errCh:
-		log.Fatal(err)
+		logger.Fatal(err)
 	case <-ctx.Done():
 	}
 
-	log.Printf("signal received; draining (up to %v)", *drainTimeout)
+	logger.Printf("signal received; draining (up to %v)", *drainTimeout)
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if wk != nil {
 		// Deregister first so the coordinator reroutes this worker's shards
 		// while we finish the jobs already queued here.
 		if err := wk.Leave(dctx); err != nil {
-			log.Printf("%v (draining anyway)", err)
+			logger.Printf("%v (draining anyway)", err)
 		}
 		stopHeartbeats()
 	}
 	// Stop intake and wait for queued jobs first, then close HTTP with the
 	// remaining budget so in-flight sync requests finish too.
 	if err := srv.Drain(dctx); err != nil {
-		log.Fatal(err)
+		logger.Fatal(err)
 	}
 	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		logger.Fatal(err)
 	}
-	log.Printf("drained cleanly")
+	logger.Printf("drained cleanly")
 }

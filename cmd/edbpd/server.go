@@ -21,7 +21,9 @@ import (
 	"edbp/internal/energy"
 	"edbp/internal/nvm"
 	"edbp/internal/obs"
+	"edbp/internal/obs/olog"
 	"edbp/internal/sim"
+	"edbp/internal/span"
 	"edbp/internal/store"
 	tracepkg "edbp/internal/trace"
 )
@@ -239,7 +241,11 @@ type job struct {
 	done   chan struct{}
 
 	enqueuedAt time.Time
-	live       atomic.Pointer[liveRun] // set once the worker starts simulating
+	// parent is the submitting request's span context: the async
+	// worker's queue-wait and run spans nest under it even though the
+	// HTTP request span itself ends at the 202.
+	parent span.Context
+	live   atomic.Pointer[liveRun] // set once the worker starts simulating
 }
 
 func (j *job) snapshot() job {
@@ -319,6 +325,19 @@ type serverOptions struct {
 	// nodeID, when non-empty, names this process in the fleet and becomes
 	// the node="..." const label on every metrics series it exports.
 	nodeID string
+
+	// spans backs GET /trace; newServer creates one (capacity
+	// span.DefaultCapacity, node-stamped) unless spansOff disables
+	// recording entirely — the nil recorder keeps every instrumented
+	// path allocation-free. Tests inject their own to read spans
+	// directly.
+	spans    *span.Recorder
+	spansOff bool
+
+	// logger receives the access log and lifecycle messages; nil means
+	// quiet (olog.Nop), which tests rely on. cmd/edbpd main wires the
+	// real one from -log-level / -log-format.
+	logger *olog.Logger
 }
 
 // server is the edbpd HTTP service. newServer starts the worker pool;
@@ -345,12 +364,18 @@ type server struct {
 	// SSE stream falls back to it when no job id is given.
 	lastLive atomic.Pointer[liveRun]
 
+	// spans records service spans for GET /trace (nil = disabled);
+	// log is never nil (olog.Nop when unconfigured).
+	spans *span.Recorder
+	log   *olog.Logger
+
 	// Coordinator-mode state (nil in single-node and worker modes).
 	members  *cluster.Membership
 	coord    *cluster.Coordinator
 	cmet     *clusterMetrics
-	grids    sync.Map // grid id -> *cluster.Grid
+	grids    sync.Map // grid id -> *gridRecord
 	nextGrid atomic.Uint64
+	scrapes  sync.Map // node id -> *scrapeCacheEntry (metrics federation)
 }
 
 func newServer(opts serverOptions) *server {
@@ -372,6 +397,21 @@ func newServer(opts serverOptions) *server {
 	s := &server{opts: opts, queue: make(chan *job, opts.queueDepth)}
 	s.reg = opts.registry
 	s.met = newServerMetrics(s.reg)
+	obs.RegisterRuntime(s.reg)
+	s.spans = opts.spans
+	if s.spans == nil && !opts.spansOff {
+		s.spans = span.NewRecorder(opts.nodeID, span.DefaultCapacity)
+	}
+	if s.spans != nil {
+		s.reg.GaugeFunc("edbpd_spans_recorded_total", "Service spans finished by this node's recorder.",
+			func() float64 { f, _ := s.spans.Stats(); return float64(f) })
+		s.reg.GaugeFunc("edbpd_spans_dropped_total", "Service spans lost to span-ring overwrite.",
+			func() float64 { _, d := s.spans.Stats(); return float64(d) })
+	}
+	s.log = opts.logger
+	if s.log == nil {
+		s.log = olog.Nop()
+	}
 	// Depth of the bounded channel itself (distinct from the queued-jobs
 	// gauge only transiently, but free and impossible to drift).
 	s.reg.GaugeFunc("edbpd_queue_depth", "Async jobs currently in the bounded queue channel.",
@@ -388,6 +428,7 @@ func newServer(opts serverOptions) *server {
 	s.mux.HandleFunc("GET /stream", s.handleStream)
 	s.mux.HandleFunc("GET /runs", s.handleRuns)
 	s.mux.HandleFunc("GET /query", s.handleQuery)
+	s.mux.HandleFunc("GET /trace", s.handleTrace)
 	if opts.coordinator {
 		s.initCluster()
 	}
@@ -407,14 +448,11 @@ func newServer(opts serverOptions) *server {
 	return s
 }
 
-// Handler returns the service's HTTP handler.
+// Handler returns the service's HTTP handler: the route mux behind the
+// observability middleware (request counter, server span per request,
+// access log with centralized 5xx error lines).
 func (s *server) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if s.met != nil {
-			s.met.requests.Inc()
-		}
-		s.mux.ServeHTTP(w, r)
-	})
+	return s.withObservability(s.mux)
 }
 
 // errDrainAborted is the typed reason stamped on jobs the drain gave up
@@ -474,12 +512,24 @@ func (s *server) worker() {
 			s.met.jobsRunning.Inc()
 			s.met.queueWait.Observe(time.Since(j.enqueuedAt).Seconds())
 		}
+		// The queue-wait span is materialized at dequeue, backdated to
+		// the enqueue instant, so it costs nothing while the job sits.
+		if qs := s.spans.StartAt(j.parent, "queue-wait", j.enqueuedAt); qs != nil {
+			qs.Attr("job", j.ID)
+			qs.End()
+		}
 		// Async jobs run to completion even during drain; only the
 		// per-run deadline bounds them.
 		ctx, cancel := context.WithTimeout(context.Background(), s.opts.runTimeout)
+		if j.parent.Valid() {
+			ctx = span.With(ctx, j.parent)
+		}
 		out, err := s.run(ctx, j.req, j)
 		cancel()
 		j.finish(out, err)
+		if err != nil {
+			s.log.Warn("job failed", "job_id", j.ID, "trace_id", traceIDString(j.parent), "err", err.Error())
+		}
 		if s.met != nil {
 			s.met.jobsRunning.Dec()
 		}
@@ -491,9 +541,25 @@ func (s *server) worker() {
 // additionally reuse the process-wide workload.Cached / energy.CachedTrace
 // memoization underneath sim.RunContext. j, when non-nil, is the async job
 // this run belongs to: its live view is published for GET /stream.
-func (s *server) run(ctx context.Context, req runRequest, j *job) (*runOutput, error) {
+func (s *server) run(ctx context.Context, req runRequest, j *job) (out *runOutput, err error) {
 	key := req.hash()
-	if v, ok := s.cache.Load(key); ok {
+	rs := s.spans.Start(span.FromCtx(ctx), "run")
+	if rs != nil {
+		rs.Attr("app", req.App).Attr("scheme", req.Scheme).Attr("key", key[:12])
+		ctx = span.With(ctx, rs.Ctx())
+		defer func() {
+			rs.Fail(err)
+			rs.End()
+		}()
+	}
+
+	cs := s.spans.Start(rs.Ctx(), "cache-lookup")
+	v, hitOK := s.cache.Load(key)
+	if cs != nil {
+		cs.Attr("hit", strconv.FormatBool(hitOK))
+		cs.End()
+	}
+	if hitOK {
 		s.met.observeCache(true)
 		hit := *v.(*runOutput)
 		hit.CacheHit = true
@@ -528,14 +594,19 @@ func (s *server) run(ctx context.Context, req runRequest, j *job) (*runOutput, e
 		j.live.Store(lr)
 	}
 	start := time.Now()
+	ss := s.spans.Start(rs.Ctx(), "simulate")
 	res, err := sim.RunContext(ctx, cfg)
+	if ss != nil {
+		ss.Fail(err)
+		ss.End()
+	}
 	if err != nil {
 		s.met.observeRunError()
 		return nil, err
 	}
 	s.met.observeRun(req.App, cfg.Scheme.String(), res, time.Since(start).Seconds())
-	s.persist(cfg, res)
-	out := output(req, res)
+	s.persist(rs.Ctx(), cfg, res)
+	out = output(req, res)
 	s.cache.Store(key, out)
 	return out, nil
 }
@@ -544,13 +615,27 @@ func (s *server) run(ctx context.Context, req runRequest, j *job) (*runOutput, e
 // is configured), keyed by its config hash and the server's commit. A
 // store failure never fails the request — the result is still correct —
 // but it is counted, so a wedged store is visible in /metrics.
-func (s *server) persist(cfg sim.Config, res *sim.Result) {
+func (s *server) persist(parent span.Context, cfg sim.Config, res *sim.Result) {
 	if s.opts.store == nil {
 		return
 	}
 	start := time.Now()
+	ps := s.spans.Start(parent, "store-append")
 	err := s.opts.store.PutResult(store.KeyFor(cfg, s.opts.commit), res, time.Now().Unix())
+	if ps != nil {
+		ps.Fail(err)
+		ps.End()
+	}
 	s.met.observeStoreAppend(err == nil, time.Since(start).Seconds())
+}
+
+// traceIDString renders a span context's trace for log correlation; the
+// empty string when tracing is off.
+func traceIDString(c span.Context) string {
+	if c.Trace.IsZero() {
+		return ""
+	}
+	return c.Trace.String()
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -635,6 +720,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 			req:        req,
 			done:       make(chan struct{}),
 			enqueuedAt: time.Now(),
+			parent:     span.FromCtx(r.Context()),
 		}
 		switch err := s.tryEnqueue(j); {
 		case err == nil:

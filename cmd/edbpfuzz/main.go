@@ -33,6 +33,7 @@ import (
 	"edbp/internal/buildinfo"
 	"edbp/internal/fuzz"
 	"edbp/internal/obs"
+	"edbp/internal/obs/olog"
 	"edbp/internal/store"
 )
 
@@ -62,12 +63,18 @@ func run(ctx context.Context, stdout, stderr io.Writer, args []string) int {
 		storeDir    = fs.String("store", "", "experiment store directory; with -wcet the per-class bounds are appended as trend records")
 		version     = fs.Bool("version", false, "print the build stamp and exit")
 	)
+	lf := olog.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *version {
 		fmt.Fprintln(stdout, buildinfo.Stamp("edbpfuzz"))
 		return 0
+	}
+	logger, err := olog.New(olog.Options{Component: "edbpfuzz", Level: lf.Level, Format: lf.Format, W: stderr})
+	if err != nil {
+		fmt.Fprintf(stderr, "edbpfuzz: %v\n", err)
+		return 2
 	}
 
 	opts := fuzz.Options{
@@ -84,25 +91,23 @@ func run(ctx context.Context, stdout, stderr io.Writer, args []string) int {
 		opts.Invariants = strings.Split(*invariants, ",")
 	}
 	if !*quiet {
-		opts.Log = func(format string, args ...any) {
-			fmt.Fprintf(stderr, "edbpfuzz: "+format+"\n", args...)
-		}
+		opts.Log = logger.Printf
 	}
 
 	campaign, err := fuzz.Run(ctx, opts)
 	if err != nil {
-		fmt.Fprintf(stderr, "edbpfuzz: %v\n", err)
+		logger.Error(err.Error())
 		return 2
 	}
 	fuzz.Report(stdout, campaign)
 
 	if *storeDir != "" && campaign.WCET != nil {
 		if err := persistWCET(*storeDir, campaign.WCET); err != nil {
-			fmt.Fprintf(stderr, "edbpfuzz: persisting WCET bounds: %v\n", err)
+			logger.Error(fmt.Sprintf("persisting WCET bounds: %v", err))
 			return 2
 		}
 		if !*quiet {
-			fmt.Fprintf(stderr, "edbpfuzz: appended %d WCET class records to %s\n", len(campaign.WCET.Classes), *storeDir)
+			logger.Printf("appended %d WCET class records to %s", len(campaign.WCET.Classes), *storeDir)
 		}
 	}
 
@@ -116,10 +121,10 @@ func run(ctx context.Context, stdout, stderr io.Writer, args []string) int {
 	// Shrink the first violation (case order, so deterministic) to the
 	// minimal configuration that still fails the same invariant.
 	first := campaign.Violations[0]
-	fmt.Fprintf(stderr, "edbpfuzz: shrinking case %d (%s)...\n", first.Case.Index, first.Invariant)
+	logger.Printf("shrinking case %d (%s)...", first.Case.Index, first.Invariant)
 	minCase, evals, err := fuzz.Shrink(ctx, first, opts)
 	if err != nil {
-		fmt.Fprintf(stderr, "edbpfuzz: shrink failed: %v\n", err)
+		logger.Error(fmt.Sprintf("shrink failed: %v", err))
 		return 1 // the violation stands even if shrinking did not
 	}
 	repro := fmt.Sprintf(
@@ -129,9 +134,9 @@ func run(ctx context.Context, stdout, stderr io.Writer, args []string) int {
 	fmt.Fprintf(stdout, "\n== Minimal reproducer ==\n%s", repro)
 	if *reproOut != "" {
 		if err := os.WriteFile(*reproOut, []byte(repro), 0o644); err != nil {
-			fmt.Fprintf(stderr, "edbpfuzz: writing %s: %v\n", *reproOut, err)
+			logger.Error(fmt.Sprintf("writing %s: %v", *reproOut, err))
 		} else {
-			fmt.Fprintf(stderr, "edbpfuzz: wrote reproducer to %s\n", *reproOut)
+			logger.Printf("wrote reproducer to %s", *reproOut)
 		}
 	}
 	return 1

@@ -26,6 +26,7 @@ import (
 
 	"edbp/internal/buildinfo"
 	"edbp/internal/experiments"
+	"edbp/internal/obs/olog"
 	"edbp/internal/store"
 )
 
@@ -45,6 +46,7 @@ func run(ctx context.Context, stdin io.Reader, stdout, stderr io.Writer, args []
 		query   = fs.String("q", "", "one-shot query; without it edbpq reads a REPL from stdin")
 		version = fs.Bool("version", false, "print the build stamp and exit")
 	)
+	lf := olog.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -52,20 +54,25 @@ func run(ctx context.Context, stdin io.Reader, stdout, stderr io.Writer, args []
 		fmt.Fprintln(stdout, buildinfo.Stamp("edbpq"))
 		return 0
 	}
+	logger, err := olog.New(olog.Options{Component: "edbpq", Level: lf.Level, Format: lf.Format, W: stderr})
+	if err != nil {
+		fmt.Fprintf(stderr, "edbpq: %v\n", err)
+		return 2
+	}
 	if *dir == "" {
-		fmt.Fprintln(stderr, "edbpq: -store is required (the experiment store directory)")
+		logger.Error("-store is required (the experiment store directory)")
 		return 2
 	}
 	s, err := store.Open(*dir, store.Options{})
 	if err != nil {
-		fmt.Fprintf(stderr, "edbpq: %v\n", err)
+		logger.Error(err.Error())
 		return 2
 	}
 	defer s.Close()
 
 	if *query != "" {
 		if err := execLine(ctx, s, *query, stdout); err != nil {
-			fmt.Fprintf(stderr, "edbpq: %v\n", err)
+			logger.Error(err.Error())
 			return 1
 		}
 		return 0

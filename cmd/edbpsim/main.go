@@ -18,7 +18,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"strings"
@@ -28,10 +27,15 @@ import (
 	"edbp/internal/cache"
 	"edbp/internal/energy"
 	"edbp/internal/nvm"
+	"edbp/internal/obs/olog"
 	"edbp/internal/sim"
 	tracepkg "edbp/internal/trace"
 	"edbp/internal/workload"
 )
+
+// logger is the process logger, built in main from the uniform
+// -log-level / -log-format flags.
+var logger = olog.Nop()
 
 // writeTraces exports the recorder to the requested formats. The JSONL
 // stream carries the zombie profile alongside the events so tracereport
@@ -40,19 +44,19 @@ func writeTraces(rec *tracepkg.Recorder, res *sim.Result, chromePath, jsonlPath 
 	if chromePath != "" {
 		f, err := os.Create(chromePath)
 		if err != nil {
-			log.Fatal(err)
+			logger.Fatal(err)
 		}
 		w := bufio.NewWriter(f)
 		if err := rec.WriteChromeTrace(w); err != nil {
-			log.Fatal(err)
+			logger.Fatal(err)
 		}
 		if err := w.Flush(); err != nil {
-			log.Fatal(err)
+			logger.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			logger.Fatal(err)
 		}
-		log.Printf("wrote Chrome trace %s (open in Perfetto or chrome://tracing)", chromePath)
+		logger.Printf("wrote Chrome trace %s (open in Perfetto or chrome://tracing)", chromePath)
 	}
 	if jsonlPath != "" {
 		var profile []tracepkg.ProfilePoint
@@ -65,26 +69,23 @@ func writeTraces(rec *tracepkg.Recorder, res *sim.Result, chromePath, jsonlPath 
 		}
 		f, err := os.Create(jsonlPath)
 		if err != nil {
-			log.Fatal(err)
+			logger.Fatal(err)
 		}
 		w := bufio.NewWriter(f)
 		if err := rec.WriteJSONL(w, profile); err != nil {
-			log.Fatal(err)
+			logger.Fatal(err)
 		}
 		if err := w.Flush(); err != nil {
-			log.Fatal(err)
+			logger.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			logger.Fatal(err)
 		}
-		log.Printf("wrote JSONL trace %s (summarise with cmd/tracereport)", jsonlPath)
+		logger.Printf("wrote JSONL trace %s (summarise with cmd/tracereport)", jsonlPath)
 	}
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("edbpsim: ")
-
 	var (
 		app     = flag.String("app", "crc32", "workload name (see -list)")
 		list    = flag.Bool("list", false, "list workloads and exit")
@@ -111,11 +112,13 @@ func main() {
 		sampleUS   = flag.Float64("sample-every", 20, "telemetry gauge sampling period in µs (with -trace-out/-trace-jsonl)")
 		version    = flag.Bool("version", false, "print the build stamp and exit")
 	)
+	lf := olog.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if *version {
 		fmt.Println(buildinfo.Stamp("edbpsim"))
 		return
 	}
+	logger = olog.MustNew(lf.Options("edbpsim"))
 
 	if *list {
 		for _, a := range workload.Apps() {
@@ -126,7 +129,7 @@ func main() {
 
 	sch, err := parseScheme(*scheme)
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatal(err)
 	}
 	cfg := sim.Default(*app, sch)
 	cfg.Scale = *scale
@@ -142,13 +145,13 @@ func main() {
 		cfg.DCacheLeakFactor = 0.2
 	}
 	if cfg.TraceKind, err = energy.ParseTraceKind(*trace); err != nil {
-		log.Fatal(err)
+		logger.Fatal(err)
 	}
 	if cfg.DCachePolicy, err = cache.ParsePolicy(*policy); err != nil {
-		log.Fatal(err)
+		logger.Fatal(err)
 	}
 	if cfg.MemTech, err = nvm.ParseTech(*tech); err != nil {
-		log.Fatal(err)
+		logger.Fatal(err)
 	}
 
 	var rec *tracepkg.Recorder
@@ -166,7 +169,7 @@ func main() {
 	if *vtrace != "" {
 		f, err := os.Create(*vtrace)
 		if err != nil {
-			log.Fatal(err)
+			logger.Fatal(err)
 		}
 		defer f.Close()
 		w := bufio.NewWriter(f)
@@ -200,9 +203,9 @@ func main() {
 	res, err := sim.RunContext(ctx, cfg)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
-			log.Fatalf("-timeout %v expired: %v", *timeout, err)
+			logger.Fatalf("-timeout %v expired: %v", *timeout, err)
 		}
-		log.Fatal(err)
+		logger.Fatal(err)
 	}
 	if rec != nil {
 		writeTraces(rec, res, *traceOut, *traceJSONL)
@@ -264,7 +267,7 @@ func printJSON(r *sim.Result) {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
-		log.Fatal(err)
+		logger.Fatal(err)
 	}
 }
 

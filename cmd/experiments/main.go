@@ -16,7 +16,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"runtime"
@@ -27,13 +26,11 @@ import (
 
 	"edbp/internal/buildinfo"
 	"edbp/internal/experiments"
+	"edbp/internal/obs/olog"
 	"edbp/internal/store"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("experiments: ")
-
 	var (
 		run    = flag.String("run", "all", "comma-separated experiment ids (or 'all'); ids: "+ids())
 		apps   = flag.String("apps", "", "comma-separated app subset (default: all 20)")
@@ -51,20 +48,22 @@ func main() {
 		storeDir = flag.String("store", "", "experiment store directory; every completed simulation is appended to it")
 		version  = flag.Bool("version", false, "print the build stamp and exit")
 	)
+	lf := olog.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if *version {
 		fmt.Println(buildinfo.Stamp("experiments"))
 		return
 	}
+	logger := olog.MustNew(lf.Options("experiments"))
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			log.Fatal(err)
+			logger.Fatal(err)
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Fatal(err)
+			logger.Fatal(err)
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -72,12 +71,12 @@ func main() {
 		defer func() {
 			f, err := os.Create(*memprofile)
 			if err != nil {
-				log.Fatal(err)
+				logger.Fatal(err)
 			}
 			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				log.Fatal(err)
+				logger.Fatal(err)
 			}
 		}()
 	}
@@ -89,11 +88,11 @@ func main() {
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir, store.Options{})
 		if err != nil {
-			log.Fatal(err)
+			logger.Fatal(err)
 		}
 		defer st.Close()
 		o.Persist = st.PersistHook(buildinfo.Commit(), func() int64 { return time.Now().Unix() })
-		log.Printf("persisting runs to %s (%d already stored)", *storeDir, st.Len())
+		logger.Printf("persisting runs to %s (%d already stored)", *storeDir, st.Len())
 	}
 
 	// Ctrl-C / SIGTERM cancels the in-flight simulation grid instead of
@@ -122,12 +121,12 @@ func main() {
 		t, err := e.Run(ctx, o)
 		if err != nil {
 			if errors.Is(err, context.DeadlineExceeded) {
-				log.Fatalf("%s: -timeout %v expired: %v", e.ID, *timeout, err)
+				logger.Fatalf("%s: -timeout %v expired: %v", e.ID, *timeout, err)
 			}
 			if errors.Is(err, context.Canceled) {
-				log.Fatalf("%s: interrupted: %v", e.ID, err)
+				logger.Fatalf("%s: interrupted: %v", e.ID, err)
 			}
-			log.Fatalf("%s: %v", e.ID, err)
+			logger.Fatalf("%s: %v", e.ID, err)
 		}
 		if *format == "csv" {
 			fmt.Printf("# %s: %s\n", t.ID, t.Title)
@@ -140,7 +139,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		log.Fatalf("no experiments matched -run=%q; ids: %s", *run, ids())
+		logger.Fatalf("no experiments matched -run=%q; ids: %s", *run, ids())
 	}
 }
 

@@ -11,16 +11,14 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 
 	"edbp/internal/buildinfo"
 	"edbp/internal/energy"
+	"edbp/internal/obs/olog"
 	"edbp/internal/workload"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("tracegen: ")
 	var (
 		app     = flag.String("app", "", "single workload to record (default: all)")
 		scale   = flag.Float64("scale", 1.0, "workload scale factor")
@@ -29,16 +27,18 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "energy trace seed")
 		version = flag.Bool("version", false, "print the build stamp and exit")
 	)
+	lf := olog.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if *version {
 		fmt.Println(buildinfo.Stamp("tracegen"))
 		return
 	}
+	logger := olog.MustNew(lf.Options("tracegen"))
 
 	if *etrace != "" {
 		kind, err := energy.ParseTraceKind(*etrace)
 		if err != nil {
-			log.Fatal(err)
+			logger.Fatal(err)
 		}
 		tr := energy.NewTrace(kind, *seed)
 		fmt.Printf("# %s seed=%d mean=%.2f mW\n", tr.Name(), *seed, tr.MeanPower()*1e3)
@@ -52,14 +52,14 @@ func main() {
 	if *app != "" {
 		a, err := workload.ByName(*app)
 		if err != nil {
-			log.Fatal(err)
+			logger.Fatal(err)
 		}
 		apps = []workload.App{a}
 	}
 	for _, a := range apps {
 		tr, err := workload.Cached(a.Name, *scale)
 		if err != nil {
-			log.Fatal(err)
+			logger.Fatal(err)
 		}
 		fmt.Printf("%-14s %-10s instr=%8d ld/st=%5.1f%% loads=%8d stores=%7d data=%7dB events=%8d regions=%2d checksum=%08x\n",
 			tr.Name, a.Suite, tr.Instructions, 100*tr.LoadStoreRatio(), tr.Loads, tr.Stores,

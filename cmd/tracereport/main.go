@@ -3,51 +3,89 @@
 // and (with -profile) the Figure 4 voltage-vs-zombie CSV embedded in the
 // stream by the live run.
 //
+// With -service the input is instead a service-span JSONL stream — the
+// body of edbpd's GET /trace or GET /trace/{grid-id} — and the report is
+// one indented span tree per trace (durations, owning nodes, attributes,
+// error markers). -chrome additionally re-exports those spans as a Chrome
+// trace_event file for Perfetto.
+//
 // Usage:
 //
 //	tracereport run.jsonl
 //	tracereport -cycles 50 -profile fig4.csv run.jsonl
+//	curl -s coordinator:8080/trace/grid-1 | tracereport -service /dev/stdin
+//	tracereport -service -chrome grid.trace.json spans.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
 	"sort"
 	"text/tabwriter"
 
 	"edbp/internal/buildinfo"
+	"edbp/internal/obs/olog"
+	"edbp/internal/span"
 	"edbp/internal/trace"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("tracereport: ")
-
 	var (
 		cycles  = flag.Int("cycles", 20, "power cycles to list individually (0 = totals only)")
 		profile = flag.String("profile", "", "write the voltage-vs-zombie profile (Figure 4) as CSV to this file")
+		service = flag.Bool("service", false, "input is service-span JSONL (edbpd GET /trace); report span trees per trace")
+		chrome  = flag.String("chrome", "", "with -service: also write the spans as a Chrome trace_event file (open in Perfetto)")
 		version = flag.Bool("version", false, "print the build stamp and exit")
 	)
+	lf := olog.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if *version {
 		fmt.Println(buildinfo.Stamp("tracereport"))
 		return
 	}
+	logger := olog.MustNew(lf.Options("tracereport"))
 	if flag.NArg() != 1 {
-		log.Fatal("usage: tracereport [-cycles N] [-profile out.csv] run.jsonl")
+		logger.Fatal("usage: tracereport [-cycles N] [-profile out.csv] [-service [-chrome out.json]] run.jsonl")
 	}
 
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatal(err)
 	}
+
+	if *service {
+		recs, err := span.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			logger.Fatal(err)
+		}
+		serviceReport(os.Stdout, recs)
+		if *chrome != "" {
+			cf, err := os.Create(*chrome)
+			if err != nil {
+				logger.Fatal(err)
+			}
+			if err := span.WriteChromeTrace(cf, recs); err != nil {
+				cf.Close()
+				logger.Fatal(err)
+			}
+			if err := cf.Close(); err != nil {
+				logger.Fatal(err)
+			}
+			fmt.Printf("wrote %s (%d spans; open in Perfetto or chrome://tracing)\n", *chrome, len(recs))
+		}
+		return
+	}
+	if *chrome != "" {
+		logger.Fatal("-chrome requires -service (simulator traces export Chrome from edbpsim -trace-out)")
+	}
+
 	d, err := trace.ReadJSONL(f)
 	f.Close()
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatal(err)
 	}
 
 	report(os.Stdout, d, *cycles)
@@ -55,14 +93,14 @@ func main() {
 	if *profile != "" {
 		pf, err := os.Create(*profile)
 		if err != nil {
-			log.Fatal(err)
+			logger.Fatal(err)
 		}
 		if err := writeProfile(pf, d); err != nil {
 			pf.Close()
-			log.Fatal(err)
+			logger.Fatal(err)
 		}
 		if err := pf.Close(); err != nil {
-			log.Fatal(err)
+			logger.Fatal(err)
 		}
 		fmt.Printf("wrote %s (%d profile points)\n", *profile, len(d.Profile))
 	}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"edbp/internal/span"
+)
+
+// serviceReport renders service spans (the JSONL served by edbpd's
+// /trace and /trace/{grid-id} endpoints) as one indented span tree per
+// trace: each line shows the span name, owning node, wall duration,
+// attributes, and an ERROR marker for failed spans. Traces print in
+// start order; within a trace, children nest under their parent sorted
+// by start time, and spans whose parent is outside the dump (e.g. the
+// worker side of a dispatch whose coordinator spans were not fetched)
+// root at top level.
+func serviceReport(w io.Writer, recs []span.Record) {
+	if len(recs) == 0 {
+		fmt.Fprintln(w, "no spans")
+		return
+	}
+	span.SortRecords(recs)
+
+	byTrace := make(map[span.TraceID][]span.Record)
+	var traces []span.TraceID
+	for _, r := range recs {
+		if _, seen := byTrace[r.Trace]; !seen {
+			traces = append(traces, r.Trace)
+		}
+		byTrace[r.Trace] = append(byTrace[r.Trace], r)
+	}
+
+	for ti, trace := range traces {
+		if ti > 0 {
+			fmt.Fprintln(w)
+		}
+		spans := byTrace[trace]
+		nodes := map[string]bool{}
+		errs := 0
+		for _, r := range spans {
+			nodes[r.Node] = true
+			if r.Err != "" {
+				errs++
+			}
+		}
+		fmt.Fprintf(w, "trace %s — %d spans, %d nodes", trace, len(spans), len(nodes))
+		if errs > 0 {
+			fmt.Fprintf(w, ", %d errors", errs)
+		}
+		fmt.Fprintln(w)
+
+		present := make(map[span.SpanID]bool, len(spans))
+		for _, r := range spans {
+			present[r.ID] = true
+		}
+		children := make(map[span.SpanID][]span.Record)
+		var roots []span.Record
+		for _, r := range spans {
+			if r.Parent.IsZero() || !present[r.Parent] {
+				roots = append(roots, r)
+				continue
+			}
+			children[r.Parent] = append(children[r.Parent], r)
+		}
+		for _, root := range roots {
+			printSpanTree(w, root, children, 1)
+		}
+	}
+}
+
+func printSpanTree(w io.Writer, r span.Record, children map[span.SpanID][]span.Record, depth int) {
+	fmt.Fprintf(w, "%s%s [%s] %s", strings.Repeat("  ", depth), r.Name, r.Node, fmtDur(r.Dur))
+	for _, a := range r.Attrs {
+		fmt.Fprintf(w, " %s=%s", a.Key, a.Value)
+	}
+	if r.Err != "" {
+		fmt.Fprintf(w, " ERROR %s", r.Err)
+	}
+	fmt.Fprintln(w)
+	kids := children[r.ID]
+	sort.SliceStable(kids, func(i, j int) bool { return kids[i].Start.Before(kids[j].Start) })
+	for _, kid := range kids {
+		printSpanTree(w, kid, children, depth+1)
+	}
+}
+
+// fmtDur renders a span duration at µs resolution below 1ms and ms
+// above, matching how one eyeballs a service trace.
+func fmtDur(d time.Duration) string {
+	us := float64(d) / float64(time.Microsecond)
+	if us < 1000 {
+		return fmt.Sprintf("%.0fµs", us)
+	}
+	return fmt.Sprintf("%.3fms", us/1000)
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"edbp/internal/span"
+)
+
+func svcID(b byte) span.SpanID { var s span.SpanID; s[7] = b; s[0] = 0xbb; return s }
+
+// serviceRecords is a deterministic 2-node grid fragment plus a second,
+// single-span trace, mirroring what GET /trace/{grid-id} assembles: a
+// grid request on the coordinator, a failed dispatch, the retry, and the
+// surviving worker's request/queue-wait/run spans under it.
+func serviceRecords() []span.Record {
+	epoch := time.UnixMicro(1_700_000_000_000_000).UTC()
+	at := func(ms float64) time.Time {
+		return epoch.Add(time.Duration(ms * float64(time.Millisecond)))
+	}
+	var tr, tr2 span.TraceID
+	tr[0], tr[15] = 0xaa, 1
+	tr2[0], tr2[15] = 0xaa, 2
+	return []span.Record{
+		{Trace: tr, ID: svcID(1), Name: "POST /grid", Node: "coord",
+			Start: at(0), Dur: 10 * time.Millisecond,
+			Attrs: []span.Attr{{Key: "status", Value: "202"}}},
+		{Trace: tr, ID: svcID(2), Parent: svcID(1), Name: "dispatch", Node: "coord",
+			Start: at(1), Dur: 3 * time.Millisecond, Err: "connection refused",
+			Attrs: []span.Attr{{Key: "node", Value: "w1"}, {Key: "attempt", Value: "1"}}},
+		{Trace: tr, ID: svcID(3), Parent: svcID(1), Name: "dispatch", Node: "coord",
+			Start: at(4), Dur: 5 * time.Millisecond,
+			Attrs: []span.Attr{{Key: "node", Value: "w2"}, {Key: "attempt", Value: "2"}, {Key: "excluded", Value: "w1"}}},
+		{Trace: tr, ID: svcID(4), Parent: svcID(3), Name: "POST /run", Node: "w2",
+			Start: at(4.2), Dur: 4500 * time.Microsecond},
+		{Trace: tr, ID: svcID(5), Parent: svcID(4), Name: "queue-wait", Node: "w2",
+			Start: at(4.3), Dur: 500 * time.Microsecond},
+		{Trace: tr, ID: svcID(6), Parent: svcID(4), Name: "run", Node: "w2",
+			Start: at(4.8), Dur: 3600 * time.Microsecond,
+			Attrs: []span.Attr{{Key: "app", Value: "crc32"}, {Key: "scheme", Value: "EDBP"}}},
+		// A second trace, and a span whose parent is not in the dump —
+		// it must root rather than vanish.
+		{Trace: tr2, ID: svcID(7), Parent: svcID(0x7f), Name: "GET /metrics", Node: "w2",
+			Start: at(20), Dur: 80 * time.Microsecond},
+	}
+}
+
+const serviceGolden = `trace aa000000000000000000000000000001 — 6 spans, 2 nodes, 1 errors
+  POST /grid [coord] 10.000ms status=202
+    dispatch [coord] 3.000ms node=w1 attempt=1 ERROR connection refused
+    dispatch [coord] 5.000ms node=w2 attempt=2 excluded=w1
+      POST /run [w2] 4.500ms
+        queue-wait [w2] 500µs
+        run [w2] 3.600ms app=crc32 scheme=EDBP
+
+trace aa000000000000000000000000000002 — 1 spans, 1 nodes
+  GET /metrics [w2] 80µs
+`
+
+func TestServiceReportGolden(t *testing.T) {
+	var buf bytes.Buffer
+	serviceReport(&buf, serviceRecords())
+	if got := buf.String(); got != serviceGolden {
+		t.Fatalf("service report drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, serviceGolden)
+	}
+}
+
+func TestServiceReportEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	serviceReport(&buf, nil)
+	if got := buf.String(); got != "no spans\n" {
+		t.Fatalf("empty report = %q", got)
+	}
+}
+
+func TestServiceReportOrphanRoots(t *testing.T) {
+	var buf bytes.Buffer
+	serviceReport(&buf, serviceRecords())
+	out := buf.String()
+	if !strings.Contains(out, "GET /metrics") {
+		t.Fatal("orphan span (parent outside dump) vanished from the report")
+	}
+	if !strings.Contains(out, "ERROR connection refused") {
+		t.Fatal("failed dispatch span lost its ERROR marker")
+	}
+}

@@ -8,10 +8,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"edbp/internal/obs"
+	"edbp/internal/span"
 )
 
 // ErrNoWorkers means the fleet has no live worker at all — the caller
@@ -83,6 +86,13 @@ type Coordinator struct {
 	StreamIntervalMS int
 
 	Metrics *Metrics
+
+	// Spans, when non-nil, records one "dispatch" span per attempt —
+	// annotated with the target node, the attempt number, and the
+	// exclusion set accumulated by prior failures — and propagates the
+	// span context to the worker via the traceparent header so the
+	// worker's queue-wait and run spans nest under the attempt.
+	Spans *span.Recorder
 }
 
 func (c *Coordinator) client() *http.Client {
@@ -139,11 +149,24 @@ func (c *Coordinator) Execute(ctx context.Context, key string, body []byte, onEv
 		if attempt > 0 {
 			c.Metrics.retried()
 		}
-		raw, err := c.execOn(ctx, node, body, onEvent)
+		dctx := ctx
+		sp := c.Spans.Start(span.FromCtx(ctx), "dispatch")
+		if sp != nil {
+			sp.Attr("key", shortKey(key)).Attr("node", node.ID).
+				Attr("attempt", strconv.Itoa(attempt+1))
+			if len(excluded) > 0 {
+				sp.Attr("excluded", joinSorted(excluded))
+			}
+			dctx = span.With(ctx, sp.Ctx())
+		}
+		raw, err := c.execOn(dctx, node, body, onEvent)
 		if err == nil {
+			sp.End()
 			c.Metrics.dispatched(node.ID)
 			return raw, node.ID, attempt + 1, nil
 		}
+		sp.Fail(err)
+		sp.End()
 		var term *TerminalError
 		if errors.As(err, &term) {
 			return nil, node.ID, attempt + 1, err
@@ -165,6 +188,16 @@ func shortKey(key string) string {
 		return key[:12]
 	}
 	return key
+}
+
+// joinSorted renders an exclusion set deterministically for span attrs.
+func joinSorted(set map[string]bool) string {
+	ids := make([]string, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return strings.Join(ids, ",")
 }
 
 // errorBody extracts edbpd's {"error": "..."} message from a response
@@ -237,6 +270,9 @@ func (c *Coordinator) submit(ctx context.Context, node Node, body []byte) (strin
 			return "", err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		if sc := span.FromCtx(ctx); sc.Valid() {
+			req.Header.Set(span.Header, sc.Traceparent())
+		}
 		resp, err := c.client().Do(req)
 		if err != nil {
 			return "", fmt.Errorf("cluster: submit to %s: %w", node.ID, err)

@@ -39,6 +39,8 @@ type stubWorker struct {
 	failJobs      bool         // every job finishes "failed"
 	queueFullLeft atomic.Int32 // respond 503 queue-full this many times
 	runs          atomic.Int32 // jobs actually executed
+
+	lastTraceparent atomic.Value // last traceparent header seen on /run
 }
 
 func newStubWorker(t *testing.T, id string) *stubWorker {
@@ -56,6 +58,7 @@ func newStubWorker(t *testing.T, id string) *stubWorker {
 func (w *stubWorker) node() Node { return Node{ID: w.id, URL: w.ts.URL} }
 
 func (w *stubWorker) handleRun(rw http.ResponseWriter, r *http.Request) {
+	w.lastTraceparent.Store(r.Header.Get("traceparent"))
 	if w.queueFullLeft.Load() > 0 {
 		w.queueFullLeft.Add(-1)
 		rw.WriteHeader(http.StatusServiceUnavailable)

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestHubExactDropCounting pins the Hub's overflow arithmetic: a
+// subscriber that never reads buffers exactly its channel capacity
+// (256) and every further emit increments the drop counter by one.
+func TestHubExactDropCounting(t *testing.T) {
+	h := NewHub()
+	ch, cancel := h.Subscribe()
+	defer cancel()
+
+	const emitted = 300
+	for i := 0; i < emitted; i++ {
+		h.Emit(Event{Type: "gauge", Data: []byte(fmt.Sprintf(`{"seq":%d}`, i))})
+	}
+	if got, want := h.Drops(), emitted-cap(ch); got != want {
+		t.Fatalf("Drops() = %d, want %d (emitted %d into a %d-cap channel)",
+			got, want, emitted, cap(ch))
+	}
+
+	// The retained prefix is intact and in order: the drop policy is
+	// tail-drop, never corruption or reordering.
+	for i := 0; i < cap(ch); i++ {
+		ev := <-ch
+		var p struct {
+			Seq int `json:"seq"`
+		}
+		if err := json.Unmarshal(ev.Data, &p); err != nil || p.Seq != i {
+			t.Fatalf("event %d = %s (err %v), want seq %d", i, ev.Data, err, i)
+		}
+	}
+	select {
+	case ev := <-ch:
+		t.Fatalf("unexpected extra event %q", ev.Data)
+	default:
+	}
+
+	// A second, healthy subscriber is unaffected by the stalled one.
+	ch2, cancel2 := h.Subscribe()
+	defer cancel2()
+	before := h.Drops()
+	h.Emit(Event{Type: "entry", Data: []byte(`{}`)})
+	if ev := <-ch2; ev.Type != "entry" {
+		t.Fatalf("healthy subscriber got %q", ev.Type)
+	}
+	// The stalled channel had room again after the drain above, so no
+	// new drops either way.
+	if h.Drops() != before {
+		t.Fatalf("Drops() moved from %d to %d with room available", before, h.Drops())
+	}
+}
+
+// TestHubStalledSubscriberNeverBlocksGrid drives a real grid through
+// the coordinator with a subscriber that never reads a single event:
+// the grid must still complete, the hub must close the stalled channel,
+// and the overflow must be accounted as drops.
+func TestHubStalledSubscriberNeverBlocksGrid(t *testing.T) {
+	c, workers := testFleet(t, 1)
+	workers[0].runDelay = 150 * time.Millisecond
+
+	// 30 concurrent cells x ~75 gauge frames each floods any 256-slot
+	// subscriber buffer several times over, even under the race
+	// detector's scheduling overhead.
+	entries := make([]GridEntry, 30)
+	for i := range entries {
+		key := fmt.Sprintf("cell-%02d", i)
+		body, _ := json.Marshal(map[string]any{"app": "crc32", "seed": i})
+		entries[i] = GridEntry{Key: key, Body: body}
+	}
+	g := c.StartGrid(context.Background(), "g1", entries, nil)
+	ch, cancel := g.Subscribe()
+	defer cancel()
+
+	select {
+	case <-g.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("grid blocked behind a stalled subscriber")
+	}
+	sum := g.Summary()
+	if sum.Done != len(entries) || sum.Failed != 0 {
+		t.Fatalf("summary = %+v, want all %d done", sum, len(entries))
+	}
+
+	// The hub closed the stalled channel on grid completion; the
+	// buffered prefix is still readable first.
+	buffered := 0
+	closed := false
+	for {
+		ev, ok := <-ch
+		if !ok {
+			closed = true
+			break
+		}
+		_ = ev
+		buffered++
+		if buffered > 256 {
+			t.Fatalf("read %d events from a 256-cap stalled channel", buffered)
+		}
+	}
+	if !closed {
+		t.Fatal("stalled channel never closed")
+	}
+	if buffered != 256 {
+		t.Fatalf("buffered = %d, want exactly the channel capacity 256", buffered)
+	}
+	if g.hub.Drops() == 0 {
+		t.Fatal("flooded hub recorded zero drops")
+	}
+}

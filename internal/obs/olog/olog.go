@@ -1,0 +1,232 @@
+// Package olog is the structured, leveled logger shared by every edbp
+// binary. It is a thin wrapper over log/slog with two output formats:
+//
+//	text  (default)  component: message key=value key=value
+//	json             {"time":…,"level":…,"component":…,"msg":…,…}
+//
+// The text format deliberately reproduces the `log.SetPrefix("name: ")`
+// lines the binaries emitted before structured logging, so operators'
+// eyes — and CI greps — see the same shape, now with correlation
+// fields (trace_id, node, job_id) appended as key=value pairs.
+//
+// Every binary registers the same two flags via RegisterFlags:
+//
+//	-log-level  debug|info|warn|error   (default info)
+//	-log-format text|json              (default text)
+package olog
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Options configures a Logger.
+type Options struct {
+	Component string    // binary or subsystem name; text-format prefix
+	Level     string    // debug|info|warn|error (default info)
+	Format    string    // text|json (default text)
+	Node      string    // cluster node ID; added as node= on every line
+	W         io.Writer // destination (default os.Stderr)
+	exit      func(int) // test hook for Fatal
+}
+
+// Logger is slog.Logger plus the Fatal/Printf conveniences the binaries
+// were using via the standard log package.
+type Logger struct {
+	*slog.Logger
+	exit func(int)
+}
+
+// ParseLevel maps a -log-level flag value to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// New builds a Logger from o, or reports why the options are invalid.
+func New(o Options) (*Logger, error) {
+	level, err := ParseLevel(o.Level)
+	if err != nil {
+		return nil, err
+	}
+	w := o.W
+	if w == nil {
+		w = os.Stderr
+	}
+	var h slog.Handler
+	switch strings.ToLower(strings.TrimSpace(o.Format)) {
+	case "", "text":
+		h = &textHandler{w: w, mu: &sync.Mutex{}, level: level, component: o.Component}
+	case "json":
+		h = slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level})
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text|json)", o.Format)
+	}
+	l := slog.New(h)
+	if o.Format == "json" {
+		// In JSON the component travels as a field; in text it is the
+		// line prefix already rendered by the handler.
+		if o.Component != "" {
+			l = l.With("component", o.Component)
+		}
+	}
+	if o.Node != "" {
+		l = l.With("node", o.Node)
+	}
+	exit := o.exit
+	if exit == nil {
+		exit = os.Exit
+	}
+	return &Logger{Logger: l, exit: exit}, nil
+}
+
+// MustNew is New for main(): invalid options print one line to stderr
+// and exit 2 (matching flag-parse failures).
+func MustNew(o Options) *Logger {
+	l, err := New(o)
+	if err != nil {
+		name := o.Component
+		if name == "" {
+			name = "olog"
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		os.Exit(2)
+	}
+	return l
+}
+
+// Nop returns a logger that discards everything — the default inside
+// library code and tests that inject no logger.
+func Nop() *Logger {
+	return &Logger{
+		Logger: slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)})),
+		exit:   func(int) {},
+	}
+}
+
+// Fatal logs at error level and exits 1, mirroring log.Fatal.
+func (l *Logger) Fatal(v ...any) {
+	l.Error(fmt.Sprint(v...))
+	l.exit(1)
+}
+
+// Fatalf logs at error level and exits 1, mirroring log.Fatalf.
+func (l *Logger) Fatalf(format string, args ...any) {
+	l.Error(fmt.Sprintf(format, args...))
+	l.exit(1)
+}
+
+// Printf logs at info level, easing migration from the standard log
+// package for binaries whose messages are preformatted.
+func (l *Logger) Printf(format string, args ...any) {
+	l.Info(fmt.Sprintf(format, args...))
+}
+
+// Flags holds the values registered by RegisterFlags.
+type Flags struct {
+	Level  string
+	Format string
+}
+
+// RegisterFlags installs the uniform -log-level / -log-format flags on
+// fs (the default flag set in every binary).
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Level, "log-level", "info", "log level: debug|info|warn|error")
+	fs.StringVar(&f.Format, "log-format", "text", "log format: text|json")
+	return f
+}
+
+// Options builds logger Options from parsed flags.
+func (f *Flags) Options(component string) Options {
+	return Options{Component: component, Level: f.Level, Format: f.Format}
+}
+
+// textHandler renders `component: msg k=v k=v` lines — the historical
+// human-readable output, with structured attrs appended.
+type textHandler struct {
+	w         io.Writer
+	mu        *sync.Mutex
+	level     slog.Level
+	component string
+	attrs     []slog.Attr
+}
+
+func (h *textHandler) Enabled(_ context.Context, l slog.Level) bool { return l >= h.level }
+
+func (h *textHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := *h
+	nh.attrs = append(append([]slog.Attr(nil), h.attrs...), attrs...)
+	return &nh
+}
+
+// WithGroup flattens groups: qualified keys keep lines greppable.
+func (h *textHandler) WithGroup(name string) slog.Handler { return h }
+
+func (h *textHandler) Handle(_ context.Context, r slog.Record) error {
+	buf := make([]byte, 0, 128)
+	if h.component != "" {
+		buf = append(buf, h.component...)
+		buf = append(buf, ": "...)
+	}
+	if r.Level != slog.LevelInfo {
+		buf = append(buf, strings.ToLower(r.Level.String())...)
+		buf = append(buf, ": "...)
+	}
+	buf = append(buf, r.Message...)
+	for _, a := range h.attrs {
+		buf = appendAttr(buf, a)
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		buf = appendAttr(buf, a)
+		return true
+	})
+	buf = append(buf, '\n')
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := h.w.Write(buf)
+	return err
+}
+
+func appendAttr(buf []byte, a slog.Attr) []byte {
+	if a.Equal(slog.Attr{}) {
+		return buf
+	}
+	buf = append(buf, ' ')
+	buf = append(buf, a.Key...)
+	buf = append(buf, '=')
+	v := a.Value.Resolve()
+	switch v.Kind() {
+	case slog.KindString:
+		s := v.String()
+		if strings.ContainsAny(s, " \t\n\"=") || s == "" {
+			buf = strconv.AppendQuote(buf, s)
+		} else {
+			buf = append(buf, s...)
+		}
+	case slog.KindDuration:
+		buf = append(buf, v.Duration().String()...)
+	case slog.KindTime:
+		buf = v.Time().AppendFormat(buf, time.RFC3339Nano)
+	default:
+		buf = append(buf, v.String()...)
+	}
+	return buf
+}

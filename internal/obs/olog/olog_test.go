@@ -1,0 +1,131 @@
+package olog
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"strings"
+	"testing"
+)
+
+// TestTextFormatMatchesLegacyPrefix pins the migration contract: with
+// no attrs, text output is byte-identical to the old
+// log.SetPrefix("edbpd: ") lines, so operator eyes and CI greps keep
+// working.
+func TestTextFormatMatchesLegacyPrefix(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := New(Options{Component: "edbpd", W: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("listening on 127.0.0.1:8080")
+	if got := buf.String(); got != "edbpd: listening on 127.0.0.1:8080\n" {
+		t.Fatalf("text line = %q", got)
+	}
+}
+
+func TestTextAttrsAndLevels(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := New(Options{Component: "edbpd", Node: "w1", Level: "debug", W: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Error("request failed", "status", 504, "trace_id", "abc123", "path", "/run x")
+	line := buf.String()
+	want := `edbpd: error: request failed node=w1 status=504 trace_id=abc123 path="/run x"` + "\n"
+	if line != want {
+		t.Fatalf("line = %q\nwant  %q", line, want)
+	}
+
+	buf.Reset()
+	l.Debug("queued", "job_id", "j1")
+	if got := buf.String(); got != "edbpd: debug: queued node=w1 job_id=j1\n" {
+		t.Fatalf("debug line = %q", got)
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := New(Options{Component: "c", Level: "warn", W: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Debug("hidden")
+	l.Info("hidden")
+	l.Warn("shown")
+	l.Error("shown too")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Fatalf("low-severity lines leaked: %q", out)
+	}
+	if n := strings.Count(out, "\n"); n != 2 {
+		t.Fatalf("got %d lines, want 2: %q", n, out)
+	}
+}
+
+func TestJSONFormatCarriesCorrelationFields(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := New(Options{Component: "edbpd", Node: "w2", Format: "json", W: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("run done", "job_id", "42", "trace_id", "deadbeef")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not JSON: %v: %q", err, buf.String())
+	}
+	for k, want := range map[string]string{
+		"component": "edbpd", "node": "w2", "msg": "run done",
+		"job_id": "42", "trace_id": "deadbeef", "level": "INFO",
+	} {
+		if rec[k] != want {
+			t.Errorf("%s = %v, want %v", k, rec[k], want)
+		}
+	}
+}
+
+func TestInvalidOptions(t *testing.T) {
+	if _, err := New(Options{Level: "loud"}); err == nil {
+		t.Fatal("want error for bad level")
+	}
+	if _, err := New(Options{Format: "xml"}); err == nil {
+		t.Fatal("want error for bad format")
+	}
+}
+
+func TestFatalExitsOne(t *testing.T) {
+	var buf bytes.Buffer
+	code := -1
+	l, err := New(Options{Component: "c", W: &buf, exit: func(c int) { code = c }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Fatalf("doom: %d", 7)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if got := buf.String(); got != "c: error: doom: 7\n" {
+		t.Fatalf("fatal line = %q", got)
+	}
+}
+
+func TestRegisterFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := RegisterFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.Level != "info" || f.Format != "text" {
+		t.Fatalf("defaults = %+v, want info/text", f)
+	}
+	o := f.Options("bench")
+	if o.Component != "bench" || o.Level != "info" || o.Format != "text" {
+		t.Fatalf("Options = %+v", o)
+	}
+}
+
+func TestNopDiscards(t *testing.T) {
+	l := Nop()
+	l.Error("nobody hears this")
+	l.Fatal("and this does not exit")
+}

@@ -1,0 +1,35 @@
+package obs
+
+import "runtime"
+
+// RegisterRuntime installs process self-metrics on r: goroutine count,
+// heap allocation, and cumulative GC pause time. edbpd registers these
+// by default, so goroutine-leak regressions and memory growth are
+// visible on /metrics (and assertable from tests) without pprof.
+//
+// The gauges are GaugeFuncs: values are read at exposition time, so an
+// idle registry costs nothing. runtime.ReadMemStats stops the world
+// briefly — acceptable on a scrape path, which is why the heap and GC
+// gauges share one read via the closure below rather than two.
+func RegisterRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("process_goroutines",
+		"Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+
+	memStat := func(pick func(*runtime.MemStats) float64) func() float64 {
+		return func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return pick(&ms)
+		}
+	}
+	r.GaugeFunc("process_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		memStat(func(ms *runtime.MemStats) float64 { return float64(ms.HeapAlloc) }))
+	r.GaugeFunc("process_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time.",
+		memStat(func(ms *runtime.MemStats) float64 { return float64(ms.PauseTotalNs) / 1e9 }))
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func runtimeSeries(t *testing.T, r *Registry, name string) float64 {
+	t.Helper()
+	for _, s := range r.Snapshot() {
+		if s.Name == name && s.Value != nil {
+			return *s.Value
+		}
+	}
+	t.Fatalf("series %q not in snapshot", name)
+	return 0
+}
+
+func TestRegisterRuntimeGauges(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"process_goroutines",
+		"process_heap_alloc_bytes",
+		"process_gc_pause_seconds_total",
+	} {
+		if !strings.Contains(sb.String(), "\n"+name) && !strings.Contains(sb.String(), name+" ") {
+			t.Errorf("exposition missing %s:\n%s", name, sb.String())
+		}
+	}
+
+	if g := runtimeSeries(t, r, "process_goroutines"); g < 1 {
+		t.Fatalf("process_goroutines = %v, want >= 1", g)
+	}
+	if h := runtimeSeries(t, r, "process_heap_alloc_bytes"); h <= 0 {
+		t.Fatalf("process_heap_alloc_bytes = %v, want > 0", h)
+	}
+	if p := runtimeSeries(t, r, "process_gc_pause_seconds_total"); p < 0 {
+		t.Fatalf("process_gc_pause_seconds_total = %v, want >= 0", p)
+	}
+}
+
+// TestGoroutineGaugeTracksReality: spawning parked goroutines must move
+// the gauge, and it must agree with runtime.NumGoroutine at read time.
+func TestGoroutineGaugeTracksReality(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r)
+
+	before := runtimeSeries(t, r, "process_goroutines")
+	stop := make(chan struct{})
+	defer close(stop)
+	const n = 10
+	for i := 0; i < n; i++ {
+		go func() { <-stop }()
+	}
+	// The scheduler registers new goroutines promptly, but give it a
+	// bounded moment to avoid flakes on loaded CI runners.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		after := runtimeSeries(t, r, "process_goroutines")
+		if after >= before+n {
+			if live := float64(runtime.NumGoroutine()); after > live+5 || after < live-5 {
+				t.Fatalf("gauge %v far from runtime.NumGoroutine %v", after, live)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gauge stuck at %v, want >= %v", after, before+n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,169 @@
+package span
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func tID(b byte) TraceID { var t TraceID; t[15] = b; t[0] = 0xaa; return t }
+func sID(b byte) SpanID  { var s SpanID; s[7] = b; s[0] = 0xbb; return s }
+
+// goldenRecords is a deterministic 2-node grid fragment: a grid root on
+// the coordinator, a failed dispatch (attempt 1), a successful retry
+// (attempt 2), and the worker-side request/queue-wait/run spans it
+// parents — the exact shape the acceptance test produces live.
+func goldenRecords() []Record {
+	epoch := time.UnixMicro(1_700_000_000_000_000).UTC()
+	at := func(ms float64) time.Time {
+		return epoch.Add(time.Duration(ms * float64(time.Millisecond)))
+	}
+	tr := tID(1)
+	return []Record{
+		{Trace: tr, ID: sID(1), Name: "POST /grid", Node: "coord",
+			Start: at(0), Dur: 10 * time.Millisecond,
+			Attrs: []Attr{{"method", "POST"}, {"path", "/grid"}, {"status", "200"}}},
+		{Trace: tr, ID: sID(2), Parent: sID(1), Name: "dispatch", Node: "coord",
+			Start: at(1), Dur: 3 * time.Millisecond, Err: "connection refused",
+			Attrs: []Attr{{"node", "w1"}, {"attempt", "1"}}},
+		{Trace: tr, ID: sID(3), Parent: sID(1), Name: "dispatch", Node: "coord",
+			Start: at(4), Dur: 5 * time.Millisecond,
+			Attrs: []Attr{{"node", "w2"}, {"attempt", "2"}, {"excluded", "w1"}}},
+		{Trace: tr, ID: sID(4), Parent: sID(3), Name: "POST /run", Node: "w2",
+			Start: at(4.2), Dur: 4500 * time.Microsecond},
+		{Trace: tr, ID: sID(5), Parent: sID(4), Name: "queue-wait", Node: "w2",
+			Start: at(4.3), Dur: 500 * time.Microsecond},
+		{Trace: tr, ID: sID(6), Parent: sID(4), Name: "run", Node: "w2",
+			Start: at(4.8), Dur: 3600 * time.Microsecond,
+			Attrs: []Attr{{"app", "crc32"}, {"scheme", "EDBP"}}},
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	recs := goldenRecords()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != len(recs) {
+		t.Fatalf("wrote %d lines, want %d", n, len(recs))
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, recs)
+	}
+}
+
+func TestReadJSONLRejectsMalformed(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{\"trace\":\"zz\"}\n")); err == nil {
+		t.Fatal("want error for bad trace id")
+	}
+	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("want error for non-JSON line")
+	}
+}
+
+// TestChromeTraceGolden pins the Chrome trace_event export byte for
+// byte: metadata events, per-node pids, lane (tid) assignment, args.
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenRecords()); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != chromeGolden {
+		t.Fatalf("chrome export drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, chromeGolden)
+	}
+}
+
+// TestChromeTraceStructurallyValid loads the export back as JSON and
+// checks the invariants a renderer relies on, independent of the exact
+// bytes: every event well-formed, every "X" slice has pid/tid >= 1, and
+// a process_name metadata record exists for every pid in use.
+func TestChromeTraceStructurallyValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenRecords()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	named := map[int]bool{}
+	slices := 0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" {
+				named[ev.PID] = true
+			}
+		case "X":
+			slices++
+			if ev.PID < 1 || ev.TID < 1 {
+				t.Fatalf("slice %q has pid=%d tid=%d", ev.Name, ev.PID, ev.TID)
+			}
+			if !named[ev.PID] {
+				t.Fatalf("slice %q references unnamed pid %d", ev.Name, ev.PID)
+			}
+			if ev.TS < 0 {
+				t.Fatalf("slice %q has negative ts", ev.Name)
+			}
+			if ev.Args["trace"] == "" || ev.Args["span"] == "" {
+				t.Fatalf("slice %q missing trace/span args", ev.Name)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if slices != len(goldenRecords()) {
+		t.Fatalf("exported %d slices, want %d", slices, len(goldenRecords()))
+	}
+}
+
+// TestLaneAssignment: two overlapping root spans on one node must land
+// on different lanes; a third starting after both end reuses lane 1.
+func TestLaneAssignment(t *testing.T) {
+	epoch := time.UnixMicro(1_700_000_000_000_000).UTC()
+	tr := tID(9)
+	recs := []Record{
+		{Trace: tr, ID: sID(1), Name: "a", Node: "n", Start: epoch, Dur: 5 * time.Millisecond},
+		{Trace: tr, ID: sID(2), Name: "b", Node: "n", Start: epoch.Add(time.Millisecond), Dur: 5 * time.Millisecond},
+		{Trace: tr, ID: sID(3), Name: "c", Node: "n", Start: epoch.Add(10 * time.Millisecond), Dur: time.Millisecond},
+		{Trace: tr, ID: sID(4), Parent: sID(2), Name: "b-child", Node: "n",
+			Start: epoch.Add(2 * time.Millisecond), Dur: time.Millisecond},
+	}
+	SortRecords(recs)
+	tids := assignLanes(recs)
+	byName := map[string]int{}
+	for i, r := range recs {
+		byName[r.Name] = tids[i]
+	}
+	if byName["a"] != 1 || byName["b"] != 2 {
+		t.Fatalf("overlapping roots share a lane: %+v", byName)
+	}
+	if byName["b-child"] != byName["b"] {
+		t.Fatalf("child not on parent lane: %+v", byName)
+	}
+	if byName["c"] != 1 {
+		t.Fatalf("idle lane not reused: %+v", byName)
+	}
+}

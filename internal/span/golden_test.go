@@ -1,0 +1,19 @@
+package span
+
+// chromeGolden pins the Chrome trace_event export of goldenRecords()
+// byte for byte. Regenerate by running TestChromeTraceGolden and
+// copying the "got" block — but treat any drift as an API change:
+// Perfetto bookmarks and downstream tooling parse this shape.
+const chromeGolden = `{"displayTimeUnit":"ms","traceEvents":[
+{"name":"process_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"coord"}},
+{"name":"process_sort_index","ph":"M","ts":0,"pid":1,"tid":0,"args":{"sort_index":1}},
+{"name":"process_name","ph":"M","ts":0,"pid":2,"tid":0,"args":{"name":"w2"}},
+{"name":"process_sort_index","ph":"M","ts":0,"pid":2,"tid":0,"args":{"sort_index":2}},
+{"name":"POST /grid","cat":"span","ph":"X","ts":0,"dur":10000,"pid":1,"tid":1,"args":{"method":"POST","path":"/grid","span":"bb00000000000001","status":"200","trace":"aa000000000000000000000000000001"}},
+{"name":"dispatch","cat":"span","ph":"X","ts":1000,"dur":3000,"pid":1,"tid":1,"args":{"attempt":"1","err":"connection refused","node":"w1","parent":"bb00000000000001","span":"bb00000000000002","trace":"aa000000000000000000000000000001"}},
+{"name":"dispatch","cat":"span","ph":"X","ts":4000,"dur":5000,"pid":1,"tid":1,"args":{"attempt":"2","excluded":"w1","node":"w2","parent":"bb00000000000001","span":"bb00000000000003","trace":"aa000000000000000000000000000001"}},
+{"name":"POST /run","cat":"span","ph":"X","ts":4200,"dur":4500,"pid":2,"tid":1,"args":{"parent":"bb00000000000003","span":"bb00000000000004","trace":"aa000000000000000000000000000001"}},
+{"name":"queue-wait","cat":"span","ph":"X","ts":4300,"dur":500,"pid":2,"tid":1,"args":{"parent":"bb00000000000004","span":"bb00000000000005","trace":"aa000000000000000000000000000001"}},
+{"name":"run","cat":"span","ph":"X","ts":4800,"dur":3600,"pid":2,"tid":1,"args":{"app":"crc32","parent":"bb00000000000004","scheme":"EDBP","span":"bb00000000000006","trace":"aa000000000000000000000000000001"}}
+]}
+`

@@ -1,0 +1,342 @@
+// Package span is a dependency-free distributed-tracing layer for the
+// edbpd service tier. It mirrors the design contract of internal/trace —
+// a bounded in-memory recorder behind a nil-safe handle, so a disabled
+// recorder costs zero allocations on every instrumented path — but
+// records *service* spans (dispatch attempts, queue waits, simulation
+// runs, store appends) instead of simulated-device events, and carries
+// span identity across process boundaries with a W3C-traceparent-style
+// HTTP header so a sharded grid assembles into one trace.
+//
+// Identity model:
+//
+//	TraceID  16 random bytes, shared by every span in one logical request
+//	SpanID    8 random bytes, unique per span
+//	Context  (TraceID, SpanID) pair — the parent identity new spans hang off
+//
+// The wire format is the W3C trace-context traceparent header,
+// version 00, sampled flag always 01:
+//
+//	traceparent: 00-<32 lowercase hex>-<16 lowercase hex>-01
+//
+// Usage:
+//
+//	rec := span.NewRecorder("w1", 16384)        // nil *Recorder disables everything
+//	sp := rec.Start(span.FromCtx(ctx), "run")   // nil sp when rec is nil
+//	if sp != nil {
+//	    sp.Attr("app", "crc32")
+//	    ctx = span.With(ctx, sp.Ctx())
+//	}
+//	defer sp.End()                              // nil-safe
+//
+// Finished spans land in a fixed-capacity ring (newest win; the dropped
+// count is kept) and are read back with Snapshot for the /trace endpoint
+// and the JSONL / Chrome exporters in export.go.
+package span
+
+import (
+	"context"
+	"encoding/hex"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Header is the HTTP header carrying trace context between nodes.
+const Header = "traceparent"
+
+// TraceID identifies one logical request across every node it touches.
+type TraceID [16]byte
+
+// SpanID identifies a single span within a trace.
+type SpanID [8]byte
+
+// IsZero reports whether the trace ID is unset.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the span ID is unset.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+func (s SpanID) String() string  { return hex.EncodeToString(s[:]) }
+
+// ParseTraceID decodes a 32-char lowercase-hex trace ID.
+func ParseTraceID(s string) (TraceID, bool) {
+	var t TraceID
+	if len(s) != 32 {
+		return t, false
+	}
+	if _, err := hex.Decode(t[:], []byte(s)); err != nil || t.IsZero() {
+		return TraceID{}, false
+	}
+	return t, true
+}
+
+// Context is the propagated identity: the trace a span belongs to and
+// the span that parents it. The zero Context means "no active trace" —
+// Start treats it as a request for a new root span.
+type Context struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// Valid reports whether both halves of the context are set.
+func (c Context) Valid() bool { return !c.Trace.IsZero() && !c.Span.IsZero() }
+
+// Traceparent renders the context as a W3C traceparent header value.
+func (c Context) Traceparent() string {
+	b := make([]byte, 0, 55)
+	b = append(b, "00-"...)
+	b = hex.AppendEncode(b, c.Trace[:])
+	b = append(b, '-')
+	b = hex.AppendEncode(b, c.Span[:])
+	b = append(b, "-01"...)
+	return string(b)
+}
+
+// ParseTraceparent decodes a traceparent header value. Only version 00
+// is accepted; all-zero trace or span IDs are rejected per the spec.
+func ParseTraceparent(s string) (Context, bool) {
+	// 00-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx-yyyyyyyyyyyyyyyy-ff
+	if len(s) != 55 || s[0] != '0' || s[1] != '0' || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return Context{}, false
+	}
+	var c Context
+	if _, err := hex.Decode(c.Trace[:], []byte(s[3:35])); err != nil {
+		return Context{}, false
+	}
+	if _, err := hex.Decode(c.Span[:], []byte(s[36:52])); err != nil {
+		return Context{}, false
+	}
+	if _, err := hex.DecodeString(s[53:55]); err != nil {
+		return Context{}, false
+	}
+	if !c.Valid() {
+		return Context{}, false
+	}
+	return c, true
+}
+
+// Attr is one key=value annotation on a span. Values are plain strings;
+// callers format numbers themselves (only on the enabled path).
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Record is one finished span as stored by the recorder and carried by
+// the JSONL wire format. Node is stamped by the recorder that owned the
+// span, so records from several nodes can be merged without ambiguity.
+type Record struct {
+	Trace  TraceID
+	ID     SpanID
+	Parent SpanID // zero for a root span
+	Name   string
+	Node   string
+	Start  time.Time
+	Dur    time.Duration
+	Err    string
+	Attrs  []Attr
+}
+
+// Span is an in-flight span. A nil *Span is valid and inert: every
+// method no-ops, so instrumentation sites need no enabled-checks beyond
+// guarding work that only exists to feed the span (string formatting,
+// context rewrapping).
+type Span struct {
+	rec   *Recorder
+	r     Record
+	ended atomic.Bool
+}
+
+// Recorder collects finished spans for one node into a fixed-capacity
+// ring. A nil *Recorder is the disabled state: Start returns a nil
+// *Span and the whole instrumented path stays allocation-free.
+type Recorder struct {
+	node string
+	cap  int
+
+	mu      sync.Mutex
+	ring    []Record
+	next    int // ring write cursor once len(ring) == cap
+	total   uint64
+	dropped uint64
+}
+
+// DefaultCapacity bounds the span ring when NewRecorder is given a
+// non-positive capacity.
+const DefaultCapacity = 16384
+
+// NewRecorder returns a recorder stamping spans with the given node ID.
+// capacity bounds retained finished spans; once full, the oldest spans
+// are overwritten (and counted as dropped) so a long-lived service keeps
+// its most recent traces queryable.
+func NewRecorder(node string, capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{node: node, cap: capacity}
+}
+
+func newID[T TraceID | SpanID]() T {
+	var id T
+	for i := 0; i < len(id); i += 8 {
+		v := rand.Uint64()
+		for j := 0; j < 8 && i+j < len(id); j++ {
+			id[i+j] = byte(v >> (8 * j))
+		}
+	}
+	var zero T
+	if id == zero {
+		id[0] = 1 // all-zero IDs are reserved for "unset"
+	}
+	return id
+}
+
+// Start begins a span. A zero parent starts a new root span with a
+// fresh trace ID; otherwise the span joins parent's trace as its child.
+// Returns nil (and allocates nothing) when r is nil.
+func (r *Recorder) Start(parent Context, name string) *Span {
+	return r.StartAt(parent, name, time.Now())
+}
+
+// StartAt is Start with an explicit start time, for spans whose real
+// beginning predates the instrumentation point (e.g. a queue wait
+// measured from enqueue but materialized at dequeue).
+func (r *Recorder) StartAt(parent Context, name string, start time.Time) *Span {
+	if r == nil {
+		return nil
+	}
+	s := &Span{rec: r}
+	s.r.Name = name
+	s.r.Node = r.node
+	s.r.Start = start
+	s.r.ID = newID[SpanID]()
+	if parent.Trace.IsZero() {
+		s.r.Trace = newID[TraceID]()
+	} else {
+		s.r.Trace = parent.Trace
+		s.r.Parent = parent.Span
+	}
+	return s
+}
+
+// Ctx returns the span's identity for propagation to children and over
+// the wire. The zero Context is returned for a nil span.
+func (s *Span) Ctx() Context {
+	if s == nil {
+		return Context{}
+	}
+	return Context{Trace: s.r.Trace, Span: s.r.ID}
+}
+
+// Attr annotates the span; it returns s to allow chaining. No-op on nil.
+func (s *Span) Attr(key, value string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.r.Attrs = append(s.r.Attrs, Attr{Key: key, Value: value})
+	return s
+}
+
+// Fail records err as the span's failure cause. No-op on nil or nil err.
+func (s *Span) Fail(err error) *Span {
+	if s == nil || err == nil {
+		return s
+	}
+	s.r.Err = err.Error()
+	return s
+}
+
+// End finishes the span and hands it to the recorder. Safe to call on a
+// nil span; a second End is ignored.
+func (s *Span) End() {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	s.r.Dur = time.Since(s.r.Start)
+	s.rec.record(s.r)
+}
+
+// EndAt is End with an explicit finish time (tests, replayed spans).
+func (s *Span) EndAt(t time.Time) {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	s.r.Dur = t.Sub(s.r.Start)
+	s.rec.record(s.r)
+}
+
+func (r *Recorder) record(rec Record) {
+	r.mu.Lock()
+	r.total++
+	if len(r.ring) < r.cap {
+		r.ring = append(r.ring, rec)
+	} else {
+		r.ring[r.next] = rec
+		r.next = (r.next + 1) % r.cap
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns retained finished spans, oldest first, optionally
+// filtered to one trace. The zero TraceID selects everything. The
+// returned slice is a copy and safe to retain.
+func (r *Recorder) Snapshot(filter TraceID) []Record {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Record, 0, len(r.ring))
+	for i := 0; i < len(r.ring); i++ {
+		rec := r.ring[(r.next+i)%len(r.ring)]
+		if filter.IsZero() || rec.Trace == filter {
+			out = append(out, rec)
+		}
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// Stats returns the number of spans finished and the number dropped by
+// ring overwrite since the recorder was created.
+func (r *Recorder) Stats() (finished, dropped uint64) {
+	if r == nil {
+		return 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total, r.dropped
+}
+
+// SortRecords orders spans deterministically for export and assembly:
+// by start time, then trace, then span ID.
+func SortRecords(recs []Record) {
+	sort.Slice(recs, func(i, j int) bool {
+		if !recs[i].Start.Equal(recs[j].Start) {
+			return recs[i].Start.Before(recs[j].Start)
+		}
+		if recs[i].Trace != recs[j].Trace {
+			return string(recs[i].Trace[:]) < string(recs[j].Trace[:])
+		}
+		return string(recs[i].ID[:]) < string(recs[j].ID[:])
+	})
+}
+
+type ctxKey struct{}
+
+// With returns a context carrying c, to be picked up by FromCtx at the
+// next instrumentation site (or serialized by an HTTP client). Callers
+// on hot paths should guard this behind a span-enabled check: wrapping
+// a context allocates.
+func With(ctx context.Context, c Context) context.Context {
+	return context.WithValue(ctx, ctxKey{}, c)
+}
+
+// FromCtx extracts the propagated span context, or the zero Context.
+func FromCtx(ctx context.Context) Context {
+	c, _ := ctx.Value(ctxKey{}).(Context)
+	return c
+}

@@ -1,0 +1,166 @@
+package span
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	rec := NewRecorder("n1", 16)
+	sp := rec.Start(Context{}, "root")
+	c := sp.Ctx()
+	if !c.Valid() {
+		t.Fatalf("root span context not valid: %+v", c)
+	}
+	h := c.Traceparent()
+	if len(h) != 55 {
+		t.Fatalf("traceparent length = %d, want 55: %q", len(h), h)
+	}
+	got, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) rejected", h)
+	}
+	if got != c {
+		t.Fatalf("round trip mismatch: %+v != %+v", got, c)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",    // no flags
+		"01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // bad version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902g7-01", // non-hex
+		"00-4bf92f3577b34da6a3ce929d0e0e4736_00f067aa0ba902b7-01", // bad sep
+	}
+	for _, s := range bad {
+		if _, ok := ParseTraceparent(s); ok {
+			t.Errorf("ParseTraceparent(%q) accepted, want reject", s)
+		}
+	}
+}
+
+func TestChildJoinsParentTrace(t *testing.T) {
+	rec := NewRecorder("n1", 16)
+	root := rec.Start(Context{}, "root")
+	child := rec.Start(root.Ctx(), "child")
+	if child.Ctx().Trace != root.Ctx().Trace {
+		t.Fatal("child did not join parent trace")
+	}
+	child.End()
+	root.End()
+	recs := rec.Snapshot(root.Ctx().Trace)
+	if len(recs) != 2 {
+		t.Fatalf("snapshot = %d spans, want 2", len(recs))
+	}
+	byName := map[string]Record{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	if byName["child"].Parent != byName["root"].ID {
+		t.Fatal("child.Parent != root.ID")
+	}
+	if byName["root"].Parent != (SpanID{}) {
+		t.Fatal("root should have no parent")
+	}
+	if byName["root"].Node != "n1" {
+		t.Fatalf("node = %q, want n1", byName["root"].Node)
+	}
+}
+
+func TestSnapshotFilterAndRingOverwrite(t *testing.T) {
+	rec := NewRecorder("n1", 4)
+	var want Context
+	for i := 0; i < 6; i++ {
+		sp := rec.Start(Context{}, fmt.Sprintf("s%d", i))
+		if i == 5 {
+			want = sp.Ctx()
+		}
+		sp.End()
+	}
+	all := rec.Snapshot(TraceID{})
+	if len(all) != 4 {
+		t.Fatalf("retained %d, want capacity 4", len(all))
+	}
+	// Oldest two were overwritten.
+	if all[0].Name != "s2" || all[3].Name != "s5" {
+		t.Fatalf("ring order wrong: first=%q last=%q", all[0].Name, all[3].Name)
+	}
+	fin, dropped := rec.Stats()
+	if fin != 6 || dropped != 2 {
+		t.Fatalf("stats = (%d, %d), want (6, 2)", fin, dropped)
+	}
+	got := rec.Snapshot(want.Trace)
+	if len(got) != 1 || got[0].Name != "s5" {
+		t.Fatalf("filtered snapshot = %+v, want just s5", got)
+	}
+}
+
+func TestFailAndDoubleEnd(t *testing.T) {
+	rec := NewRecorder("n1", 16)
+	sp := rec.Start(Context{}, "op").Attr("k", "v")
+	sp.Fail(errors.New("boom"))
+	sp.End()
+	sp.End() // second End must not double-record
+	recs := rec.Snapshot(TraceID{})
+	if len(recs) != 1 {
+		t.Fatalf("recorded %d spans, want 1", len(recs))
+	}
+	if recs[0].Err != "boom" {
+		t.Fatalf("err = %q, want boom", recs[0].Err)
+	}
+	if len(recs[0].Attrs) != 1 || recs[0].Attrs[0] != (Attr{"k", "v"}) {
+		t.Fatalf("attrs = %+v", recs[0].Attrs)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	rec := NewRecorder("n1", 16)
+	sp := rec.Start(Context{}, "root")
+	ctx := With(context.Background(), sp.Ctx())
+	if FromCtx(ctx) != sp.Ctx() {
+		t.Fatal("FromCtx != stored context")
+	}
+	if FromCtx(context.Background()) != (Context{}) {
+		t.Fatal("empty ctx should yield zero Context")
+	}
+}
+
+// TestDisabledSpansZeroAllocs pins the nil-recorder contract, matching
+// TestSteadyStateZeroAllocs / TestNilMetricsZeroAllocs: a disabled
+// recorder must add zero allocations to instrumented paths.
+func TestDisabledSpansZeroAllocs(t *testing.T) {
+	var rec *Recorder
+	parent := Context{}
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := rec.Start(parent, "run")
+		if sp != nil {
+			sp.Attr("app", "crc32")
+		}
+		sp.Fail(nil)
+		sp.End()
+		sp2 := rec.StartAt(parent, "queue-wait", time.Time{})
+		sp2.End()
+		_ = sp.Ctx()
+		_ = rec.Snapshot(TraceID{})
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestNewIDNonZero(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		if newID[TraceID]().IsZero() {
+			t.Fatal("zero trace id generated")
+		}
+		if newID[SpanID]().IsZero() {
+			t.Fatal("zero span id generated")
+		}
+	}
+}
